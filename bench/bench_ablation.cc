@@ -1,0 +1,98 @@
+// Ablation study of DAF's design choices (not a paper figure; DESIGN.md):
+//   1. number of DAG-graph DP refinement passes (the paper fixes 3 and
+//      reports the filtering rate after 3 steps is < 1% — this table shows
+//      the CS size and end-to-end effect of 0..5 passes),
+//   2. the NLF / MND local filters,
+//   3. the leaf decomposition strategy.
+// All rows run DAF (path-size order + failing sets) on the Yeast stand-in.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+
+namespace daf::bench {
+namespace {
+
+struct Config {
+  std::string name;
+  MatchOptions options;
+};
+
+void RunConfigs(const std::vector<Graph>& queries, const Graph& data,
+                const std::vector<Config>& configs,
+                const CommonFlags& common) {
+  std::vector<Algorithm> algos;
+  for (const Config& config : configs) {
+    algos.push_back(MakeDafAlgorithm(config.name, data, config.options,
+                                     common));
+  }
+  for (const Summary& s : EvaluateQuerySet(queries, algos)) {
+    std::printf("%-22s%12.0f%12.2f%12.2f%16.0f%10.1f\n", s.algorithm.c_str(),
+                s.avg_aux, s.avg_preprocess_ms, s.avg_ms, s.avg_calls,
+                s.solved_pct);
+  }
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  CommonFlags common(flags);
+  int64_t& query_size = flags.Int64("query_size", 100, "query size");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  Graph data = BuildDataset(workload::DatasetId::kYeast, common);
+  Rng rng(static_cast<uint64_t>(common.seed) * 15073);
+  workload::QuerySet set = workload::MakeQuerySet(
+      data, static_cast<uint32_t>(query_size), /*sparse=*/true,
+      static_cast<uint32_t>(common.queries), rng);
+  std::printf("== Ablation: DAF design choices (Yeast, %s) ==\n",
+              set.Name().c_str());
+  std::printf("%-22s%12s%12s%12s%16s%10s\n", "config", "avg_cs", "prep_ms",
+              "total_ms", "avg_rec_calls", "solved%");
+
+  // 1. Refinement passes.
+  {
+    std::vector<Config> configs;
+    for (int steps : {0, 1, 2, 3, 5}) {
+      Config c;
+      c.name = "refine=" + std::to_string(steps);
+      c.options.refinement_steps = steps;
+      configs.push_back(c);
+    }
+    RunConfigs(set.queries, data, configs, common);
+  }
+  std::printf("\n");
+  // 2. Local filters.
+  {
+    std::vector<Config> configs;
+    for (int mask = 0; mask < 4; ++mask) {
+      Config c;
+      c.options.use_nlf_filter = (mask & 1) != 0;
+      c.options.use_mnd_filter = (mask & 2) != 0;
+      c.name = std::string("nlf=") + (c.options.use_nlf_filter ? "on" : "off") +
+               " mnd=" + (c.options.use_mnd_filter ? "on" : "off");
+      configs.push_back(c);
+    }
+    RunConfigs(set.queries, data, configs, common);
+  }
+  std::printf("\n");
+  // 3. Leaf decomposition.
+  {
+    std::vector<Config> configs;
+    for (bool leaves : {true, false}) {
+      Config c;
+      c.options.leaf_decomposition = leaves;
+      c.name = std::string("leaf_decomp=") + (leaves ? "on" : "off");
+      configs.push_back(c);
+    }
+    RunConfigs(set.queries, data, configs, common);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace daf::bench
+
+int main(int argc, char** argv) { return daf::bench::Run(argc, argv); }

@@ -1,0 +1,52 @@
+// Regenerates Figure 9: sizes of the auxiliary data structures of
+// CFL-Match (CPI) and DAF (CS), measured as the average of Σ_u |C(u)| over
+// each query set. The paper's claim: CS is consistently smaller than CPI.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace daf::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  CommonFlags common(flags);
+  int64_t& num_sizes = flags.Int64("sizes", 2, "query sizes per dataset (up "
+                                               "to 4, paper uses all 4)");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  std::printf("== Figure 9: auxiliary structure sizes (avg Σ|C(u)|) ==\n");
+  std::printf("%-8s%-10s%14s%14s%10s\n", "Dataset", "QuerySet", "CPI(CFL)",
+              "CS(DAF)", "CS/CPI");
+  for (const workload::DatasetSpec& spec : workload::Table2Specs()) {
+    Graph data = BuildDataset(spec.id, common);
+    Rng rng(static_cast<uint64_t>(common.seed) * 977 +
+            static_cast<uint64_t>(spec.id));
+    for (int si = 0; si < num_sizes && si < 4; ++si) {
+      uint32_t size = spec.query_sizes[si];
+      for (bool sparse : {true, false}) {
+        workload::QuerySet set = workload::MakeQuerySet(
+            data, size, sparse, static_cast<uint32_t>(common.queries), rng);
+        if (set.queries.empty()) continue;
+        std::vector<Algorithm> algos{
+            MakeBaselineAlgorithm("CFL-Match", data, common),
+            MakeDafAlgorithm("DAF", data, MatchOptions{}, common),
+        };
+        std::vector<Summary> summaries = EvaluateQuerySet(set.queries, algos);
+        double cpi = summaries[0].avg_aux;
+        double cs = summaries[1].avg_aux;
+        std::printf("%-8s%-10s%14.0f%14.0f%10.3f\n", spec.name,
+                    set.Name().c_str(), cpi, cs, cpi > 0 ? cs / cpi : 0.0);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace daf::bench
+
+int main(int argc, char** argv) { return daf::bench::Run(argc, argv); }

@@ -1,0 +1,61 @@
+// Regenerates Figure 10, the paper's main comparison: average elapsed time,
+// average number of recursive calls, and percentage of solved queries for
+// CFL-Match, DA (DAG-graph DP + adaptive order, no failing sets) and DAF
+// (DA + failing-set pruning) on the six datasets and their Q_iS / Q_iN
+// query sets. Expected shape: DAF >= DA >= CFL-Match in solved queries, and
+// DAF ahead by orders of magnitude in recursive calls on hard sets.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace daf::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  CommonFlags common(flags);
+  int64_t& num_sizes = flags.Int64("sizes", 2, "query sizes per dataset (up "
+                                               "to 4, paper uses all 4)");
+  std::string& only = flags.String("dataset", "", "restrict to one dataset");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  std::printf(
+      "== Figure 10: elapsed time / recursive calls / solved queries ==\n");
+  std::printf("%-8s%-8s%-11s%12s%16s%10s\n", "Dataset", "Set", "Algo",
+              "avg_ms", "avg_rec_calls", "solved%");
+  for (const workload::DatasetSpec& spec : workload::Table2Specs()) {
+    if (!only.empty() && only != spec.name) continue;
+    Graph data = BuildDataset(spec.id, common);
+    Rng rng(static_cast<uint64_t>(common.seed) * 1303 +
+            static_cast<uint64_t>(spec.id));
+    for (int si = 0; si < num_sizes && si < 4; ++si) {
+      uint32_t size = spec.query_sizes[si];
+      for (bool sparse : {true, false}) {
+        workload::QuerySet set = workload::MakeQuerySet(
+            data, size, sparse, static_cast<uint32_t>(common.queries), rng);
+        if (set.queries.empty()) continue;
+        MatchOptions da;
+        da.use_failing_sets = false;
+        std::vector<Algorithm> algos{
+            MakeBaselineAlgorithm("CFL-Match", data, common),
+            MakeDafAlgorithm("DA", data, da, common),
+            MakeDafAlgorithm("DAF", data, MatchOptions{}, common),
+        };
+        for (const Summary& s : EvaluateQuerySet(set.queries, algos)) {
+          std::printf("%-8s%-8s%-11s%12.2f%16.0f%10.1f\n", spec.name,
+                      set.Name().c_str(), s.algorithm.c_str(), s.avg_ms,
+                      s.avg_calls, s.solved_pct);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace daf::bench
+
+int main(int argc, char** argv) { return daf::bench::Run(argc, argv); }

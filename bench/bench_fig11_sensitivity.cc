@@ -1,0 +1,166 @@
+// Regenerates Figure 11, the parameter sensitivity analysis (Section 7.2):
+// synthetic data graphs obtained by upscaling Yeast (our stand-in for
+// EvoGraph) with power-law labels, varying
+//   (a) |V(q)|, (b) avg-deg(q), (c) diam(q), (d) scale(G), (e) |Sigma|,
+// one at a time around the paper's defaults (|V(q)|=100, 3<deg<=5,
+// 10<=diam<=12, scale=2, |Sigma|=70), with sizes shrunk by --qscale to fit
+// small machines. Diameter buckets are derived from the empirical diameter
+// distribution at the scaled query size (the paper's absolute 10/12 bounds
+// only make sense at |V(q)|=100). Reports elapsed time and solved% for
+// CFL-Match, DA, DAF. Expected shape: harder with |V(q)| and diam(q),
+// easier with avg-deg(q) and |Sigma|; scale has little effect; DAF
+// dominates, especially at large |V(q)|.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "graph/query_extract.h"
+#include "graph/upscale.h"
+
+namespace daf::bench {
+namespace {
+
+Graph MakeSensitivityData(const CommonFlags& common, uint32_t scale,
+                          uint32_t sigma) {
+  // Yeast structure, upscaled, with a fresh power-law label assignment of
+  // `sigma` labels (the paper assigns labels by power laws).
+  Graph yeast = BuildDataset(workload::DatasetId::kYeast, common);
+  Rng rng(static_cast<uint64_t>(common.seed) * 31 + scale * 7 + sigma);
+  Graph scaled = scale > 1 ? Upscale(yeast, scale, rng) : std::move(yeast);
+  std::vector<Label> labels =
+      ZipfLabels(scaled.NumVertices(), sigma, 1.6, rng);
+  return Graph::FromEdges(std::move(labels), scaled.EdgeList());
+}
+
+// Tercile bounds (d1 <= d2) of the diameter distribution of size-`size`
+// random-walk queries on `data`.
+std::pair<uint32_t, uint32_t> DiameterTerciles(const Graph& data,
+                                               uint32_t size, Rng& rng) {
+  std::vector<uint32_t> diameters;
+  for (int i = 0; i < 24; ++i) {
+    auto e = ExtractRandomWalkQuery(data, size, -1.0, rng);
+    if (e) diameters.push_back(Diameter(e->query));
+  }
+  if (diameters.empty()) return {4, 6};
+  std::sort(diameters.begin(), diameters.end());
+  uint32_t d1 = diameters[diameters.size() / 3];
+  uint32_t d2 = diameters[(2 * diameters.size()) / 3];
+  if (d2 <= d1) d2 = d1 + 1;
+  return {d1, d2};
+}
+
+void RunPoint(const std::string& sweep, const std::string& value,
+              const Graph& data, const workload::QueryConstraints& qc,
+              const CommonFlags& common, Rng& rng) {
+  std::vector<Graph> queries;
+  for (int i = 0; i < common.queries; ++i) {
+    auto q = workload::MakeConstrainedQuery(data, qc, rng, 300);
+    if (q) queries.push_back(std::move(*q));
+  }
+  if (queries.empty()) {
+    std::printf("%-10s%-12s  (no queries matched the constraints)\n",
+                sweep.c_str(), value.c_str());
+    return;
+  }
+  MatchOptions da;
+  da.use_failing_sets = false;
+  std::vector<Algorithm> algos{
+      MakeBaselineAlgorithm("CFL-Match", data, common),
+      MakeDafAlgorithm("DA", data, da, common),
+      MakeDafAlgorithm("DAF", data, MatchOptions{}, common),
+  };
+  for (const Summary& s : EvaluateQuerySet(queries, algos)) {
+    std::printf("%-10s%-12s%-11s%12.2f%16.0f%10.1f\n", sweep.c_str(),
+                value.c_str(), s.algorithm.c_str(), s.avg_ms, s.avg_calls,
+                s.solved_pct);
+  }
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  CommonFlags common(flags);
+  double& qscale =
+      flags.Double("qscale", 0.4, "shrink factor applied to the paper's "
+                                  "query sizes (1.0 = paper)");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  const uint32_t default_size =
+      std::max<uint32_t>(10, static_cast<uint32_t>(100 * qscale));
+
+  std::printf("== Figure 11: sensitivity analysis (defaults: |V(q)|=%u, "
+              "3<deg<=5, scale=2, |Sigma|=70; diam buckets empirical) ==\n",
+              default_size);
+  std::printf("%-10s%-12s%-11s%12s%16s%10s\n", "Sweep", "Value", "Algo",
+              "avg_ms", "avg_rec_calls", "solved%");
+
+  Rng rng(static_cast<uint64_t>(common.seed) * 40961);
+  Graph default_data = MakeSensitivityData(common, 2, 70);
+
+  workload::QueryConstraints defaults;
+  defaults.size = default_size;
+  defaults.min_avg_deg = 3.0;
+  defaults.max_avg_deg = 5.0;
+
+  // (a) |V(q)| sweep (paper: 50, 100, 200, 400, scaled by qscale).
+  for (uint32_t paper_size : {50u, 100u, 200u, 400u}) {
+    workload::QueryConstraints qc = defaults;
+    qc.size = std::max<uint32_t>(
+        6, static_cast<uint32_t>(paper_size * qscale));
+    qc.min_avg_deg = 0;  // larger sizes make the 3-5 window rarer
+    qc.max_avg_deg = 1e9;
+    RunPoint("|V(q)|", std::to_string(qc.size), default_data, qc, common,
+             rng);
+  }
+  // (b) avg-deg(q) sweep: <=3, (3,5], >5.
+  {
+    const char* names[] = {"<=3", "3-5", ">5"};
+    const double lo[] = {0.0, 3.0, 5.0};
+    const double hi[] = {3.0, 5.0, 1e9};
+    for (int i = 0; i < 3; ++i) {
+      workload::QueryConstraints qc = defaults;
+      qc.min_avg_deg = lo[i];
+      qc.max_avg_deg = hi[i];
+      RunPoint("avg-deg", names[i], default_data, qc, common, rng);
+    }
+  }
+  // (c) diam(q) sweep over empirical terciles.
+  {
+    auto [d1, d2] = DiameterTerciles(default_data, default_size, rng);
+    const std::string names[] = {"<=" + std::to_string(d1),
+                                 std::to_string(d1 + 1) + "-" +
+                                     std::to_string(d2),
+                                 ">=" + std::to_string(d2 + 1)};
+    const uint32_t lo[] = {0, d1 + 1, d2 + 1};
+    const uint32_t hi[] = {d1, d2, 1u << 30};
+    for (int i = 0; i < 3; ++i) {
+      workload::QueryConstraints qc;
+      qc.size = default_size;
+      qc.min_diameter = lo[i];
+      qc.max_diameter = hi[i];
+      RunPoint("diam", names[i], default_data, qc, common, rng);
+    }
+  }
+  // (d) scale(G) sweep (paper: 2, 4, 8, 16).
+  for (uint32_t scale : {2u, 4u, 8u, 16u}) {
+    Graph data = MakeSensitivityData(common, scale, 70);
+    RunPoint("scale(G)", std::to_string(scale), data, defaults, common, rng);
+  }
+  // (e) |Sigma| sweep (paper: 35, 70, 140, 280).
+  for (uint32_t sigma : {35u, 70u, 140u, 280u}) {
+    Graph data = MakeSensitivityData(common, 2, sigma);
+    RunPoint("|Sigma|", std::to_string(sigma), data, defaults, common, rng);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace daf::bench
+
+int main(int argc, char** argv) { return daf::bench::Run(argc, argv); }

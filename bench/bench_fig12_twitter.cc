@@ -1,0 +1,57 @@
+// Regenerates Figure 12 (Appendix A.1): the billion-scale Twitter
+// experiment, run against the RMAT stand-in (DESIGN.md, substitution 2).
+// Reports the elapsed-time breakdown into preprocessing and search time,
+// recursive calls, and solved%. Expected shape: preprocessing dominates for
+// big graphs and is similar between CFL-Match and DAF, while DAF's search
+// time is orders of magnitude smaller on non-sparse sets.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace daf::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  CommonFlags common(flags);
+  int64_t& num_sizes = flags.Int64("sizes", 4, "query sizes (up to 4)");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  const workload::DatasetSpec& spec =
+      workload::GetSpec(workload::DatasetId::kTwitterSim);
+  Graph data = BuildDataset(spec.id, common);
+  Rng rng(static_cast<uint64_t>(common.seed) * 52501);
+  std::printf("== Figure 12: Twitter(-sim) — preprocessing/search split ==\n");
+  std::printf("%-8s%-11s%12s%14s%12s%14s%10s\n", "Set", "Algo", "prep_ms",
+              "search_ms", "total_ms", "rec_calls", "solved%");
+  for (int si = 0; si < num_sizes && si < 4; ++si) {
+    uint32_t size = spec.query_sizes[si];
+    for (bool sparse : {true, false}) {
+      workload::QuerySet set = workload::MakeQuerySet(
+          data, size, sparse, static_cast<uint32_t>(common.queries), rng);
+      if (set.queries.empty()) continue;
+      MatchOptions da;
+      da.use_failing_sets = false;
+      std::vector<Algorithm> algos{
+          MakeBaselineAlgorithm("CFL-Match", data, common),
+          MakeDafAlgorithm("DA", data, da, common),
+          MakeDafAlgorithm("DAF", data, MatchOptions{}, common),
+      };
+      for (const Summary& s : EvaluateQuerySet(set.queries, algos)) {
+        std::printf("%-8s%-11s%12.1f%14.1f%12.1f%14.0f%10.1f\n",
+                    set.Name().c_str(), s.algorithm.c_str(),
+                    s.avg_preprocess_ms, s.avg_ms - s.avg_preprocess_ms,
+                    s.avg_ms, s.avg_calls, s.solved_pct);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace daf::bench
+
+int main(int argc, char** argv) { return daf::bench::Run(argc, argv); }

@@ -1,0 +1,72 @@
+// Regenerates Figure 16 (Appendix A.4): speedup of the parallelized DAF
+// when finding ALL embeddings (k = infinity) of size-6 queries on Human, so
+// the total work is identical for every thread count. On a single-core host
+// the wall-clock speedup stays ~1; the per-thread work split (printed
+// alongside) shows the load balance that produces the paper's 12.7x at 16
+// threads on a 16-core machine. See EXPERIMENTS.md, substitution 4.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "daf/parallel.h"
+
+namespace daf::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  CommonFlags common(flags);
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  Graph data = BuildDataset(workload::DatasetId::kHuman, common);
+  Rng rng(static_cast<uint64_t>(common.seed) * 99707);
+  std::printf(
+      "== Figure 16: parallel speedup, all embeddings, |V(q)|=6 (Human) "
+      "==\n");
+  std::printf("%-8s%-9s%12s%12s%14s%24s\n", "Set", "threads", "avg_ms",
+              "speedup", "rec_calls", "thread_call_balance");
+  for (bool sparse : {true, false}) {
+    workload::QuerySet set = workload::MakeQuerySet(
+        data, 6, sparse, static_cast<uint32_t>(common.queries), rng);
+    if (set.queries.empty()) continue;
+    double single_thread_ms = 0;
+    for (uint32_t threads : {1u, 2u, 4u, 8u, 16u}) {
+      double total_ms = 0;
+      uint64_t total_calls = 0;
+      uint64_t max_thread_calls = 0;
+      uint64_t min_thread_calls = ~0ull;
+      int solved = 0;
+      for (const Graph& q : set.queries) {
+        MatchOptions opts;
+        opts.limit = 0;  // all embeddings: equal work at any thread count
+        opts.time_limit_ms = static_cast<uint64_t>(common.timeout_ms) * 5;
+        ParallelMatchResult r = ParallelDafMatch(q, data, opts, threads);
+        if (!r.ok || r.timed_out) continue;
+        ++solved;
+        total_ms += r.preprocess_ms + r.search_ms;
+        total_calls += r.recursive_calls;
+        for (uint64_t c : r.per_thread_calls) {
+          max_thread_calls = std::max(max_thread_calls, c);
+          min_thread_calls = std::min(min_thread_calls, c);
+        }
+      }
+      if (solved == 0) continue;
+      double avg_ms = total_ms / solved;
+      if (threads == 1) single_thread_ms = avg_ms;
+      std::printf("%-8s%-9u%12.2f%12.2f%14.0f%13llu/%-10llu\n",
+                  set.Name().c_str(), threads, avg_ms,
+                  avg_ms > 0 ? single_thread_ms / avg_ms : 0.0,
+                  static_cast<double>(total_calls) / solved,
+                  static_cast<unsigned long long>(min_thread_calls),
+                  static_cast<unsigned long long>(max_thread_calls));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace daf::bench
+
+int main(int argc, char** argv) { return daf::bench::Run(argc, argv); }

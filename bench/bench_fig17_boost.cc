@@ -1,0 +1,61 @@
+// Regenerates Figure 17 (Appendix A.5): DAF vs DAF-Boost (the BoostIso
+// equivalence relationships SE/QDE applied to DAF). Also prints each
+// stand-in's compression ratio — the paper's explanation for why boosting
+// helps on Human (53.1%) but not on HPRD (1.4%).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "daf/boost.h"
+
+namespace daf::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  CommonFlags common(flags);
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  std::printf("== Figure 17: DAF vs DAF-Boost ==\n");
+  std::printf("%-8s%-10s%-11s%12s%16s%10s\n", "Dataset", "Set", "Algo",
+              "avg_ms", "avg_rec_calls", "solved%");
+  const workload::DatasetId datasets[] = {workload::DatasetId::kHuman,
+                                          workload::DatasetId::kEmail,
+                                          workload::DatasetId::kHprd};
+  for (workload::DatasetId id : datasets) {
+    const workload::DatasetSpec& spec = workload::GetSpec(id);
+    Graph data = BuildDataset(id, common);
+    VertexEquivalence eq = VertexEquivalence::Compute(data);
+    std::fprintf(stderr, "[bench] %s compression ratio: %.1f%%\n", spec.name,
+                 100.0 * eq.CompressionRatio());
+    Rng rng(static_cast<uint64_t>(common.seed) * 3301 +
+            static_cast<uint64_t>(id));
+    for (int si = 0; si < 2; ++si) {
+      uint32_t size = spec.query_sizes[si];
+      for (bool sparse : {true, false}) {
+        workload::QuerySet set = workload::MakeQuerySet(
+            data, size, sparse, static_cast<uint32_t>(common.queries), rng);
+        if (set.queries.empty()) continue;
+        MatchOptions boosted;
+        boosted.equivalence = &eq;
+        std::vector<Algorithm> algos{
+            MakeDafAlgorithm("DAF", data, MatchOptions{}, common),
+            MakeDafAlgorithm("DAF-Boost", data, boosted, common),
+        };
+        for (const Summary& s : EvaluateQuerySet(set.queries, algos)) {
+          std::printf("%-8s%-10s%-11s%12.2f%16.0f%10.1f\n", spec.name,
+                      set.Name().c_str(), s.algorithm.c_str(), s.avg_ms,
+                      s.avg_calls, s.solved_pct);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace daf::bench
+
+int main(int argc, char** argv) { return daf::bench::Run(argc, argv); }

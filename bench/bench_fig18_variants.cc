@@ -1,0 +1,64 @@
+// Regenerates Figure 18 (Appendix A.6): the four-way variant comparison
+// that selected the final algorithm — DA-cand, DA-path (candidate-size /
+// path-size adaptive order without failing sets) and DAF-cand, DAF-path
+// (with failing sets). Expected shape: failing sets help consistently; the
+// cand/path gap is marginal with path slightly ahead — hence DAF = DAF-path.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace daf::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  CommonFlags common(flags);
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  std::printf("== Figure 18: DA/DAF x cand/path variants ==\n");
+  std::printf("%-8s%-8s%-11s%12s%16s%10s\n", "Dataset", "Set", "Algo",
+              "avg_ms", "avg_rec_calls", "solved%");
+  const workload::DatasetId datasets[] = {workload::DatasetId::kYeast,
+                                          workload::DatasetId::kHuman};
+  for (workload::DatasetId id : datasets) {
+    const workload::DatasetSpec& spec = workload::GetSpec(id);
+    Graph data = BuildDataset(id, common);
+    Rng rng(static_cast<uint64_t>(common.seed) * 4493 +
+            static_cast<uint64_t>(id));
+    for (int si = 0; si < 2; ++si) {
+      uint32_t size = spec.query_sizes[si];
+      for (bool sparse : {true, false}) {
+        workload::QuerySet set = workload::MakeQuerySet(
+            data, size, sparse, static_cast<uint32_t>(common.queries), rng);
+        if (set.queries.empty()) continue;
+        std::vector<Algorithm> algos;
+        for (bool failing : {false, true}) {
+          for (MatchOrder order :
+               {MatchOrder::kCandidateSize, MatchOrder::kPathSize}) {
+            MatchOptions opts;
+            opts.use_failing_sets = failing;
+            opts.order = order;
+            std::string name = std::string(failing ? "DAF" : "DA") +
+                               (order == MatchOrder::kPathSize ? "-path"
+                                                               : "-cand");
+            algos.push_back(MakeDafAlgorithm(name, data, opts, common));
+          }
+        }
+        for (const Summary& s : EvaluateQuerySet(set.queries, algos)) {
+          std::printf("%-8s%-8s%-11s%12.2f%16.0f%10.1f\n", spec.name,
+                      set.Name().c_str(), s.algorithm.c_str(), s.avg_ms,
+                      s.avg_calls, s.solved_pct);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace daf::bench
+
+int main(int argc, char** argv) { return daf::bench::Run(argc, argv); }

@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) of the core primitives: graph
+// accessors, DAG construction, CS construction (DAG-graph DP), weight-array
+// DP, vertex-equivalence computation, and the backtracking throughput.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "daf/boost.h"
+#include "graph/io.h"
+#include "daf/candidate_space.h"
+#include "daf/engine.h"
+#include "daf/query_dag.h"
+#include "daf/weights.h"
+#include "graph/query_extract.h"
+#include "workload/datasets.h"
+#include "workload/querygen.h"
+
+namespace daf::bench {
+namespace {
+
+const Graph& YeastData() {
+  static const Graph* data = new Graph(
+      workload::MakeDataset(workload::DatasetId::kYeast, 0.5, 1));
+  return *data;
+}
+
+const Graph& YeastQuery(uint32_t size) {
+  static std::map<uint32_t, Graph>* cache = new std::map<uint32_t, Graph>();
+  auto it = cache->find(size);
+  if (it == cache->end()) {
+    Rng rng(42 + size);
+    auto extracted = ExtractRandomWalkQuery(YeastData(), size, -1.0, rng);
+    it = cache->emplace(size, extracted->query).first;
+  }
+  return it->second;
+}
+
+void BM_HasEdge(benchmark::State& state) {
+  const Graph& g = YeastData();
+  Rng rng(7);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (int i = 0; i < 1024; ++i) {
+    pairs.emplace_back(static_cast<VertexId>(rng.UniformInt(g.NumVertices())),
+                       static_cast<VertexId>(rng.UniformInt(g.NumVertices())));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(g.HasEdge(u, v));
+  }
+}
+BENCHMARK(BM_HasEdge);
+
+void BM_NeighborsWithLabel(benchmark::State& state) {
+  const Graph& g = YeastData();
+  Rng rng(8);
+  size_t i = 0;
+  std::vector<std::pair<VertexId, Label>> probes;
+  for (int k = 0; k < 1024; ++k) {
+    probes.emplace_back(static_cast<VertexId>(rng.UniformInt(g.NumVertices())),
+                        static_cast<Label>(rng.UniformInt(g.NumLabels())));
+  }
+  for (auto _ : state) {
+    const auto& [v, l] = probes[i++ & 1023];
+    benchmark::DoNotOptimize(g.NeighborsWithLabel(v, l).size());
+  }
+}
+BENCHMARK(BM_NeighborsWithLabel);
+
+void BM_BuildQueryDag(benchmark::State& state) {
+  const Graph& data = YeastData();
+  const Graph& query = YeastQuery(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    QueryDag dag = QueryDag::Build(query, data);
+    benchmark::DoNotOptimize(dag.root());
+  }
+}
+BENCHMARK(BM_BuildQueryDag)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_BuildCandidateSpace(benchmark::State& state) {
+  const Graph& data = YeastData();
+  const Graph& query = YeastQuery(static_cast<uint32_t>(state.range(0)));
+  QueryDag dag = QueryDag::Build(query, data);
+  for (auto _ : state) {
+    CandidateSpace cs = CandidateSpace::Build(query, dag, data);
+    benchmark::DoNotOptimize(cs.TotalCandidates());
+  }
+}
+BENCHMARK(BM_BuildCandidateSpace)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_WeightArray(benchmark::State& state) {
+  const Graph& data = YeastData();
+  const Graph& query = YeastQuery(static_cast<uint32_t>(state.range(0)));
+  QueryDag dag = QueryDag::Build(query, data);
+  CandidateSpace cs = CandidateSpace::Build(query, dag, data);
+  for (auto _ : state) {
+    WeightArray w = WeightArray::Compute(dag, cs);
+    benchmark::DoNotOptimize(w.Weight(dag.root(), 0));
+  }
+}
+BENCHMARK(BM_WeightArray)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_DafMatchFirst1000(benchmark::State& state) {
+  const Graph& data = YeastData();
+  const Graph& query = YeastQuery(static_cast<uint32_t>(state.range(0)));
+  MatchOptions opts;
+  opts.limit = 1000;
+  uint64_t embeddings = 0;
+  for (auto _ : state) {
+    MatchResult r = DafMatch(query, data, opts);
+    embeddings += r.embeddings;
+    benchmark::DoNotOptimize(r.recursive_calls);
+  }
+  state.counters["embeddings/iter"] =
+      benchmark::Counter(static_cast<double>(embeddings),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_DafMatchFirst1000)->Arg(20)->Arg(50);
+
+void BM_VertexEquivalence(benchmark::State& state) {
+  const Graph& data = YeastData();
+  for (auto _ : state) {
+    VertexEquivalence eq = VertexEquivalence::Compute(data);
+    benchmark::DoNotOptimize(eq.NumClasses());
+  }
+}
+BENCHMARK(BM_VertexEquivalence);
+
+void BM_LoadGraphText(benchmark::State& state) {
+  const Graph& data = YeastData();
+  const std::string path = "/tmp/daf_bench_graph.txt";
+  std::string error;
+  SaveGraph(data, path, &error);
+  for (auto _ : state) {
+    auto g = LoadGraph(path, &error);
+    benchmark::DoNotOptimize(g->NumEdges());
+  }
+}
+BENCHMARK(BM_LoadGraphText);
+
+void BM_LoadGraphBinary(benchmark::State& state) {
+  const Graph& data = YeastData();
+  std::string path = "/tmp/daf_bench_graph.dafg";
+  std::string error;
+  SaveGraphBinary(data, path, &error);
+  for (auto _ : state) {
+    auto g = LoadGraphBinary(path, &error);
+    benchmark::DoNotOptimize(g->NumEdges());
+  }
+}
+BENCHMARK(BM_LoadGraphBinary);
+
+}  // namespace
+}  // namespace daf::bench
+
+BENCHMARK_MAIN();

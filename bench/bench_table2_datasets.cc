@@ -1,0 +1,43 @@
+// Regenerates Table 2: characteristics of the (synthesized stand-ins for
+// the) six data graphs. Paper values are printed alongside the measured
+// values of the stand-in at the chosen scale; at --scale=1 the |V|, |E|,
+// |Sigma| columns must match the paper.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graph/properties.h"
+
+namespace daf::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  CommonFlags common(flags);
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  std::printf("== Table 2: characteristics of datasets ==\n");
+  std::printf("%-8s%12s%14s%10s%10s%8s%8s%8s  |  %-30s\n", "Dataset",
+              "|V(G)|", "|E(G)|", "|Sigma|", "avg-deg", "clust", "degen",
+              "H(L)", "paper: |V| / |E| / |S| / deg");
+  for (const workload::DatasetSpec& spec : workload::Table2Specs()) {
+    Graph g = BuildDataset(spec.id, common);
+    GraphStats stats = ComputeStats(g);
+    std::printf(
+        "%-8s%12u%14llu%10u%10.2f%8.3f%8u%8.2f  |  %u / %llu / %u / %.2f\n",
+        spec.name, stats.num_vertices,
+        static_cast<unsigned long long>(stats.num_edges), stats.num_labels,
+        stats.avg_degree, stats.clustering, stats.degeneracy,
+        stats.label_entropy, spec.num_vertices,
+        static_cast<unsigned long long>(spec.num_edges), spec.num_labels,
+        spec.avg_degree);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace daf::bench
+
+int main(int argc, char** argv) { return daf::bench::Run(argc, argv); }

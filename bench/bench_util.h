@@ -1,0 +1,94 @@
+#ifndef DAF_BENCH_BENCH_UTIL_H_
+#define DAF_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "daf/engine.h"
+#include "graph/graph.h"
+#include "util/flags.h"
+#include "workload/datasets.h"
+#include "workload/querygen.h"
+
+namespace daf::bench {
+
+/// Flags shared by every figure/table harness. Defaults are sized so that
+/// `for b in build/bench/*; do $b; done` completes on a laptop; raise
+/// --scale / --queries / --timeout_ms to approach the paper's full protocol
+/// (scale 1.0, 100 queries per set, k = 10^5, 10-minute timeout).
+struct CommonFlags {
+  double& scale;
+  int64_t& queries;
+  int64_t& k;
+  int64_t& timeout_ms;
+  int64_t& seed;
+
+  explicit CommonFlags(FlagSet& flags)
+      : scale(flags.Double("scale", 0.0,
+                           "dataset scale in (0,1]; 0 = per-dataset default")),
+        queries(flags.Int64("queries", 10, "queries per query set")),
+        k(flags.Int64("k", 100000, "embeddings to find per query (paper: "
+                                   "1e5); 0 = all")),
+        timeout_ms(flags.Int64("timeout_ms", 2000,
+                               "per-query time limit (paper: 600000)")),
+        seed(flags.Int64("seed", 1, "workload RNG seed")) {}
+};
+
+/// The default shrink factor applied to each dataset so the harnesses run
+/// in seconds instead of hours; overridden by --scale.
+double DefaultScale(workload::DatasetId id);
+
+/// Builds the dataset at the requested or default scale (logs to stderr).
+Graph BuildDataset(workload::DatasetId id, const CommonFlags& flags);
+
+/// Per-query outcome an algorithm adapter reports.
+struct Outcome {
+  double total_ms = 0;       // preprocessing + search
+  double preprocess_ms = 0;
+  uint64_t calls = 0;        // recursive calls (search-tree nodes)
+  bool solved = false;       // finished within the time limit
+  uint64_t aux_size = 0;     // Σ|C(u)| of the auxiliary structure
+  uint64_t embeddings = 0;
+};
+
+/// An algorithm under benchmark: a display name and a per-query runner.
+struct Algorithm {
+  std::string name;
+  std::function<Outcome(const Graph& query)> run;
+};
+
+/// Aggregate over one query set, following the paper's protocol: with n =
+/// min #solved across the compared algorithms, averages are taken over each
+/// algorithm's n least time-consuming solved queries; solved% is per
+/// algorithm.
+struct Summary {
+  std::string algorithm;
+  double avg_ms = 0;
+  double avg_preprocess_ms = 0;
+  double avg_calls = 0;
+  double avg_aux = 0;
+  double solved_pct = 0;
+};
+
+/// Runs every algorithm on every query and aggregates per the protocol.
+std::vector<Summary> EvaluateQuerySet(const std::vector<Graph>& queries,
+                                      const std::vector<Algorithm>& algos);
+
+/// Standard adapters. `base` carries the variant switches; limit/time are
+/// taken from flags.
+Algorithm MakeDafAlgorithm(const std::string& name, const Graph& data,
+                           const MatchOptions& base,
+                           const CommonFlags& flags);
+Algorithm MakeBaselineAlgorithm(const std::string& name, const Graph& data,
+                                const CommonFlags& flags);  // by name
+
+/// Table printing: column headers then one row per (query set, summary).
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns);
+void PrintSummaryRow(const std::string& query_set, const Summary& summary);
+
+}  // namespace daf::bench
+
+#endif  // DAF_BENCH_BENCH_UTIL_H_

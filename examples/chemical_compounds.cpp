@@ -1,0 +1,117 @@
+// Chemical substructure search — the compound-search scenario motivating
+// the paper ([45]): find functional groups in molecules, where vertices are
+// atoms (labeled by element) and edges are bonds (labeled by bond order).
+// Uses the edge-label extension: an embedding must preserve bond types, so
+// e.g. a C=C double bond never matches a C-C single bond.
+//
+//   $ ./examples/chemical_compounds
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "daf/engine.h"
+
+namespace {
+
+// Element labels.
+constexpr daf::Label kC = 6;   // carbon
+constexpr daf::Label kN = 7;   // nitrogen
+constexpr daf::Label kO = 8;   // oxygen
+// Bond labels.
+constexpr daf::Label kSingle = 1;
+constexpr daf::Label kDouble = 2;
+constexpr daf::Label kAromatic = 4;
+
+struct Molecule {
+  std::string name;
+  daf::Graph graph;
+};
+
+// A tiny "database": acetic acid, acetamide, benzene, and phenol
+// (hydrogens omitted, as is conventional for substructure search).
+std::vector<Molecule> MakeDatabase() {
+  std::vector<Molecule> db;
+  // Acetic acid CH3-C(=O)-OH: C0-C1, C1=O2, C1-O3.
+  db.push_back({"acetic acid",
+                daf::Graph::FromLabeledEdges(
+                    {kC, kC, kO, kO}, {{0, 1}, {1, 2}, {1, 3}},
+                    {kSingle, kDouble, kSingle})});
+  // Acetamide CH3-C(=O)-NH2: C0-C1, C1=O2, C1-N3.
+  db.push_back({"acetamide",
+                daf::Graph::FromLabeledEdges(
+                    {kC, kC, kO, kN}, {{0, 1}, {1, 2}, {1, 3}},
+                    {kSingle, kDouble, kSingle})});
+  // Benzene ring: six aromatic C-C bonds.
+  db.push_back({"benzene",
+                daf::Graph::FromLabeledEdges(
+                    {kC, kC, kC, kC, kC, kC},
+                    {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}},
+                    {kAromatic, kAromatic, kAromatic, kAromatic, kAromatic,
+                     kAromatic})});
+  // Phenol: benzene ring + OH on C0.
+  db.push_back({"phenol",
+                daf::Graph::FromLabeledEdges(
+                    {kC, kC, kC, kC, kC, kC, kO},
+                    {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 6}},
+                    {kAromatic, kAromatic, kAromatic, kAromatic, kAromatic,
+                     kAromatic, kSingle})});
+  return db;
+}
+
+std::vector<Molecule> MakeQueries() {
+  std::vector<Molecule> queries;
+  // Carbonyl group C=O.
+  queries.push_back({"carbonyl C=O",
+                     daf::Graph::FromLabeledEdges({kC, kO}, {{0, 1}},
+                                                  {kDouble})});
+  // Carboxyl group O=C-O.
+  queries.push_back({"carboxyl O=C-O",
+                     daf::Graph::FromLabeledEdges(
+                         {kO, kC, kO}, {{0, 1}, {1, 2}}, {kDouble, kSingle})});
+  // Amide group O=C-N.
+  queries.push_back({"amide O=C-N",
+                     daf::Graph::FromLabeledEdges(
+                         {kO, kC, kN}, {{0, 1}, {1, 2}}, {kDouble, kSingle})});
+  // Aromatic C with hydroxyl (phenol fingerprint).
+  queries.push_back({"aromatic C-OH",
+                     daf::Graph::FromLabeledEdges(
+                         {kC, kC, kO}, {{0, 1}, {0, 2}},
+                         {kAromatic, kSingle})});
+  // Three consecutive aromatic carbons.
+  queries.push_back({"aromatic C:C:C",
+                     daf::Graph::FromLabeledEdges(
+                         {kC, kC, kC}, {{0, 1}, {1, 2}},
+                         {kAromatic, kAromatic})});
+  return queries;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Molecule> database = MakeDatabase();
+  std::vector<Molecule> queries = MakeQueries();
+  std::printf("%-18s", "substructure");
+  for (const Molecule& m : database) std::printf("%-14s", m.name.c_str());
+  std::printf("\n");
+  for (const Molecule& q : queries) {
+    std::printf("%-18s", q.name.c_str());
+    uint64_t automorphisms = daf::CountAutomorphisms(q.graph);
+    for (const Molecule& m : database) {
+      daf::MatchResult r = daf::DafMatch(q.graph, m.graph);
+      if (!r.ok) {
+        std::printf("%-14s", "error");
+        continue;
+      }
+      // Unordered occurrences.
+      uint64_t occurrences =
+          r.embeddings / std::max<uint64_t>(1, automorphisms);
+      std::printf("%-14llu", static_cast<unsigned long long>(occurrences));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n(counts are unordered occurrences: embeddings / |Aut(query)|;\n"
+      " bond orders are enforced, so the carbonyl never matches single "
+      "bonds)\n");
+  return 0;
+}

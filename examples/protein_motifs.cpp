@@ -1,0 +1,105 @@
+// Protein-motif search — the PPI-network scenario motivating the paper
+// (protein interaction analysis [31]): count occurrences of small labeled
+// motifs in a protein-protein interaction network.
+//
+//   $ ./examples/protein_motifs [--scale 0.5] [--k 100000]
+//
+// The network is the Yeast stand-in (see DESIGN.md); motifs are classic PPI
+// patterns: a labeled triangle (three mutually interacting protein
+// families), a "bi-fan"-style K2,2, and a hub-with-spokes star. For each
+// motif the example reports the embedding count, the recursive calls, and
+// the time split, comparing DAF against DAF without failing sets (DA).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "daf/engine.h"
+#include "graph/query_extract.h"
+#include "util/flags.h"
+#include "workload/datasets.h"
+
+namespace {
+
+struct Motif {
+  std::string name;
+  daf::Graph query;
+};
+
+// Builds motifs whose labels are the two most frequent protein families in
+// the network, so they actually occur.
+std::vector<Motif> MakeMotifs(const daf::Graph& network) {
+  daf::Label a = 0;
+  daf::Label b = 1;
+  uint32_t best = 0;
+  uint32_t second = 0;
+  for (daf::Label l = 0; l < network.NumLabels(); ++l) {
+    uint32_t f = network.LabelFrequency(l);
+    if (f > best) {
+      second = best;
+      b = a;
+      best = f;
+      a = l;
+    } else if (f > second) {
+      second = f;
+      b = l;
+    }
+  }
+  daf::Label la = network.original_label(a);
+  daf::Label lb = network.original_label(b);
+  std::vector<Motif> motifs;
+  motifs.push_back(
+      {"triangle(A,A,B)",
+       daf::Graph::FromEdges({la, la, lb}, {{0, 1}, {1, 2}, {0, 2}})});
+  motifs.push_back(
+      {"bi-fan K2,2", daf::Graph::FromEdges({la, la, lb, lb},
+                                            {{0, 2}, {0, 3}, {1, 2}, {1, 3}})});
+  motifs.push_back(
+      {"hub star A->(B,B,B)",
+       daf::Graph::FromEdges({la, lb, lb, lb}, {{0, 1}, {0, 2}, {0, 3}})});
+  motifs.push_back(
+      {"tailed triangle",
+       daf::Graph::FromEdges({la, la, lb, lb},
+                             {{0, 1}, {1, 2}, {0, 2}, {2, 3}})});
+  return motifs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  daf::FlagSet flags;
+  double& scale = flags.Double("scale", 0.5, "Yeast stand-in scale");
+  int64_t& k = flags.Int64("k", 100000, "embeddings to count per motif");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+
+  daf::Graph network =
+      daf::workload::MakeDataset(daf::workload::DatasetId::kYeast, scale, 1);
+  std::printf("PPI network: %u proteins, %llu interactions, %u families\n\n",
+              network.NumVertices(),
+              static_cast<unsigned long long>(network.NumEdges()),
+              network.NumLabels());
+  std::printf("%-22s%12s%14s%14s%12s%12s\n", "motif", "embeddings",
+              "occurrences", "rec_calls", "DAF_ms", "DA_ms");
+  for (const Motif& motif : MakeMotifs(network)) {
+    daf::MatchOptions daf_options;
+    daf_options.limit = static_cast<uint64_t>(k);
+    daf::MatchResult with = daf::DafMatch(motif.query, network, daf_options);
+    daf_options.use_failing_sets = false;
+    daf::MatchResult without =
+        daf::DafMatch(motif.query, network, daf_options);
+    // Unordered occurrences = embeddings / |Aut(motif)| (exact when the
+    // count completed below the k limit).
+    uint64_t automorphisms = daf::CountAutomorphisms(motif.query);
+    std::printf("%-22s%12llu%14llu%14llu%12.2f%12.2f\n", motif.name.c_str(),
+                static_cast<unsigned long long>(with.embeddings),
+                static_cast<unsigned long long>(
+                    with.embeddings / std::max<uint64_t>(1, automorphisms)),
+                static_cast<unsigned long long>(with.recursive_calls),
+                with.preprocess_ms + with.search_ms,
+                without.preprocess_ms + without.search_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a tiny labeled data graph, a query graph, and enumerate
+// all embeddings with DAF.
+//
+//   $ ./examples/quickstart
+//
+// Demonstrates the three-line core API (Graph::FromEdges -> MatchOptions ->
+// DafMatch with a per-embedding callback) and the pull-based alternative
+// (EmbeddingCursor).
+#include <cstdio>
+
+#include "daf/cursor.h"
+#include "daf/engine.h"
+
+int main() {
+  using daf::Edge;
+  using daf::Graph;
+  using daf::Label;
+  using daf::VertexId;
+
+  // Data graph: a labeled "bowtie" — two triangles sharing vertex 2.
+  //   labels: 0 = circle, 1 = square, 2 = diamond
+  //
+  //      0(0) --- 1(1)        3(1) --- 4(0)
+  //        \      /   \      /    \    /
+  //         \    /     2(2)        \  /
+  //          \  /     /    \        \/
+  //           \/_____/      \______ /\ ...
+  Graph data = Graph::FromEdges(
+      {0, 1, 2, 1, 0},
+      {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+
+  // Query: a triangle circle - square - diamond.
+  Graph query = Graph::FromEdges({0, 1, 2}, {{0, 1}, {0, 2}, {1, 2}});
+
+  daf::MatchOptions options;
+  options.limit = 0;  // enumerate all embeddings
+  options.callback = [&](std::span<const VertexId> embedding) {
+    std::printf("embedding:");
+    for (uint32_t u = 0; u < embedding.size(); ++u) {
+      std::printf("  u%u -> v%u", u, embedding[u]);
+    }
+    std::printf("\n");
+    return true;  // keep enumerating
+  };
+
+  daf::MatchResult result = daf::DafMatch(query, data, options);
+  if (!result.ok) {
+    std::fprintf(stderr, "match failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "found %llu embeddings with %llu recursive calls "
+      "(CS: %llu candidates, %llu edges)\n",
+      static_cast<unsigned long long>(result.embeddings),
+      static_cast<unsigned long long>(result.recursive_calls),
+      static_cast<unsigned long long>(result.cs_candidates),
+      static_cast<unsigned long long>(result.cs_edges));
+
+  // Same enumeration, pull-based: the search runs lazily and stops as soon
+  // as the cursor is done with it.
+  daf::EmbeddingCursor cursor(query, data);
+  int pulled = 0;
+  while (auto embedding = cursor.Next()) {
+    ++pulled;
+  }
+  std::printf("cursor pulled %d embeddings lazily\n", pulled);
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "baselines/bruteforce.h"
+
+#include <vector>
+
+#include "graph/query_extract.h"
+
+namespace daf::baselines {
+
+namespace {
+
+class BruteForcer {
+ public:
+  BruteForcer(const Graph& query, const Graph& data,
+              const MatcherOptions& options, const Deadline& deadline)
+      : query_(query),
+        data_(data),
+        options_(options),
+        deadline_(deadline),
+        data_labels_(MapQueryLabels(query, data)),
+        mapping_(query.NumVertices(), kInvalidVertex),
+        used_(data.NumVertices(), false),
+        edge_ok_(query, data) {}
+
+  void Run(MatcherResult* result) {
+    result_ = result;
+    Recurse(0);
+  }
+
+ private:
+  void Recurse(uint32_t u) {
+    ++result_->recursive_calls;
+    if ((result_->recursive_calls & 1023) == 0 && deadline_.Expired()) {
+      result_->timed_out = true;
+      stop_ = true;
+      return;
+    }
+    if (u == query_.NumVertices()) {
+      ++result_->embeddings;
+      if (options_.callback && !options_.callback(mapping_)) stop_ = true;
+      if (options_.limit != 0 && result_->embeddings >= options_.limit) {
+        result_->limit_reached = true;
+        stop_ = true;
+      }
+      return;
+    }
+    if (data_labels_[u] == kNoSuchLabel) return;
+    for (VertexId v : data_.VerticesWithLabel(data_labels_[u])) {
+      if (options_.injective && used_[v]) continue;
+      // The degree filter is injectivity-based (neighbors may collapse onto
+      // one data vertex in a homomorphism).
+      if (options_.injective && data_.degree(v) < query_.degree(u)) continue;
+      bool edges_ok = true;
+      for (VertexId w : query_.Neighbors(u)) {
+        if (w < u && !edge_ok_(u, w, mapping_[w], v)) {
+          edges_ok = false;
+          break;
+        }
+      }
+      if (!edges_ok) continue;
+      mapping_[u] = v;
+      used_[v] = true;
+      Recurse(u + 1);
+      used_[v] = false;
+      mapping_[u] = kInvalidVertex;
+      if (stop_) return;
+    }
+  }
+
+  const Graph& query_;
+  const Graph& data_;
+  const MatcherOptions& options_;
+  const Deadline& deadline_;
+  std::vector<Label> data_labels_;
+  std::vector<VertexId> mapping_;
+  std::vector<bool> used_;
+  EdgeVerifier edge_ok_;
+  MatcherResult* result_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+MatcherResult BruteForceMatch(const Graph& query, const Graph& data,
+                              const MatcherOptions& options) {
+  MatcherResult result;
+  Deadline deadline(options.time_limit_ms);
+  Stopwatch timer;
+  BruteForcer brute(query, data, options, deadline);
+  brute.Run(&result);
+  result.search_ms = timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace daf::baselines

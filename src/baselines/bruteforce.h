@@ -1,0 +1,17 @@
+#ifndef DAF_BASELINES_BRUTEFORCE_H_
+#define DAF_BASELINES_BRUTEFORCE_H_
+
+#include "baselines/common.h"
+
+namespace daf::baselines {
+
+/// Reference oracle: plain backtracking in query-vertex-id order with no
+/// filtering beyond labels and already-mapped-neighbor adjacency. Exponential
+/// and intended only for validating the other algorithms on small instances.
+/// Unlike the production matchers it accepts disconnected query graphs.
+MatcherResult BruteForceMatch(const Graph& query, const Graph& data,
+                              const MatcherOptions& options = {});
+
+}  // namespace daf::baselines
+
+#endif  // DAF_BASELINES_BRUTEFORCE_H_

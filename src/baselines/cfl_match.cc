@@ -1,0 +1,391 @@
+#include "baselines/cfl_match.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "graph/properties.h"
+#include "graph/query_extract.h"
+#include "util/bitset.h"
+
+namespace daf::baselines {
+
+namespace {
+
+class Cfl {
+ public:
+  Cfl(const Graph& query, const Graph& data, const MatcherOptions& options,
+      const Deadline& deadline)
+      : query_(query),
+        data_(data),
+        options_(options),
+        deadline_(deadline),
+        data_labels_(MapQueryLabels(query, data)),
+        n_(query.NumVertices()),
+        mapping_(n_, kInvalidVertex),
+        mapped_idx_(n_, kNotMapped),
+        used_(data.NumVertices(), false),
+        edge_ok_(query, data) {}
+
+  // Builds the CPI; returns false when the structure certifies that there
+  // are no embeddings.
+  bool BuildCpi(uint64_t* aux_size) {
+    for (uint32_t u = 0; u < n_; ++u) {
+      if (data_labels_[u] == kNoSuchLabel) return false;
+    }
+    ChooseRootAndTree();
+
+    cand_.assign(n_, {});
+    member_.assign(n_, Bitset(data_.NumVertices()));
+
+    // --- Top-down construction with NLF/MND local filters and backward
+    // non-tree-edge filtering.
+    if (!SeedRoot()) return false;
+    std::vector<bool> processed(n_, false);
+    processed[root_] = true;
+    for (VertexId u : bfs_order_) {
+      if (u == root_) continue;
+      VertexId p = tree_parent_[u];
+      auto& cu = cand_[u];
+      for (VertexId vp : cand_[p]) {
+        for (VertexId v : data_.NeighborsWithLabel(vp, data_labels_[u])) {
+          if (!member_[u].Test(v) && LocalFiltersPass(u, v)) {
+            member_[u].Set(v);
+            cu.push_back(v);
+          }
+        }
+      }
+      std::sort(cu.begin(), cu.end());
+      // Backward non-tree edges: v must have a candidate neighbor in every
+      // already-processed non-tree neighbor's set.
+      size_t kept = 0;
+      for (VertexId v : cu) {
+        bool ok = true;
+        for (VertexId w : query_.Neighbors(u)) {
+          if (w == p || !processed[w]) continue;
+          if (!HasCandidateNeighbor(v, w)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          cu[kept++] = v;
+        } else {
+          member_[u].Clear(v);
+        }
+      }
+      cu.resize(kept);
+      if (cu.empty()) return false;
+      processed[u] = true;
+    }
+
+    // --- Bottom-up refinement: every tree child must stay reachable.
+    for (size_t i = bfs_order_.size(); i-- > 0;) {
+      VertexId u = bfs_order_[i];
+      if (tree_children_[u].empty()) continue;
+      if (!Refine(u, tree_children_[u])) return false;
+    }
+    // --- Second top-down refinement: parent + backward non-tree edges.
+    for (VertexId u : bfs_order_) {
+      if (u == root_) continue;
+      std::vector<VertexId> checks{tree_parent_[u]};
+      if (!Refine(u, checks)) return false;
+    }
+
+    // --- Materialize tree-edge adjacency (candidate indices).
+    adj_offsets_.assign(n_, {});
+    adj_targets_.assign(n_, {});
+    std::vector<uint32_t> cand_index(data_.NumVertices(), 0);
+    for (VertexId u : bfs_order_) {
+      if (u == root_) continue;
+      VertexId p = tree_parent_[u];
+      for (uint32_t i = 0; i < cand_[u].size(); ++i) {
+        cand_index[cand_[u][i]] = i;
+      }
+      auto& offsets = adj_offsets_[u];
+      auto& targets = adj_targets_[u];
+      offsets.assign(cand_[p].size() + 1, 0);
+      for (uint32_t ip = 0; ip < cand_[p].size(); ++ip) {
+        for (VertexId v :
+             data_.NeighborsWithLabel(cand_[p][ip], data_labels_[u])) {
+          if (member_[u].Test(v)) targets.push_back(cand_index[v]);
+        }
+        offsets[ip + 1] = targets.size();
+      }
+    }
+
+    *aux_size = 0;
+    for (const auto& c : cand_) *aux_size += c.size();
+    BuildOrder();
+    return true;
+  }
+
+  void Run(MatcherResult* result) {
+    result_ = result;
+    Recurse(0);
+  }
+
+ private:
+  static constexpr uint32_t kNotMapped = static_cast<uint32_t>(-1);
+
+  bool LocalFiltersPass(VertexId u, VertexId v) const {
+    if (data_.degree(v) < query_.degree(u)) return false;
+    uint32_t max_nbr_deg = 0;
+    for (VertexId w : query_.Neighbors(u)) {
+      max_nbr_deg = std::max(max_nbr_deg, query_.degree(w));
+    }
+    if (data_.MaxNeighborDegree(v) < max_nbr_deg) return false;
+    // NLF.
+    for (VertexId w : query_.Neighbors(u)) {
+      Label l = data_labels_[w];
+      uint32_t need = 0;
+      for (VertexId w2 : query_.Neighbors(u)) {
+        if (data_labels_[w2] == l) ++need;
+      }
+      if (data_.NeighborLabelCount(v, l) < need) return false;
+    }
+    return true;
+  }
+
+  bool HasCandidateNeighbor(VertexId v, VertexId w) const {
+    for (VertexId x : data_.NeighborsWithLabel(v, data_labels_[w])) {
+      if (member_[w].Test(x)) return true;
+    }
+    return false;
+  }
+
+  // Keeps v in C(u) only if it has a candidate neighbor in C(w) for every
+  // w in `checks`. Returns false if C(u) empties.
+  bool Refine(VertexId u, const std::vector<VertexId>& checks) {
+    auto& cu = cand_[u];
+    size_t kept = 0;
+    for (VertexId v : cu) {
+      bool ok = true;
+      for (VertexId w : checks) {
+        if (!HasCandidateNeighbor(v, w)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        cu[kept++] = v;
+      } else {
+        member_[u].Clear(v);
+      }
+    }
+    cu.resize(kept);
+    return !cu.empty();
+  }
+
+  bool SeedRoot() {
+    auto& cr = cand_[root_];
+    for (VertexId v : data_.VerticesWithLabel(data_labels_[root_])) {
+      if (LocalFiltersPass(root_, v)) {
+        cr.push_back(v);
+        member_[root_].Set(v);
+      }
+    }
+    return !cr.empty();
+  }
+
+  void ChooseRootAndTree() {
+    // Core = 2-core of q; prefer a root inside the core (as CFL does).
+    std::vector<bool> in_core = KCoreMembership(query_, 2);
+    bool has_core = std::find(in_core.begin(), in_core.end(), true) !=
+                    in_core.end();
+    double best = std::numeric_limits<double>::infinity();
+    root_ = 0;
+    for (uint32_t u = 0; u < n_; ++u) {
+      if (has_core && !in_core[u]) continue;
+      uint32_t count = 0;
+      for (VertexId v : data_.VerticesWithLabel(data_labels_[u])) {
+        if (data_.degree(v) >= query_.degree(u)) ++count;
+      }
+      double score = static_cast<double>(count) /
+                     std::max<uint32_t>(1, query_.degree(u));
+      if (score < best) {
+        best = score;
+        root_ = u;
+      }
+    }
+    // Category per vertex: 0 = core, 1 = forest, 2 = leaf.
+    category_.assign(n_, 1);
+    for (uint32_t u = 0; u < n_; ++u) {
+      if (query_.degree(u) <= 1) {
+        category_[u] = 2;
+      } else if (has_core && in_core[u]) {
+        category_[u] = 0;
+      }
+    }
+    category_[root_] = 0;
+    // BFS spanning tree.
+    tree_parent_.assign(n_, kInvalidVertex);
+    tree_children_.assign(n_, {});
+    std::vector<bool> seen(n_, false);
+    std::queue<VertexId> queue;
+    seen[root_] = true;
+    queue.push(root_);
+    bfs_order_.clear();
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop();
+      bfs_order_.push_back(u);
+      for (VertexId w : query_.Neighbors(u)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          tree_parent_[w] = u;
+          tree_children_[u].push_back(w);
+          queue.push(w);
+        }
+      }
+    }
+  }
+
+  // Core-forest-leaf ordering with the path-cardinality preference: the
+  // matching order is grown greedily under the tree-consistency constraint
+  // (parent before child), picking at each step the available vertex with
+  // the smallest (category, path estimate, |C|) key. The path estimate of u
+  // is the cheapest root-to-leaf tree path through u (sum of log candidate
+  // counts), i.e., the infrequent-path-first rule of the path ordering.
+  void BuildOrder() {
+    std::vector<double> path_estimate(n_,
+                                      std::numeric_limits<double>::max());
+    for (uint32_t leaf = 0; leaf < n_; ++leaf) {
+      if (!tree_children_[leaf].empty()) continue;
+      double est = 0;
+      for (VertexId u = leaf; u != kInvalidVertex; u = tree_parent_[u]) {
+        est += std::log(static_cast<double>(cand_[u].size()) + 1.0);
+      }
+      for (VertexId u = leaf; u != kInvalidVertex; u = tree_parent_[u]) {
+        path_estimate[u] = std::min(path_estimate[u], est);
+      }
+    }
+    order_.clear();
+    order_.reserve(n_);
+    std::vector<bool> ordered(n_, false);
+    order_.push_back(root_);
+    ordered[root_] = true;
+    while (order_.size() < n_) {
+      VertexId best = kInvalidVertex;
+      for (uint32_t u = 0; u < n_; ++u) {
+        if (ordered[u] || !ordered[tree_parent_[u]]) continue;
+        if (best == kInvalidVertex) {
+          best = u;
+          continue;
+        }
+        auto key = [&](VertexId x) {
+          return std::make_tuple(category_[x], path_estimate[x],
+                                 cand_[x].size(), x);
+        };
+        if (key(u) < key(best)) best = u;
+      }
+      ordered[best] = true;
+      order_.push_back(best);
+    }
+    position_.assign(n_, 0);
+    for (uint32_t i = 0; i < n_; ++i) position_[order_[i]] = i;
+  }
+
+  void Recurse(uint32_t depth) {
+    ++result_->recursive_calls;
+    if ((result_->recursive_calls & 1023) == 0 && deadline_.Expired()) {
+      result_->timed_out = true;
+      stop_ = true;
+      return;
+    }
+    if (depth == n_) {
+      ++result_->embeddings;
+      if (options_.callback && !options_.callback(mapping_)) stop_ = true;
+      if (options_.limit != 0 && result_->embeddings >= options_.limit) {
+        result_->limit_reached = true;
+        stop_ = true;
+      }
+      return;
+    }
+    VertexId u = order_[depth];
+    auto try_candidate = [&](uint32_t idx) {
+      VertexId v = cand_[u][idx];
+      if (used_[v]) return;
+      // Tree edge to the parent is implied by the CPI adjacency; all other
+      // edges to mapped vertices (non-tree edges in particular) are probed
+      // in the data graph — the structural weakness DAF removes.
+      for (VertexId w : query_.Neighbors(u)) {
+        if ((w != tree_parent_[u] || edge_ok_.active()) &&
+            position_[w] < depth && !edge_ok_(u, w, mapping_[w], v)) {
+          return;
+        }
+      }
+      mapping_[u] = v;
+      mapped_idx_[u] = idx;
+      used_[v] = true;
+      Recurse(depth + 1);
+      used_[v] = false;
+      mapping_[u] = kInvalidVertex;
+      mapped_idx_[u] = kNotMapped;
+    };
+    if (u == root_) {
+      for (uint32_t idx = 0; idx < cand_[u].size(); ++idx) {
+        try_candidate(idx);
+        if (stop_) return;
+      }
+    } else {
+      VertexId p = tree_parent_[u];
+      uint32_t ip = mapped_idx_[p];
+      const auto& offsets = adj_offsets_[u];
+      const auto& targets = adj_targets_[u];
+      for (uint64_t t = offsets[ip]; t < offsets[ip + 1]; ++t) {
+        try_candidate(targets[t]);
+        if (stop_) return;
+      }
+    }
+  }
+
+  const Graph& query_;
+  const Graph& data_;
+  const MatcherOptions& options_;
+  const Deadline& deadline_;
+  std::vector<Label> data_labels_;
+  const uint32_t n_;
+  VertexId root_ = 0;
+  std::vector<VertexId> tree_parent_;
+  std::vector<std::vector<VertexId>> tree_children_;
+  std::vector<VertexId> bfs_order_;
+  std::vector<uint32_t> category_;
+  std::vector<std::vector<VertexId>> cand_;
+  std::vector<Bitset> member_;
+  std::vector<std::vector<uint64_t>> adj_offsets_;
+  std::vector<std::vector<uint32_t>> adj_targets_;
+  std::vector<VertexId> order_;
+  std::vector<uint32_t> position_;
+  std::vector<VertexId> mapping_;
+  std::vector<uint32_t> mapped_idx_;
+  std::vector<bool> used_;
+  EdgeVerifier edge_ok_;
+  MatcherResult* result_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+MatcherResult CflMatch(const Graph& query, const Graph& data,
+                       const MatcherOptions& options) {
+  MatcherResult result;
+  if (query.NumVertices() == 0 || !IsConnected(query)) {
+    result.ok = false;
+    return result;
+  }
+  Deadline deadline(options.time_limit_ms);
+  Stopwatch preprocess_timer;
+  Cfl cfl(query, data, options, deadline);
+  bool feasible = cfl.BuildCpi(&result.aux_size);
+  result.preprocess_ms = preprocess_timer.ElapsedMs();
+  if (!feasible) return result;
+  Stopwatch search_timer;
+  cfl.Run(&result);
+  result.search_ms = search_timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace daf::baselines

@@ -1,0 +1,29 @@
+#ifndef DAF_BASELINES_CFL_MATCH_H_
+#define DAF_BASELINES_CFL_MATCH_H_
+
+#include "baselines/common.h"
+
+namespace daf::baselines {
+
+/// CFL-Match [Bi et al., SIGMOD 2016] — the paper's main comparator.
+///
+/// Pipeline: a BFS spanning tree is rooted at argmin |C_ini(u)|/deg(u); the
+/// CPI auxiliary structure (candidate sets + *tree-edge-only* adjacency) is
+/// constructed with a top-down pass that also exploits backward non-tree
+/// edges for filtering, then refined bottom-up and top-down (three passes,
+/// with NLF/MND local filters, mirroring the original); the query is
+/// decomposed into core (the 2-core), forest, and leaves; matching proceeds
+/// core-first, then forest, then leaves, each part ordered by the path
+/// ordering (ascending estimated path cardinality in the CPI).
+///
+/// Two structural properties distinguish it from DAF and drive the paper's
+/// Figure 9/10 comparisons: the CPI stores no non-tree edges (so non-tree
+/// edges are verified by probing the data graph during backtracking), and
+/// the matching order is fixed per query (path ordering) rather than
+/// adaptive.
+MatcherResult CflMatch(const Graph& query, const Graph& data,
+                       const MatcherOptions& options = {});
+
+}  // namespace daf::baselines
+
+#endif  // DAF_BASELINES_CFL_MATCH_H_

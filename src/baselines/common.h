@@ -1,0 +1,75 @@
+#ifndef DAF_BASELINES_COMMON_H_
+#define DAF_BASELINES_COMMON_H_
+
+#include <cstdint>
+
+#include "graph/embedding.h"
+#include "graph/graph.h"
+#include "util/timer.h"
+
+namespace daf::baselines {
+
+/// Options shared by all baseline matchers.
+struct MatcherOptions {
+  /// Stop after this many embeddings; 0 = enumerate all.
+  uint64_t limit = 0;
+  /// Wall-clock limit covering preprocessing + search; 0 = none.
+  uint64_t time_limit_ms = 0;
+  /// When false, enumerate homomorphisms (injectivity dropped). Currently
+  /// honored by BruteForceMatch only, as the homomorphism oracle for the
+  /// DAF extension; the published baselines are embedding enumerators.
+  bool injective = true;
+  /// Optional per-embedding callback (mapping in query-vertex-id order).
+  EmbeddingCallback callback;
+};
+
+/// Result counters shared by all baseline matchers. Every baseline in this
+/// library is a complete, exact enumeration algorithm: on a completed run
+/// (`Complete()`), `embeddings` equals the total number of distinct
+/// embeddings of q in G.
+struct MatcherResult {
+  bool ok = true;
+  uint64_t embeddings = 0;
+  uint64_t recursive_calls = 0;
+  bool limit_reached = false;
+  bool timed_out = false;
+  double preprocess_ms = 0;
+  double search_ms = 0;
+  /// Size of the algorithm's auxiliary candidate structure, measured as
+  /// Σ_u |C(u)| where applicable (CPI for CFL-Match; 0 for VF2 etc.). This
+  /// is the Figure 9 metric.
+  uint64_t aux_size = 0;
+
+  bool Complete() const { return ok && !limit_reached && !timed_out; }
+};
+
+/// Verifies that the data edge realizing query edge (qu, qw) exists —
+/// including, when either graph carries edge labels, that the labels
+/// agree. With unlabeled edges this is a plain adjacency test.
+class EdgeVerifier {
+ public:
+  EdgeVerifier(const Graph& query, const Graph& data)
+      : query_(query),
+        data_(data),
+        check_labels_(query.HasNontrivialEdgeLabels() ||
+                      data.HasNontrivialEdgeLabels()) {}
+
+  bool operator()(VertexId qu, VertexId qw, VertexId du, VertexId dw) const {
+    if (!check_labels_) return data_.HasEdge(du, dw);
+    return data_.HasEdgeWithLabel(du, dw, query_.EdgeLabelBetween(qu, qw));
+  }
+
+  /// True when edge labels participate in matching; tree/anchor edges that
+  /// a candidate-generation structure already implies must then still be
+  /// label-verified.
+  bool active() const { return check_labels_; }
+
+ private:
+  const Graph& query_;
+  const Graph& data_;
+  bool check_labels_;
+};
+
+}  // namespace daf::baselines
+
+#endif  // DAF_BASELINES_COMMON_H_

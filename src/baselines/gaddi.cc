@@ -1,0 +1,211 @@
+#include "baselines/gaddi.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "graph/query_extract.h"
+
+namespace daf::baselines {
+
+namespace {
+
+// Number of triangles incident to v (discriminating local substructure).
+uint64_t TriangleCount(const Graph& g, VertexId v) {
+  uint64_t count = 0;
+  auto neighbors = g.Neighbors(v);
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    for (size_t j = i + 1; j < neighbors.size(); ++j) {
+      if (g.HasEdge(neighbors[i], neighbors[j])) ++count;
+    }
+  }
+  return count;
+}
+
+// Per-label counts of distinct vertices within distance <= 2 of v.
+std::map<Label, uint32_t> Ball2Counts(const Graph& g, VertexId v,
+                                      const std::vector<Label>* label_map) {
+  auto mapped = [&](VertexId w) {
+    return label_map == nullptr ? g.label(w) : (*label_map)[w];
+  };
+  std::vector<VertexId> ball(g.Neighbors(v).begin(), g.Neighbors(v).end());
+  for (VertexId w : g.Neighbors(v)) {
+    for (VertexId x : g.Neighbors(w)) {
+      if (x != v) ball.push_back(x);
+    }
+  }
+  std::sort(ball.begin(), ball.end());
+  ball.erase(std::unique(ball.begin(), ball.end()), ball.end());
+  std::map<Label, uint32_t> counts;
+  for (VertexId x : ball) ++counts[mapped(x)];
+  return counts;
+}
+
+class Gaddi {
+ public:
+  Gaddi(const Graph& query, const Graph& data, const MatcherOptions& options,
+        const Deadline& deadline)
+      : query_(query),
+        data_(data),
+        options_(options),
+        deadline_(deadline),
+        data_labels_(MapQueryLabels(query, data)),
+        mapping_(query.NumVertices(), kInvalidVertex),
+        used_(data.NumVertices(), false),
+        edge_ok_(query, data) {}
+
+  bool BuildCandidates(uint64_t* aux_size) {
+    const uint32_t n = query_.NumVertices();
+    candidates_.assign(n, {});
+    for (uint32_t u = 0; u < n; ++u) {
+      if (data_labels_[u] == kNoSuchLabel) return false;
+      std::map<Label, uint32_t> query_ball =
+          Ball2Counts(query_, u, &data_labels_);
+      uint64_t query_triangles = TriangleCount(query_, u);
+      for (VertexId v : data_.VerticesWithLabel(data_labels_[u])) {
+        if (data_.degree(v) < query_.degree(u)) continue;
+        if (TriangleCount(data_, v) < query_triangles) continue;
+        std::map<Label, uint32_t> data_ball = Ball2Counts(data_, v, nullptr);
+        bool ok = true;
+        for (const auto& [label, count] : query_ball) {
+          auto it = data_ball.find(label);
+          if (it == data_ball.end() || it->second < count) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) candidates_[u].push_back(v);
+      }
+      if (candidates_[u].empty()) return false;
+    }
+    *aux_size = 0;
+    for (const auto& c : candidates_) *aux_size += c.size();
+    return true;
+  }
+
+  // BFS order from the vertex with the fewest candidates.
+  void BuildOrder() {
+    const uint32_t n = query_.NumVertices();
+    VertexId start = 0;
+    for (uint32_t u = 1; u < n; ++u) {
+      if (candidates_[u].size() < candidates_[start].size()) start = u;
+    }
+    std::vector<bool> seen(n, false);
+    std::queue<VertexId> queue;
+    seen[start] = true;
+    queue.push(start);
+    for (uint32_t next = 0; order_.size() < n;) {
+      if (queue.empty()) {
+        while (seen[next]) ++next;
+        seen[next] = true;
+        queue.push(next);
+      }
+      VertexId u = queue.front();
+      queue.pop();
+      order_.push_back(u);
+      for (VertexId w : query_.Neighbors(u)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push(w);
+        }
+      }
+    }
+    position_.assign(n, 0);
+    for (uint32_t i = 0; i < n; ++i) position_[order_[i]] = i;
+  }
+
+  void Run(MatcherResult* result) {
+    result_ = result;
+    Recurse(0);
+  }
+
+ private:
+  void Recurse(uint32_t depth) {
+    ++result_->recursive_calls;
+    if ((result_->recursive_calls & 1023) == 0 && deadline_.Expired()) {
+      result_->timed_out = true;
+      stop_ = true;
+      return;
+    }
+    if (depth == query_.NumVertices()) {
+      ++result_->embeddings;
+      if (options_.callback && !options_.callback(mapping_)) stop_ = true;
+      if (options_.limit != 0 && result_->embeddings >= options_.limit) {
+        result_->limit_reached = true;
+        stop_ = true;
+      }
+      return;
+    }
+    VertexId u = order_[depth];
+    VertexId anchor = kInvalidVertex;
+    for (VertexId w : query_.Neighbors(u)) {
+      if (position_[w] < depth) {
+        anchor = w;
+        break;
+      }
+    }
+    auto try_vertex = [&](VertexId v) {
+      if (used_[v]) return;
+      for (VertexId w : query_.Neighbors(u)) {
+        if (position_[w] < depth && !edge_ok_(u, w, mapping_[w], v)) {
+          return;
+        }
+      }
+      mapping_[u] = v;
+      used_[v] = true;
+      Recurse(depth + 1);
+      used_[v] = false;
+      mapping_[u] = kInvalidVertex;
+    };
+    if (anchor != kInvalidVertex) {
+      for (VertexId v :
+           data_.NeighborsWithLabel(mapping_[anchor], data_labels_[u])) {
+        if (std::binary_search(candidates_[u].begin(), candidates_[u].end(),
+                               v)) {
+          try_vertex(v);
+          if (stop_) return;
+        }
+      }
+    } else {
+      for (VertexId v : candidates_[u]) {
+        try_vertex(v);
+        if (stop_) return;
+      }
+    }
+  }
+
+  const Graph& query_;
+  const Graph& data_;
+  const MatcherOptions& options_;
+  const Deadline& deadline_;
+  std::vector<Label> data_labels_;
+  std::vector<std::vector<VertexId>> candidates_;
+  std::vector<VertexId> order_;
+  std::vector<uint32_t> position_;
+  std::vector<VertexId> mapping_;
+  std::vector<bool> used_;
+  EdgeVerifier edge_ok_;
+  MatcherResult* result_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+MatcherResult GaddiMatch(const Graph& query, const Graph& data,
+                         const MatcherOptions& options) {
+  MatcherResult result;
+  Deadline deadline(options.time_limit_ms);
+  Stopwatch preprocess_timer;
+  Gaddi gaddi(query, data, options, deadline);
+  bool feasible = gaddi.BuildCandidates(&result.aux_size);
+  if (feasible) gaddi.BuildOrder();
+  result.preprocess_ms = preprocess_timer.ElapsedMs();
+  if (!feasible) return result;
+  Stopwatch search_timer;
+  gaddi.Run(&result);
+  result.search_ms = search_timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace daf::baselines

@@ -1,0 +1,20 @@
+#ifndef DAF_BASELINES_GADDI_H_
+#define DAF_BASELINES_GADDI_H_
+
+#include "baselines/common.h"
+
+namespace daf::baselines {
+
+/// GADDI [Zhang et al., EDBT 2009]: distance-based filtering in the spirit
+/// of the neighborhood discriminating substructure (NDS) index — candidates
+/// must dominate the query vertex's per-label counts of vertices within
+/// distance <= 2 and its local (distance-1) triangle count — followed by
+/// neighborhood-expanding backtracking. The full NDS index amortizes over
+/// repeated queries against one data graph; its per-query filtering effect
+/// is what this implementation reproduces.
+MatcherResult GaddiMatch(const Graph& query, const Graph& data,
+                         const MatcherOptions& options = {});
+
+}  // namespace daf::baselines
+
+#endif  // DAF_BASELINES_GADDI_H_

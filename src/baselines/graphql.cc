@@ -1,0 +1,241 @@
+#include "baselines/graphql.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "graph/query_extract.h"
+#include "util/bitset.h"
+
+namespace daf::baselines {
+
+namespace {
+
+// Kuhn's augmenting-path bipartite matching on a small local graph.
+// left = query neighbors of u, right = data neighbors of v; adj in index
+// space. Returns true iff every left vertex can be matched.
+class LocalMatcher {
+ public:
+  bool SemiPerfect(const std::vector<std::vector<uint32_t>>& adj,
+                   uint32_t num_right) {
+    match_right_.assign(num_right, static_cast<uint32_t>(-1));
+    for (uint32_t l = 0; l < adj.size(); ++l) {
+      seen_.assign(num_right, false);
+      if (!Augment(adj, l)) return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Augment(const std::vector<std::vector<uint32_t>>& adj, uint32_t l) {
+    for (uint32_t r : adj[l]) {
+      if (seen_[r]) continue;
+      seen_[r] = true;
+      if (match_right_[r] == static_cast<uint32_t>(-1) ||
+          Augment(adj, match_right_[r])) {
+        match_right_[r] = l;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<uint32_t> match_right_;
+  std::vector<bool> seen_;
+};
+
+class GraphQl {
+ public:
+  GraphQl(const Graph& query, const Graph& data,
+          const MatcherOptions& options, const Deadline& deadline)
+      : query_(query),
+        data_(data),
+        options_(options),
+        deadline_(deadline),
+        data_labels_(MapQueryLabels(query, data)),
+        mapping_(query.NumVertices(), kInvalidVertex),
+        used_(data.NumVertices(), false),
+        edge_ok_(query, data) {}
+
+  // Returns false if some candidate set became empty (no embeddings).
+  bool BuildCandidates(int refinement_rounds, uint64_t* aux_size) {
+    const uint32_t n = query_.NumVertices();
+    candidates_.assign(n, {});
+    in_candidates_.assign(n, Bitset(data_.NumVertices()));
+    for (uint32_t u = 0; u < n; ++u) {
+      if (data_labels_[u] == kNoSuchLabel) return false;
+      for (VertexId v : data_.VerticesWithLabel(data_labels_[u])) {
+        if (data_.degree(v) >= query_.degree(u)) {
+          candidates_[u].push_back(v);
+          in_candidates_[u].Set(v);
+        }
+      }
+      if (candidates_[u].empty()) return false;
+    }
+    // Pseudo-isomorphism refinement.
+    LocalMatcher matcher;
+    for (int round = 0; round < refinement_rounds; ++round) {
+      bool changed = false;
+      for (uint32_t u = 0; u < n; ++u) {
+        auto& cand = candidates_[u];
+        size_t kept = 0;
+        for (VertexId v : cand) {
+          if (PseudoCompatible(u, v, &matcher)) {
+            cand[kept++] = v;
+          } else {
+            in_candidates_[u].Clear(v);
+            changed = true;
+          }
+        }
+        cand.resize(kept);
+        if (cand.empty()) return false;
+      }
+      if (!changed) break;
+    }
+    *aux_size = 0;
+    for (const auto& c : candidates_) *aux_size += c.size();
+    return true;
+  }
+
+  void BuildOrder() {
+    const uint32_t n = query_.NumVertices();
+    order_.reserve(n);
+    std::vector<bool> chosen(n, false);
+    // Greedy: start with the smallest candidate set, then repeatedly pick
+    // the connected unchosen vertex with the smallest candidate set.
+    VertexId first = 0;
+    for (uint32_t u = 1; u < n; ++u) {
+      if (candidates_[u].size() < candidates_[first].size()) first = u;
+    }
+    order_.push_back(first);
+    chosen[first] = true;
+    while (order_.size() < n) {
+      VertexId best = kInvalidVertex;
+      for (uint32_t u = 0; u < n; ++u) {
+        if (chosen[u]) continue;
+        bool connected = false;
+        for (VertexId w : query_.Neighbors(u)) {
+          if (chosen[w]) {
+            connected = true;
+            break;
+          }
+        }
+        if (!connected) continue;
+        if (best == kInvalidVertex ||
+            candidates_[u].size() < candidates_[best].size()) {
+          best = u;
+        }
+      }
+      if (best == kInvalidVertex) {
+        for (uint32_t u = 0; u < n; ++u) {
+          if (!chosen[u]) {
+            best = u;
+            break;
+          }
+        }
+      }
+      order_.push_back(best);
+      chosen[best] = true;
+    }
+    position_.assign(n, 0);
+    for (uint32_t i = 0; i < n; ++i) position_[order_[i]] = i;
+  }
+
+  void Run(MatcherResult* result) {
+    result_ = result;
+    Recurse(0);
+  }
+
+ private:
+  // Semi-perfect matching between N(u) and N(v): every query neighbor u'
+  // needs a distinct data neighbor v' with label(v') matching and
+  // v' ∈ C(u').
+  bool PseudoCompatible(VertexId u, VertexId v, LocalMatcher* matcher) {
+    auto query_neighbors = query_.Neighbors(u);
+    auto data_neighbors = data_.Neighbors(v);
+    std::vector<std::vector<uint32_t>> adj(query_neighbors.size());
+    for (size_t i = 0; i < query_neighbors.size(); ++i) {
+      VertexId uq = query_neighbors[i];
+      for (size_t j = 0; j < data_neighbors.size(); ++j) {
+        if (in_candidates_[uq].Test(data_neighbors[j])) {
+          adj[i].push_back(static_cast<uint32_t>(j));
+        }
+      }
+      if (adj[i].empty()) return false;
+    }
+    return matcher->SemiPerfect(adj,
+                                static_cast<uint32_t>(data_neighbors.size()));
+  }
+
+  void Recurse(uint32_t depth) {
+    ++result_->recursive_calls;
+    if ((result_->recursive_calls & 1023) == 0 && deadline_.Expired()) {
+      result_->timed_out = true;
+      stop_ = true;
+      return;
+    }
+    if (depth == query_.NumVertices()) {
+      ++result_->embeddings;
+      if (options_.callback && !options_.callback(mapping_)) stop_ = true;
+      if (options_.limit != 0 && result_->embeddings >= options_.limit) {
+        result_->limit_reached = true;
+        stop_ = true;
+      }
+      return;
+    }
+    VertexId u = order_[depth];
+    for (VertexId v : candidates_[u]) {
+      if (used_[v]) continue;
+      bool edges_ok = true;
+      for (VertexId w : query_.Neighbors(u)) {
+        if (position_[w] < depth && !edge_ok_(u, w, mapping_[w], v)) {
+          edges_ok = false;
+          break;
+        }
+      }
+      if (!edges_ok) continue;
+      mapping_[u] = v;
+      used_[v] = true;
+      Recurse(depth + 1);
+      used_[v] = false;
+      mapping_[u] = kInvalidVertex;
+      if (stop_) return;
+    }
+  }
+
+  const Graph& query_;
+  const Graph& data_;
+  const MatcherOptions& options_;
+  const Deadline& deadline_;
+  std::vector<Label> data_labels_;
+  std::vector<std::vector<VertexId>> candidates_;
+  std::vector<Bitset> in_candidates_;
+  std::vector<VertexId> order_;
+  std::vector<uint32_t> position_;
+  std::vector<VertexId> mapping_;
+  std::vector<bool> used_;
+  EdgeVerifier edge_ok_;
+  MatcherResult* result_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+MatcherResult GraphQlMatch(const Graph& query, const Graph& data,
+                           const MatcherOptions& options) {
+  MatcherResult result;
+  Deadline deadline(options.time_limit_ms);
+  Stopwatch preprocess_timer;
+  GraphQl graphql(query, data, options, deadline);
+  bool feasible = graphql.BuildCandidates(/*refinement_rounds=*/2,
+                                          &result.aux_size);
+  if (feasible) graphql.BuildOrder();
+  result.preprocess_ms = preprocess_timer.ElapsedMs();
+  if (!feasible) return result;
+  Stopwatch search_timer;
+  graphql.Run(&result);
+  result.search_ms = search_timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace daf::baselines

@@ -1,0 +1,19 @@
+#ifndef DAF_BASELINES_GRAPHQL_H_
+#define DAF_BASELINES_GRAPHQL_H_
+
+#include "baselines/common.h"
+
+namespace daf::baselines {
+
+/// GraphQL [He & Singh, SIGMOD 2008]: candidate sets are refined by
+/// iterated pseudo-isomorphism checks — v stays in C(u) only while a
+/// semi-perfect bipartite matching exists between N(u) and N(v) that pairs
+/// every query neighbor with a distinct data neighbor carrying it in its
+/// candidate set — followed by backtracking over a greedy
+/// smallest-candidate-set-first, connectivity-preserving order.
+MatcherResult GraphQlMatch(const Graph& query, const Graph& data,
+                           const MatcherOptions& options = {});
+
+}  // namespace daf::baselines
+
+#endif  // DAF_BASELINES_GRAPHQL_H_

@@ -1,0 +1,174 @@
+#include "baselines/quicksi.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "graph/query_extract.h"
+
+namespace daf::baselines {
+
+namespace {
+
+class QuickSi {
+ public:
+  QuickSi(const Graph& query, const Graph& data,
+          const MatcherOptions& options, const Deadline& deadline)
+      : query_(query),
+        data_(data),
+        options_(options),
+        deadline_(deadline),
+        data_labels_(MapQueryLabels(query, data)),
+        mapping_(query.NumVertices(), kInvalidVertex),
+        used_(data.NumVertices(), false),
+        edge_ok_(query, data) {
+    BuildSequence();
+  }
+
+  void Run(MatcherResult* result) {
+    result_ = result;
+    Recurse(0);
+  }
+
+ private:
+  // Weight of a query edge: product of the endpoint label frequencies in G,
+  // a cheap estimate of how many data edges could realize the pattern.
+  double EdgeWeight(VertexId a, VertexId b) const {
+    auto freq = [&](VertexId u) -> double {
+      Label l = data_labels_[u];
+      return l == kNoSuchLabel ? 0.0
+                               : static_cast<double>(data_.LabelFrequency(l));
+    };
+    return freq(a) * freq(b);
+  }
+
+  // Prim's MST growth; the visit order is the QI-sequence.
+  void BuildSequence() {
+    const uint32_t n = query_.NumVertices();
+    std::vector<bool> in_tree(n, false);
+    order_.reserve(n);
+    anchor_.assign(n, kInvalidVertex);
+    VertexId start = 0;
+    double best_freq = std::numeric_limits<double>::infinity();
+    for (uint32_t u = 0; u < n; ++u) {
+      Label l = data_labels_[u];
+      double f = l == kNoSuchLabel ? 0 : data_.LabelFrequency(l);
+      // Prefer rare labels, break ties toward high degree.
+      double score = f / (query_.degree(u) + 1.0);
+      if (score < best_freq) {
+        best_freq = score;
+        start = u;
+      }
+    }
+    in_tree[start] = true;
+    order_.push_back(start);
+    while (order_.size() < n) {
+      VertexId best_v = kInvalidVertex;
+      VertexId best_anchor = kInvalidVertex;
+      double best_weight = std::numeric_limits<double>::infinity();
+      for (VertexId t : order_) {
+        for (VertexId w : query_.Neighbors(t)) {
+          if (in_tree[w]) continue;
+          double weight = EdgeWeight(t, w);
+          if (weight < best_weight) {
+            best_weight = weight;
+            best_v = w;
+            best_anchor = t;
+          }
+        }
+      }
+      if (best_v == kInvalidVertex) {
+        // Disconnected query: open a new tree at an arbitrary vertex.
+        for (uint32_t u = 0; u < n; ++u) {
+          if (!in_tree[u]) {
+            best_v = u;
+            break;
+          }
+        }
+      }
+      in_tree[best_v] = true;
+      anchor_[best_v] = best_anchor;
+      order_.push_back(best_v);
+    }
+    position_.assign(n, 0);
+    for (uint32_t i = 0; i < n; ++i) position_[order_[i]] = i;
+  }
+
+  void Recurse(uint32_t depth) {
+    ++result_->recursive_calls;
+    if ((result_->recursive_calls & 1023) == 0 && deadline_.Expired()) {
+      result_->timed_out = true;
+      stop_ = true;
+      return;
+    }
+    if (depth == query_.NumVertices()) {
+      ++result_->embeddings;
+      if (options_.callback && !options_.callback(mapping_)) stop_ = true;
+      if (options_.limit != 0 && result_->embeddings >= options_.limit) {
+        result_->limit_reached = true;
+        stop_ = true;
+      }
+      return;
+    }
+    VertexId u = order_[depth];
+    if (data_labels_[u] == kNoSuchLabel) return;
+    auto try_vertex = [&](VertexId v) {
+      if (used_[v] || data_.degree(v) < query_.degree(u)) return;
+      // Check every query edge whose other endpoint is already mapped
+      // (tree edge to the anchor plus all back edges).
+      for (VertexId w : query_.Neighbors(u)) {
+        if (position_[w] < depth && !edge_ok_(u, w, mapping_[w], v)) {
+          return;
+        }
+      }
+      mapping_[u] = v;
+      used_[v] = true;
+      Recurse(depth + 1);
+      used_[v] = false;
+      mapping_[u] = kInvalidVertex;
+    };
+    if (anchor_[u] != kInvalidVertex) {
+      for (VertexId v :
+           data_.NeighborsWithLabel(mapping_[anchor_[u]], data_labels_[u])) {
+        try_vertex(v);
+        if (stop_) return;
+      }
+    } else {
+      for (VertexId v : data_.VerticesWithLabel(data_labels_[u])) {
+        try_vertex(v);
+        if (stop_) return;
+      }
+    }
+  }
+
+  const Graph& query_;
+  const Graph& data_;
+  const MatcherOptions& options_;
+  const Deadline& deadline_;
+  std::vector<Label> data_labels_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> anchor_;
+  std::vector<uint32_t> position_;
+  std::vector<VertexId> mapping_;
+  std::vector<bool> used_;
+  EdgeVerifier edge_ok_;
+  MatcherResult* result_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+MatcherResult QuickSiMatch(const Graph& query, const Graph& data,
+                           const MatcherOptions& options) {
+  MatcherResult result;
+  Deadline deadline(options.time_limit_ms);
+  Stopwatch preprocess_timer;
+  QuickSi quicksi(query, data, options, deadline);
+  result.preprocess_ms = preprocess_timer.ElapsedMs();
+  Stopwatch search_timer;
+  quicksi.Run(&result);
+  result.search_ms = search_timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace daf::baselines

@@ -1,0 +1,18 @@
+#ifndef DAF_BASELINES_QUICKSI_H_
+#define DAF_BASELINES_QUICKSI_H_
+
+#include "baselines/common.h"
+
+namespace daf::baselines {
+
+/// QuickSI [Shang et al., VLDB 2008]: the query is linearized into a
+/// QI-sequence — a spanning tree ordered by Prim's algorithm on edge weights
+/// that estimate how infrequent an edge's label pattern is in the data graph
+/// (rare patterns first) — and matched by prefix-extension backtracking with
+/// the remaining (back) edges verified as soon as both endpoints are mapped.
+MatcherResult QuickSiMatch(const Graph& query, const Graph& data,
+                           const MatcherOptions& options = {});
+
+}  // namespace daf::baselines
+
+#endif  // DAF_BASELINES_QUICKSI_H_

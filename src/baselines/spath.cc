@@ -1,0 +1,261 @@
+#include "baselines/spath.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "graph/query_extract.h"
+
+namespace daf::baselines {
+
+namespace {
+
+// Per-label counts of distinct vertices at distance 1 and within the radius-2
+// ball (distance 1 or 2). The ball formulation is what makes the filter
+// sound: a vertex at query distance exactly 2 may map to a vertex at data
+// distance 1 (the data graph can have extra edges between the images), but
+// the radius-2 ball around v always contains the images of the radius-2
+// ball around u.
+struct Signature {
+  std::map<Label, uint32_t> dist1;
+  std::map<Label, uint32_t> ball2;
+};
+
+// True iff `have` dominates `need` (every label count is >=).
+bool Dominates(const std::map<Label, uint32_t>& have,
+               const std::map<Label, uint32_t>& need) {
+  for (const auto& [label, count] : need) {
+    auto it = have.find(label);
+    if (it == have.end() || it->second < count) return false;
+  }
+  return true;
+}
+
+Signature ComputeSignature(const Graph& g, VertexId v,
+                           const std::vector<Label>* label_map) {
+  Signature sig;
+  auto mapped = [&](VertexId w) {
+    return label_map == nullptr ? g.label(w) : (*label_map)[w];
+  };
+  std::vector<VertexId> dist1;
+  for (VertexId w : g.Neighbors(v)) {
+    ++sig.dist1[mapped(w)];
+    dist1.push_back(w);
+  }
+  // Distinct vertices in the radius-2 ball around v (v excluded).
+  std::vector<VertexId> ball;
+  ball = dist1;
+  for (VertexId w : dist1) {
+    for (VertexId x : g.Neighbors(w)) {
+      if (x != v) ball.push_back(x);
+    }
+  }
+  std::sort(ball.begin(), ball.end());
+  ball.erase(std::unique(ball.begin(), ball.end()), ball.end());
+  for (VertexId x : ball) ++sig.ball2[mapped(x)];
+  return sig;
+}
+
+class SPath {
+ public:
+  SPath(const Graph& query, const Graph& data, const MatcherOptions& options,
+        const Deadline& deadline)
+      : query_(query),
+        data_(data),
+        options_(options),
+        deadline_(deadline),
+        data_labels_(MapQueryLabels(query, data)),
+        mapping_(query.NumVertices(), kInvalidVertex),
+        used_(data.NumVertices(), false),
+        edge_ok_(query, data) {}
+
+  bool BuildCandidates(uint64_t* aux_size) {
+    const uint32_t n = query_.NumVertices();
+    candidates_.assign(n, {});
+    for (uint32_t u = 0; u < n; ++u) {
+      if (data_labels_[u] == kNoSuchLabel) return false;
+      Signature query_sig = ComputeSignature(query_, u, &data_labels_);
+      for (VertexId v : data_.VerticesWithLabel(data_labels_[u])) {
+        if (data_.degree(v) < query_.degree(u)) continue;
+        Signature data_sig = ComputeSignature(data_, v, nullptr);
+        if (Dominates(data_sig.dist1, query_sig.dist1) &&
+            Dominates(data_sig.ball2, query_sig.ball2)) {
+          candidates_[u].push_back(v);
+        }
+      }
+      if (candidates_[u].empty()) return false;
+    }
+    *aux_size = 0;
+    for (const auto& c : candidates_) *aux_size += c.size();
+    return true;
+  }
+
+  // Path-at-a-time order: BFS spanning tree from the most selective vertex,
+  // decomposed into root-to-leaf paths ordered by estimated selectivity
+  // (sum of candidate-set sizes along the path, ascending).
+  void BuildOrder() {
+    const uint32_t n = query_.NumVertices();
+    VertexId root = 0;
+    for (uint32_t u = 1; u < n; ++u) {
+      if (candidates_[u].size() < candidates_[root].size()) root = u;
+    }
+    std::vector<VertexId> parent(n, kInvalidVertex);
+    std::vector<bool> seen(n, false);
+    std::vector<std::vector<VertexId>> children(n);
+    std::queue<VertexId> queue;
+    seen[root] = true;
+    queue.push(root);
+    std::vector<VertexId> leaves;
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop();
+      bool has_child = false;
+      for (VertexId w : query_.Neighbors(u)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          parent[w] = u;
+          children[u].push_back(w);
+          queue.push(w);
+          has_child = true;
+        }
+      }
+      if (!has_child) leaves.push_back(u);
+    }
+    // Root-to-leaf paths with their selectivity estimates.
+    std::vector<std::pair<uint64_t, std::vector<VertexId>>> paths;
+    for (VertexId leaf : leaves) {
+      std::vector<VertexId> path;
+      uint64_t estimate = 0;
+      for (VertexId u = leaf; u != kInvalidVertex; u = parent[u]) {
+        path.push_back(u);
+        estimate += candidates_[u].size();
+      }
+      std::reverse(path.begin(), path.end());
+      paths.emplace_back(estimate, std::move(path));
+    }
+    std::sort(paths.begin(), paths.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<bool> ordered(n, false);
+    for (const auto& [estimate, path] : paths) {
+      for (VertexId u : path) {
+        if (!ordered[u]) {
+          ordered[u] = true;
+          order_.push_back(u);
+        }
+      }
+    }
+    for (uint32_t u = 0; u < n; ++u) {
+      if (!ordered[u]) order_.push_back(u);  // disconnected queries
+    }
+    position_.assign(n, 0);
+    for (uint32_t i = 0; i < n; ++i) position_[order_[i]] = i;
+    parent_ = std::move(parent);
+  }
+
+  void Run(MatcherResult* result) {
+    result_ = result;
+    Recurse(0);
+  }
+
+ private:
+  void Recurse(uint32_t depth) {
+    ++result_->recursive_calls;
+    if ((result_->recursive_calls & 1023) == 0 && deadline_.Expired()) {
+      result_->timed_out = true;
+      stop_ = true;
+      return;
+    }
+    if (depth == query_.NumVertices()) {
+      ++result_->embeddings;
+      if (options_.callback && !options_.callback(mapping_)) stop_ = true;
+      if (options_.limit != 0 && result_->embeddings >= options_.limit) {
+        result_->limit_reached = true;
+        stop_ = true;
+      }
+      return;
+    }
+    VertexId u = order_[depth];
+    // Prefer extending from the tree parent when it is already mapped.
+    VertexId anchor = kInvalidVertex;
+    if (parent_[u] != kInvalidVertex && position_[parent_[u]] < depth) {
+      anchor = parent_[u];
+    } else {
+      for (VertexId w : query_.Neighbors(u)) {
+        if (position_[w] < depth) {
+          anchor = w;
+          break;
+        }
+      }
+    }
+    auto try_vertex = [&](VertexId v) {
+      if (used_[v]) return;
+      if (anchor == kInvalidVertex &&
+          !std::binary_search(candidates_[u].begin(), candidates_[u].end(),
+                              v)) {
+        return;
+      }
+      for (VertexId w : query_.Neighbors(u)) {
+        if (position_[w] < depth && !edge_ok_(u, w, mapping_[w], v)) {
+          return;
+        }
+      }
+      mapping_[u] = v;
+      used_[v] = true;
+      Recurse(depth + 1);
+      used_[v] = false;
+      mapping_[u] = kInvalidVertex;
+    };
+    if (anchor != kInvalidVertex) {
+      for (VertexId v :
+           data_.NeighborsWithLabel(mapping_[anchor], data_labels_[u])) {
+        if (!std::binary_search(candidates_[u].begin(), candidates_[u].end(),
+                                v)) {
+          continue;
+        }
+        try_vertex(v);
+        if (stop_) return;
+      }
+    } else {
+      for (VertexId v : candidates_[u]) {
+        try_vertex(v);
+        if (stop_) return;
+      }
+    }
+  }
+
+  const Graph& query_;
+  const Graph& data_;
+  const MatcherOptions& options_;
+  const Deadline& deadline_;
+  std::vector<Label> data_labels_;
+  std::vector<std::vector<VertexId>> candidates_;
+  std::vector<VertexId> order_;
+  std::vector<uint32_t> position_;
+  std::vector<VertexId> parent_;
+  std::vector<VertexId> mapping_;
+  std::vector<bool> used_;
+  EdgeVerifier edge_ok_;
+  MatcherResult* result_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+MatcherResult SPathMatch(const Graph& query, const Graph& data,
+                         const MatcherOptions& options) {
+  MatcherResult result;
+  Deadline deadline(options.time_limit_ms);
+  Stopwatch preprocess_timer;
+  SPath spath(query, data, options, deadline);
+  bool feasible = spath.BuildCandidates(&result.aux_size);
+  if (feasible) spath.BuildOrder();
+  result.preprocess_ms = preprocess_timer.ElapsedMs();
+  if (!feasible) return result;
+  Stopwatch search_timer;
+  spath.Run(&result);
+  result.search_ms = search_timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace daf::baselines

@@ -1,0 +1,21 @@
+#ifndef DAF_BASELINES_SPATH_H_
+#define DAF_BASELINES_SPATH_H_
+
+#include "baselines/common.h"
+
+namespace daf::baselines {
+
+/// SPath [Zhao & Han, VLDB 2010]: candidates are filtered by neighborhood
+/// signatures (per-label vertex counts within distance <= 2 must dominate
+/// the query vertex's signature), and the query is matched path-at-a-time —
+/// the spanning tree is decomposed into root-to-leaf paths whose vertices
+/// are matched as blocks, most selective path first. The original's
+/// distance-indexed path repository is represented by the signature filter;
+/// the matching logic (block-wise path extension with on-the-fly
+/// verification of remaining edges) follows the paper.
+MatcherResult SPathMatch(const Graph& query, const Graph& data,
+                         const MatcherOptions& options = {});
+
+}  // namespace daf::baselines
+
+#endif  // DAF_BASELINES_SPATH_H_

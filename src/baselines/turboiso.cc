@@ -1,0 +1,271 @@
+#include "baselines/turboiso.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "graph/properties.h"
+#include "graph/query_extract.h"
+
+namespace daf::baselines {
+
+namespace {
+
+class TurboIso {
+ public:
+  TurboIso(const Graph& query, const Graph& data,
+           const MatcherOptions& options, const Deadline& deadline)
+      : query_(query),
+        data_(data),
+        options_(options),
+        deadline_(deadline),
+        data_labels_(MapQueryLabels(query, data)),
+        n_(query.NumVertices()),
+        mapping_(n_, kInvalidVertex),
+        used_(data.NumVertices(), false),
+        edge_ok_(query, data) {}
+
+  bool Prepare() {
+    for (uint32_t u = 0; u < n_; ++u) {
+      if (data_labels_[u] == kNoSuchLabel) return false;
+    }
+    ChooseRootAndTree();
+    return true;
+  }
+
+  void Run(MatcherResult* result) {
+    result_ = result;
+    // Region-by-region: one candidate region per start vertex.
+    for (VertexId vs : data_.VerticesWithLabel(data_labels_[root_])) {
+      if (data_.degree(vs) < query_.degree(root_)) continue;
+      if (stop_) return;
+      if (ExploreRegion(vs)) {
+        BuildRegionOrder();
+        mapping_[root_] = vs;
+        used_[vs] = true;
+        Recurse(1);
+        used_[vs] = false;
+        mapping_[root_] = kInvalidVertex;
+      }
+    }
+  }
+
+ private:
+  void ChooseRootAndTree() {
+    // Root by the rank |C_ini(u)| / deg(u).
+    double best = std::numeric_limits<double>::infinity();
+    root_ = 0;
+    for (uint32_t u = 0; u < n_; ++u) {
+      uint32_t count = 0;
+      for (VertexId v : data_.VerticesWithLabel(data_labels_[u])) {
+        if (data_.degree(v) >= query_.degree(u)) ++count;
+      }
+      double score = static_cast<double>(count) /
+                     std::max<uint32_t>(1, query_.degree(u));
+      if (score < best) {
+        best = score;
+        root_ = u;
+      }
+    }
+    // BFS spanning tree.
+    tree_parent_.assign(n_, kInvalidVertex);
+    tree_children_.assign(n_, {});
+    std::vector<bool> seen(n_, false);
+    std::queue<VertexId> queue;
+    seen[root_] = true;
+    queue.push(root_);
+    bfs_order_.clear();
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop();
+      bfs_order_.push_back(u);
+      for (VertexId w : query_.Neighbors(u)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          tree_parent_[w] = u;
+          tree_children_[u].push_back(w);
+          queue.push(w);
+        }
+      }
+    }
+    leaves_.clear();
+    for (uint32_t u = 0; u < n_; ++u) {
+      if (tree_children_[u].empty()) leaves_.push_back(u);
+    }
+  }
+
+  // Explores the candidate region rooted at vs: CR(u) computed top-down
+  // along the tree, then pruned bottom-up. Returns false if the region
+  // cannot contain an embedding.
+  bool ExploreRegion(VertexId vs) {
+    region_.assign(n_, {});
+    region_[root_] = {vs};
+    for (VertexId u : bfs_order_) {
+      if (u == root_) continue;
+      VertexId p = tree_parent_[u];
+      std::vector<VertexId>& cr = region_[u];
+      cr.clear();
+      for (VertexId vp : region_[p]) {
+        for (VertexId v : data_.NeighborsWithLabel(vp, data_labels_[u])) {
+          if (data_.degree(v) >= query_.degree(u)) cr.push_back(v);
+        }
+      }
+      std::sort(cr.begin(), cr.end());
+      cr.erase(std::unique(cr.begin(), cr.end()), cr.end());
+      if (cr.empty()) return false;
+    }
+    // Bottom-up pruning: keep v only if every tree child has an adjacent
+    // region candidate.
+    for (size_t i = bfs_order_.size(); i-- > 0;) {
+      VertexId u = bfs_order_[i];
+      if (tree_children_[u].empty()) continue;
+      std::vector<VertexId>& cr = region_[u];
+      size_t kept = 0;
+      for (VertexId v : cr) {
+        bool ok = true;
+        for (VertexId c : tree_children_[u]) {
+          bool found = false;
+          for (VertexId w : data_.NeighborsWithLabel(v, data_labels_[c])) {
+            if (std::binary_search(region_[c].begin(), region_[c].end(),
+                                   w)) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) cr[kept++] = v;
+      }
+      cr.resize(kept);
+      if (cr.empty()) return false;
+    }
+    for (const auto& cr : region_) result_->aux_size += cr.size();
+    return true;
+  }
+
+  // Path ordering inside the region: root-to-leaf tree paths, cheapest
+  // estimated cardinality (sum of log region sizes) first.
+  void BuildRegionOrder() {
+    std::vector<std::pair<double, VertexId>> ranked;
+    ranked.reserve(leaves_.size());
+    for (VertexId leaf : leaves_) {
+      double estimate = 0;
+      for (VertexId u = leaf; u != kInvalidVertex; u = tree_parent_[u]) {
+        estimate += std::log(static_cast<double>(region_[u].size()) + 1.0);
+      }
+      ranked.emplace_back(estimate, leaf);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    order_.clear();
+    std::vector<bool> ordered(n_, false);
+    order_.push_back(root_);
+    ordered[root_] = true;
+    std::vector<VertexId> path;
+    for (const auto& [estimate, leaf] : ranked) {
+      path.clear();
+      for (VertexId u = leaf; u != kInvalidVertex; u = tree_parent_[u]) {
+        path.push_back(u);
+      }
+      std::reverse(path.begin(), path.end());
+      for (VertexId u : path) {
+        if (!ordered[u]) {
+          ordered[u] = true;
+          order_.push_back(u);
+        }
+      }
+    }
+    position_.assign(n_, 0);
+    for (uint32_t i = 0; i < n_; ++i) position_[order_[i]] = i;
+  }
+
+  void Recurse(uint32_t depth) {
+    ++result_->recursive_calls;
+    if ((result_->recursive_calls & 1023) == 0 && deadline_.Expired()) {
+      result_->timed_out = true;
+      stop_ = true;
+      return;
+    }
+    if (depth == n_) {
+      ++result_->embeddings;
+      if (options_.callback && !options_.callback(mapping_)) stop_ = true;
+      if (options_.limit != 0 && result_->embeddings >= options_.limit) {
+        result_->limit_reached = true;
+        stop_ = true;
+      }
+      return;
+    }
+    VertexId u = order_[depth];
+    VertexId p = tree_parent_[u];  // mapped (tree-consistent order)
+    for (VertexId v : data_.NeighborsWithLabel(mapping_[p], data_labels_[u])) {
+      if (used_[v] ||
+          !std::binary_search(region_[u].begin(), region_[u].end(), v)) {
+        continue;
+      }
+      bool edges_ok = true;
+      for (VertexId w : query_.Neighbors(u)) {
+        if ((w != p || edge_ok_.active()) && position_[w] < depth &&
+            !edge_ok_(u, w, mapping_[w], v)) {
+          edges_ok = false;  // non-tree edge probe into G
+          break;
+        }
+      }
+      if (!edges_ok) continue;
+      mapping_[u] = v;
+      used_[v] = true;
+      Recurse(depth + 1);
+      used_[v] = false;
+      mapping_[u] = kInvalidVertex;
+      if (stop_) return;
+    }
+  }
+
+  const Graph& query_;
+  const Graph& data_;
+  const MatcherOptions& options_;
+  const Deadline& deadline_;
+  std::vector<Label> data_labels_;
+  const uint32_t n_;
+  VertexId root_ = 0;
+  std::vector<VertexId> tree_parent_;
+  std::vector<std::vector<VertexId>> tree_children_;
+  std::vector<VertexId> bfs_order_;
+  std::vector<VertexId> leaves_;
+  std::vector<std::vector<VertexId>> region_;
+  std::vector<VertexId> order_;
+  std::vector<uint32_t> position_;
+  std::vector<VertexId> mapping_;
+  std::vector<bool> used_;
+  EdgeVerifier edge_ok_;
+  MatcherResult* result_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+MatcherResult TurboIsoMatch(const Graph& query, const Graph& data,
+                            const MatcherOptions& options) {
+  MatcherResult result;
+  // Turbo_iso's region exploration requires a connected, non-empty query
+  // (the paper's setting).
+  if (query.NumVertices() == 0 || !IsConnected(query)) {
+    result.ok = false;
+    return result;
+  }
+  Deadline deadline(options.time_limit_ms);
+  Stopwatch preprocess_timer;
+  TurboIso turbo(query, data, options, deadline);
+  bool feasible = turbo.Prepare();
+  result.preprocess_ms = preprocess_timer.ElapsedMs();
+  if (!feasible) return result;
+  Stopwatch search_timer;
+  turbo.Run(&result);
+  result.search_ms = search_timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace daf::baselines

@@ -1,0 +1,22 @@
+#ifndef DAF_BASELINES_TURBOISO_H_
+#define DAF_BASELINES_TURBOISO_H_
+
+#include "baselines/common.h"
+
+namespace daf::baselines {
+
+/// Turbo_iso [Han et al., SIGMOD 2013]: the query is matched region by
+/// region. A BFS spanning tree is rooted at argmin |C_ini(u)|/deg(u); for
+/// every candidate of the root, the candidate region (CR structure) is
+/// explored top-down along the tree and pruned bottom-up; a per-region
+/// matching order is derived by the path ordering (root-to-leaf tree paths,
+/// cheapest estimated cardinality first); backtracking then runs inside the
+/// region, probing the data graph for non-tree edges. The NEC query
+/// compression of the original is omitted (an orthogonal optimization; see
+/// DESIGN.md §2.2).
+MatcherResult TurboIsoMatch(const Graph& query, const Graph& data,
+                            const MatcherOptions& options = {});
+
+}  // namespace daf::baselines
+
+#endif  // DAF_BASELINES_TURBOISO_H_

@@ -1,0 +1,169 @@
+#include "baselines/vf2.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "graph/query_extract.h"
+
+namespace daf::baselines {
+
+namespace {
+
+class Vf2 {
+ public:
+  Vf2(const Graph& query, const Graph& data, const MatcherOptions& options,
+      const Deadline& deadline)
+      : query_(query),
+        data_(data),
+        options_(options),
+        deadline_(deadline),
+        data_labels_(MapQueryLabels(query, data)),
+        mapping_(query.NumVertices(), kInvalidVertex),
+        used_(data.NumVertices(), false),
+        edge_ok_(query, data) {
+    BuildOrder();
+  }
+
+  void Run(MatcherResult* result) {
+    result_ = result;
+    Recurse(0);
+  }
+
+ private:
+  // Connectivity-preserving order: BFS from the max-degree vertex; each
+  // vertex after the first has a mapped neighbor ("anchor") when reached.
+  void BuildOrder() {
+    const uint32_t n = query_.NumVertices();
+    order_.reserve(n);
+    anchor_.assign(n, kInvalidVertex);
+    std::vector<bool> enqueued(n, false);
+    VertexId start = 0;
+    for (uint32_t u = 1; u < n; ++u) {
+      if (query_.degree(u) > query_.degree(start)) start = u;
+    }
+    std::queue<VertexId> queue;
+    queue.push(start);
+    enqueued[start] = true;
+    // The outer loop covers disconnected queries (each component restarts
+    // with an anchorless vertex that scans its whole label class).
+    for (uint32_t next_start = 0; order_.size() < n;) {
+      if (queue.empty()) {
+        while (enqueued[next_start]) ++next_start;
+        enqueued[next_start] = true;
+        queue.push(next_start);
+      }
+      VertexId u = queue.front();
+      queue.pop();
+      order_.push_back(u);
+      for (VertexId w : query_.Neighbors(u)) {
+        if (!enqueued[w]) {
+          enqueued[w] = true;
+          anchor_[w] = u;
+          queue.push(w);
+        }
+      }
+    }
+  }
+
+  uint32_t UnmappedNeighbors(const Graph& g, VertexId v,
+                             const std::vector<bool>& mapped_flag) const {
+    uint32_t count = 0;
+    for (VertexId w : g.Neighbors(v)) {
+      if (!mapped_flag[w]) ++count;
+    }
+    return count;
+  }
+
+  bool Feasible(VertexId u, VertexId v) {
+    if (data_.degree(v) < query_.degree(u)) return false;
+    // Edge consistency with all mapped query neighbors.
+    uint32_t mapped_query_neighbors = 0;
+    for (VertexId w : query_.Neighbors(u)) {
+      if (mapping_[w] != kInvalidVertex) {
+        ++mapped_query_neighbors;
+        if (!edge_ok_(u, w, mapping_[w], v)) return false;
+      }
+    }
+    // Look-ahead: v must have at least as many unmapped neighbors as u.
+    uint32_t unmapped_data_neighbors = 0;
+    for (VertexId w : data_.Neighbors(v)) {
+      if (!used_[w]) ++unmapped_data_neighbors;
+    }
+    uint32_t unmapped_query_neighbors =
+        query_.degree(u) - mapped_query_neighbors;
+    return unmapped_data_neighbors >= unmapped_query_neighbors;
+  }
+
+  void Recurse(uint32_t depth) {
+    ++result_->recursive_calls;
+    if ((result_->recursive_calls & 1023) == 0 && deadline_.Expired()) {
+      result_->timed_out = true;
+      stop_ = true;
+      return;
+    }
+    if (depth == query_.NumVertices()) {
+      ++result_->embeddings;
+      if (options_.callback && !options_.callback(mapping_)) stop_ = true;
+      if (options_.limit != 0 && result_->embeddings >= options_.limit) {
+        result_->limit_reached = true;
+        stop_ = true;
+      }
+      return;
+    }
+    VertexId u = order_[depth];
+    if (data_labels_[u] == kNoSuchLabel) return;
+    auto try_vertex = [&](VertexId v) {
+      if (used_[v] || data_.label(v) != data_labels_[u] || !Feasible(u, v)) {
+        return;
+      }
+      mapping_[u] = v;
+      used_[v] = true;
+      Recurse(depth + 1);
+      used_[v] = false;
+      mapping_[u] = kInvalidVertex;
+    };
+    if (anchor_[u] != kInvalidVertex) {
+      for (VertexId v :
+           data_.NeighborsWithLabel(mapping_[anchor_[u]], data_labels_[u])) {
+        try_vertex(v);
+        if (stop_) return;
+      }
+    } else {
+      for (VertexId v : data_.VerticesWithLabel(data_labels_[u])) {
+        try_vertex(v);
+        if (stop_) return;
+      }
+    }
+  }
+
+  const Graph& query_;
+  const Graph& data_;
+  const MatcherOptions& options_;
+  const Deadline& deadline_;
+  std::vector<Label> data_labels_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> anchor_;
+  std::vector<VertexId> mapping_;
+  std::vector<bool> used_;
+  EdgeVerifier edge_ok_;
+  MatcherResult* result_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+MatcherResult Vf2Match(const Graph& query, const Graph& data,
+                       const MatcherOptions& options) {
+  MatcherResult result;
+  Deadline deadline(options.time_limit_ms);
+  Stopwatch timer;
+  Vf2 vf2(query, data, options, deadline);
+  result.preprocess_ms = timer.ElapsedMs();
+  Stopwatch search_timer;
+  vf2.Run(&result);
+  result.search_ms = search_timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace daf::baselines

@@ -1,0 +1,17 @@
+#ifndef DAF_BASELINES_VF2_H_
+#define DAF_BASELINES_VF2_H_
+
+#include "baselines/common.h"
+
+namespace daf::baselines {
+
+/// VF2 [Cordella et al., TPAMI 2004]: state-space backtracking over a
+/// connectivity-preserving query order with the classic feasibility rules —
+/// label equality, consistency of edges to already-mapped vertices, and the
+/// one-step look-ahead comparing the numbers of unmapped neighbors.
+MatcherResult Vf2Match(const Graph& query, const Graph& data,
+                       const MatcherOptions& options = {});
+
+}  // namespace daf::baselines
+
+#endif  // DAF_BASELINES_VF2_H_

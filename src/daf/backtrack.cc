@@ -1,0 +1,309 @@
+#include "daf/backtrack.h"
+
+#include <algorithm>
+
+#include "graph/graph.h"
+
+namespace daf {
+
+Backtracker::Backtracker(const Graph& query, const QueryDag& dag,
+                         const CandidateSpace& cs, const WeightArray* weights,
+                         uint32_t data_num_vertices)
+    : query_(query),
+      dag_(dag),
+      cs_(cs),
+      weights_(weights),
+      n_(query.NumVertices()) {
+  mapped_cand_idx_.assign(n_, kNotMapped);
+  mapped_vertex_.assign(n_, kInvalidVertex);
+  num_mapped_parents_.assign(n_, 0);
+  extendable_cands_.assign(n_, {});
+  extendable_weight_.assign(n_, 0);
+  is_leaf_.assign(n_, false);
+  for (uint32_t u = 0; u < n_; ++u) is_leaf_[u] = query.degree(u) <= 1;
+  mapped_by_.assign(data_num_vertices, kInvalidVertex);
+  fs_stack_.assign(n_ + 1, Bitset(n_));
+  fs_empty_.assign(n_ + 1, false);
+  fs_union_.assign(n_ + 1, Bitset(n_));
+  failed_classes_.assign(n_ + 1, {});
+  embedding_buffer_.assign(n_, kInvalidVertex);
+}
+
+BacktrackStats Backtracker::Run(const BacktrackOptions& options) {
+  options_ = options;
+  stats_ = BacktrackStats{};
+  stop_ = false;
+  deadline_check_countdown_ = 0;
+  std::fill(mapped_cand_idx_.begin(), mapped_cand_idx_.end(), kNotMapped);
+  std::fill(num_mapped_parents_.begin(), num_mapped_parents_.end(), 0u);
+  extendable_list_.clear();
+
+  // A single-leaf query (one vertex, or one edge where everything is a
+  // leaf) still needs a selectable vertex, so leaf deferral is a preference,
+  // not a filter (see SelectExtendable).
+
+  // Seed every component root as extendable: C_M(r) = C(r). (Connected
+  // queries have exactly one root; disconnected ones get one per
+  // component.)
+  for (VertexId root : dag_.Roots()) {
+    auto& root_cands = extendable_cands_[root];
+    root_cands.resize(cs_.NumCandidates(root));
+    for (uint32_t i = 0; i < root_cands.size(); ++i) root_cands[i] = i;
+    if (options_.order == MatchOrder::kPathSize) {
+      uint64_t w = 0;
+      for (uint32_t i = 0; i < root_cands.size(); ++i) {
+        w += weights_->Weight(root, i);
+      }
+      extendable_weight_[root] = w;
+    } else {
+      extendable_weight_[root] = root_cands.size();
+    }
+    extendable_list_.push_back(root);
+  }
+
+  Recurse(0);
+  return stats_;
+}
+
+bool Backtracker::ShouldStop() {
+  if (stop_) return true;
+  if (options_.deadline != nullptr && deadline_check_countdown_-- == 0) {
+    deadline_check_countdown_ = 4096;
+    if (options_.deadline->Expired()) {
+      stats_.timed_out = true;
+      stop_ = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Backtracker::ReportEmbedding() {
+  ++stats_.embeddings;
+  uint64_t total = stats_.embeddings;
+  if (options_.shared_count != nullptr) {
+    total = options_.shared_count->fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  if (options_.callback) {
+    for (uint32_t u = 0; u < n_; ++u) embedding_buffer_[u] = mapped_vertex_[u];
+    if (!options_.callback(embedding_buffer_)) {
+      stats_.callback_stopped = true;
+      stop_ = true;
+    }
+  }
+  if (options_.limit != 0 && total >= options_.limit) {
+    stats_.limit_reached = true;
+    stop_ = true;
+  }
+}
+
+VertexId Backtracker::SelectExtendable() const {
+  VertexId best = kInvalidVertex;
+  uint64_t best_weight = 0;
+  bool best_is_leaf = true;
+  for (VertexId u : extendable_list_) {
+    if (mapped_cand_idx_[u] != kNotMapped) continue;
+    bool leaf = options_.leaf_decomposition && is_leaf_[u];
+    uint64_t w = extendable_weight_[u];
+    bool better;
+    if (best == kInvalidVertex) {
+      better = true;
+    } else if (leaf != best_is_leaf) {
+      better = !leaf;  // non-leaves strictly before leaves
+    } else {
+      better = w < best_weight || (w == best_weight && u < best);
+    }
+    if (better) {
+      best = u;
+      best_weight = w;
+      best_is_leaf = leaf;
+    }
+  }
+  return best;
+}
+
+void Backtracker::ComputeExtendableCandidates(VertexId u) {
+  const std::vector<VertexId>& parents = dag_.Parents(u);
+  const std::vector<uint32_t>& edge_ids = dag_.ParentEdgeIds(u);
+  auto& out = extendable_cands_[u];
+  // Intersect the parents' CS adjacency lists (Definition 5.2). Lists are
+  // sorted candidate indices into C(u).
+  {
+    std::span<const uint32_t> first =
+        cs_.EdgeNeighbors(edge_ids[0], mapped_cand_idx_[parents[0]]);
+    out.assign(first.begin(), first.end());
+  }
+  for (size_t pi = 1; pi < parents.size() && !out.empty(); ++pi) {
+    std::span<const uint32_t> next =
+        cs_.EdgeNeighbors(edge_ids[pi], mapped_cand_idx_[parents[pi]]);
+    scratch_.clear();
+    std::set_intersection(out.begin(), out.end(), next.begin(), next.end(),
+                          std::back_inserter(scratch_));
+    out.swap(scratch_);
+  }
+  if (options_.order == MatchOrder::kPathSize) {
+    uint64_t w = 0;
+    for (uint32_t idx : out) w += weights_->Weight(u, idx);
+    extendable_weight_[u] = w;
+  } else {
+    extendable_weight_[u] = out.size();
+  }
+}
+
+void Backtracker::Map(VertexId u, uint32_t cand_idx) {
+  mapped_cand_idx_[u] = cand_idx;
+  VertexId v = cs_.CandidateVertex(u, cand_idx);
+  mapped_vertex_[u] = v;
+  // mapped_by_ backs the injectivity (conflict) checks only; homomorphism
+  // runs allow several query vertices on one data vertex.
+  if (options_.injective) mapped_by_[v] = u;
+  for (VertexId c : dag_.Children(u)) {
+    if (++num_mapped_parents_[c] ==
+        static_cast<uint32_t>(dag_.Parents(c).size())) {
+      extendable_list_.push_back(c);
+      ComputeExtendableCandidates(c);
+    }
+  }
+}
+
+void Backtracker::Unmap(VertexId u) {
+  const std::vector<VertexId>& children = dag_.Children(u);
+  for (size_t i = children.size(); i-- > 0;) {
+    VertexId c = children[i];
+    if (num_mapped_parents_[c]-- ==
+        static_cast<uint32_t>(dag_.Parents(c).size())) {
+      // LIFO discipline: vertices that became extendable because of this
+      // mapping are at the tail of the list.
+      extendable_list_.pop_back();
+    }
+  }
+  if (options_.injective) mapped_by_[mapped_vertex_[u]] = kInvalidVertex;
+  mapped_vertex_[u] = kInvalidVertex;
+  mapped_cand_idx_[u] = kNotMapped;
+}
+
+void Backtracker::Recurse(uint32_t depth) {
+  ++stats_.recursive_calls;
+  if (depth == n_) {
+    ReportEmbedding();
+    fs_empty_[depth] = true;  // embedding-class leaf: F = ∅
+    return;
+  }
+  if (ShouldStop()) {
+    fs_empty_[depth] = true;
+    return;
+  }
+
+  const VertexId u = SelectExtendable();
+  const std::vector<uint32_t>& cands = extendable_cands_[u];
+  const bool failing = options_.use_failing_sets;
+
+  if (cands.empty()) {
+    // Emptyset-class leaf: F = anc(u).
+    if (failing) {
+      fs_stack_[depth].Assign(dag_.Ancestors(u));
+      fs_empty_[depth] = false;
+    }
+    return;
+  }
+
+  Bitset& union_fs = fs_union_[depth];
+  if (failing) union_fs.ClearAll();
+  bool any_child_empty = false;
+
+  const bool boost = options_.equivalence != nullptr;
+  std::vector<FailedClass>& failed = failed_classes_[depth];
+  if (boost) failed.clear();
+
+  const bool at_root = (depth == 0 && options_.root_cursor != nullptr);
+  uint32_t pos = 0;
+  while (true) {
+    uint32_t list_index;
+    if (at_root) {
+      list_index = options_.root_cursor->fetch_add(1);
+    } else {
+      list_index = pos++;
+    }
+    if (list_index >= cands.size()) break;
+    const uint32_t cand_idx = cands[list_index];
+    const VertexId v = cs_.CandidateVertex(u, cand_idx);
+
+    if (ShouldStop()) {
+      any_child_empty = true;
+      break;
+    }
+
+    if (options_.injective && mapped_by_[v] != kInvalidVertex) {
+      // Conflict-class leaf: F = anc(u) ∪ anc(u') where u' holds v.
+      ++stats_.recursive_calls;
+      if (failing) {
+        union_fs.UnionWith(dag_.Ancestors(u));
+        union_fs.UnionWith(dag_.Ancestors(mapped_by_[v]));
+      }
+      continue;
+    }
+
+    if (boost) {
+      // DAF-Boost skip: a candidate equivalent to an exhausted, embedding-
+      // free sibling cannot succeed either (the two subtrees are isomorphic
+      // under the swap of the equivalent vertices).
+      const uint32_t cls = options_.equivalence->ClassOf(v);
+      bool skipped = false;
+      for (const FailedClass& fc : failed) {
+        if (fc.class_id == cls) {
+          if (failing) union_fs.UnionWith(fc.failing_set);
+          skipped = true;
+          break;
+        }
+      }
+      if (skipped) continue;
+    }
+
+    const uint64_t embeddings_before = stats_.embeddings;
+    Map(u, cand_idx);
+    Recurse(depth + 1);
+    Unmap(u);
+
+    if (stop_) {
+      any_child_empty = true;
+      break;
+    }
+
+    const bool child_found_embedding = stats_.embeddings > embeddings_before;
+    if (failing) {
+      if (fs_empty_[depth + 1]) {
+        any_child_empty = true;  // Case 1: F_M = ∅
+      } else if (!fs_stack_[depth + 1].Test(u)) {
+        // Case 2.1 and Lemma 6.1: every remaining sibling is redundant.
+        fs_stack_[depth].Assign(fs_stack_[depth + 1]);
+        fs_empty_[depth] = false;
+        return;
+      } else {
+        union_fs.UnionWith(fs_stack_[depth + 1]);
+      }
+    }
+    if (boost && !child_found_embedding &&
+        options_.equivalence->ClassSize(options_.equivalence->ClassOf(v)) >
+            1) {
+      FailedClass fc;
+      fc.class_id = options_.equivalence->ClassOf(v);
+      if (failing && !fs_empty_[depth + 1]) {
+        fc.failing_set = fs_stack_[depth + 1];
+      } else if (failing) {
+        fc.failing_set.Resize(n_);  // empty contribution
+      }
+      failed.push_back(std::move(fc));
+    }
+  }
+
+  if (failing) {
+    if (any_child_empty) {
+      fs_empty_[depth] = true;
+    } else {
+      fs_stack_[depth].Assign(union_fs);  // Case 2.2: union of children
+      fs_empty_[depth] = false;
+    }
+  }
+}
+
+}  // namespace daf

@@ -1,0 +1,140 @@
+#ifndef DAF_DAF_BACKTRACK_H_
+#define DAF_DAF_BACKTRACK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "daf/boost.h"
+#include "daf/candidate_space.h"
+#include "daf/query_dag.h"
+#include "daf/weights.h"
+#include "graph/embedding.h"
+#include "util/bitset.h"
+#include "util/timer.h"
+
+namespace daf {
+
+/// Which adaptive matching order drives extendable-vertex selection
+/// (Section 5.2). The paper's final algorithm DAF uses kPathSize.
+enum class MatchOrder {
+  kPathSize,       // min w_M(u) over extendable u (weight array estimate)
+  kCandidateSize,  // min |C_M(u)| over extendable u
+};
+
+/// Options controlling one backtracking run.
+struct BacktrackOptions {
+  MatchOrder order = MatchOrder::kPathSize;
+  /// Enables failing-set pruning (Section 6). Off = the paper's "DA".
+  bool use_failing_sets = true;
+  /// When false, enumerates *homomorphisms* instead of embeddings: the
+  /// injectivity requirement (condition (1) of Section 2) is dropped, so
+  /// distinct query vertices may map to one data vertex and conflict-class
+  /// failures disappear. Label and edge conditions still apply.
+  bool injective = true;
+  /// Defers degree-one query vertices to the end of the matching order
+  /// (the leaf decomposition strategy adopted from CFL-Match, Section 3).
+  bool leaf_decomposition = true;
+  /// Stop after this many embeddings; 0 = enumerate all.
+  uint64_t limit = 0;
+  /// Optional wall-clock cutoff (not owned).
+  const Deadline* deadline = nullptr;
+  /// Shared embedding counter for multi-threaded runs (not owned). When
+  /// set, `limit` applies to the shared total, as in Appendix A.4.
+  std::atomic<uint64_t>* shared_count = nullptr;
+  /// Work-stealing cursor over the root's candidates for multi-threaded
+  /// runs (not owned). When null the backtracker scans all root candidates.
+  std::atomic<uint32_t>* root_cursor = nullptr;
+  /// Data-vertex equivalence classes; when set, enables the DAF-Boost
+  /// failure-skipping rule (Appendix A.5). Not owned.
+  const VertexEquivalence* equivalence = nullptr;
+  /// Optional per-embedding callback.
+  EmbeddingCallback callback;
+};
+
+/// Outcome counters of one backtracking run.
+struct BacktrackStats {
+  uint64_t embeddings = 0;       // embeddings found by this backtracker
+  uint64_t recursive_calls = 0;  // examined search-tree nodes
+  bool limit_reached = false;
+  bool timed_out = false;
+  bool callback_stopped = false;
+};
+
+/// The backtracking engine of Algorithm 2: finds all embeddings of q in the
+/// CS structure (never touching the data graph, by Theorem 4.1), following a
+/// DAG ordering with an adaptive matching order, and pruning redundant
+/// siblings via failing sets (Lemma 6.1).
+///
+/// A Backtracker holds per-run scratch state sized to (query, data); it is
+/// single-threaded, but independent instances may run concurrently over a
+/// shared CandidateSpace (see parallel.h).
+class Backtracker {
+ public:
+  /// `weights` may be null iff the run uses MatchOrder::kCandidateSize.
+  /// `data_num_vertices` sizes the visited table. All referenced objects
+  /// must outlive the Backtracker.
+  Backtracker(const Graph& query, const QueryDag& dag,
+              const CandidateSpace& cs, const WeightArray* weights,
+              uint32_t data_num_vertices);
+
+  Backtracker(const Backtracker&) = delete;
+  Backtracker& operator=(const Backtracker&) = delete;
+
+  /// Runs the search; reentrant (each call resets all scratch state).
+  BacktrackStats Run(const BacktrackOptions& options);
+
+ private:
+  struct FailedClass {
+    uint32_t class_id;
+    Bitset failing_set;  // only meaningful when failing sets are enabled
+  };
+
+  void Recurse(uint32_t depth);
+  VertexId SelectExtendable() const;
+  void ComputeExtendableCandidates(VertexId u);
+  void Map(VertexId u, uint32_t cand_idx);
+  void Unmap(VertexId u);
+  bool ShouldStop();
+  void ReportEmbedding();
+
+  static constexpr uint32_t kNotMapped = static_cast<uint32_t>(-1);
+
+  const Graph& query_;
+  const QueryDag& dag_;
+  const CandidateSpace& cs_;
+  const WeightArray* weights_;
+  const uint32_t n_;
+
+  BacktrackOptions options_;
+  BacktrackStats stats_;
+  bool stop_ = false;
+
+  // Per query vertex.
+  std::vector<uint32_t> mapped_cand_idx_;
+  std::vector<VertexId> mapped_vertex_;
+  std::vector<uint32_t> num_mapped_parents_;
+  std::vector<std::vector<uint32_t>> extendable_cands_;
+  std::vector<uint64_t> extendable_weight_;
+  std::vector<bool> is_leaf_;
+  // Per data vertex: query vertex currently mapped to it, or kInvalidVertex.
+  std::vector<VertexId> mapped_by_;
+  // LIFO list of vertices that are (or were, while mapped) extendable.
+  std::vector<VertexId> extendable_list_;
+  // Failing-set machinery, one slot per recursion depth.
+  std::vector<Bitset> fs_stack_;
+  std::vector<bool> fs_empty_;
+  std::vector<Bitset> fs_union_;
+  // DAF-Boost: per-depth record of candidate classes that failed.
+  std::vector<std::vector<FailedClass>> failed_classes_;
+  // Scratch for candidate-set intersections.
+  std::vector<uint32_t> scratch_;
+  std::vector<VertexId> embedding_buffer_;
+  uint64_t deadline_check_countdown_ = 0;
+};
+
+}  // namespace daf
+
+#endif  // DAF_DAF_BACKTRACK_H_

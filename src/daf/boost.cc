@@ -1,0 +1,147 @@
+#include "daf/boost.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace daf {
+
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+  return h * 0xff51afd7ed558ccdull;
+}
+
+// Sorted (neighbor, edge label) pairs of v, optionally excluding one
+// neighbor. Edge labels matter: the DAF-Boost swap argument needs the
+// edges incident to the two twins to be pairwise identical, labels
+// included.
+using LabeledNeighborhood = std::vector<std::pair<VertexId, Label>>;
+
+LabeledNeighborhood NeighborhoodOf(const Graph& g, VertexId v,
+                                   VertexId exclude) {
+  LabeledNeighborhood out;
+  auto neighbors = g.Neighbors(v);
+  auto edge_labels = g.NeighborEdgeLabels(v);
+  out.reserve(neighbors.size());
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    if (neighbors[i] != exclude) out.emplace_back(neighbors[i],
+                                                  edge_labels[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Open-neighborhood signature: (label, sorted (N(v), edge labels)).
+uint64_t OpenKey(const Graph& g, VertexId v) {
+  uint64_t h = HashCombine(0x1234567, g.label(v));
+  auto neighbors = g.Neighbors(v);
+  auto edge_labels = g.NeighborEdgeLabels(v);
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    h = HashCombine(h, neighbors[i]);
+    h = HashCombine(h, edge_labels[i]);
+  }
+  return h;
+}
+
+// Closed-neighborhood bucket key: (label, sorted N[v] ids). Edge labels
+// are deliberately left out here (the twin-pair edge maps to itself, which
+// a plain hash cannot express); the exact check below handles them.
+uint64_t ClosedKey(const Graph& g, VertexId v, std::vector<VertexId>* tmp) {
+  tmp->assign(g.Neighbors(v).begin(), g.Neighbors(v).end());
+  tmp->push_back(v);
+  std::sort(tmp->begin(), tmp->end());
+  uint64_t h = HashCombine(0x7654321, g.label(v));
+  for (VertexId u : *tmp) h = HashCombine(h, u);
+  return h;
+}
+
+// SE: same label and identical labeled open neighborhoods.
+bool OpenEqual(const Graph& g, VertexId a, VertexId b) {
+  if (g.label(a) != g.label(b) || g.degree(a) != g.degree(b)) return false;
+  return NeighborhoodOf(g, a, kInvalidVertex) ==
+         NeighborhoodOf(g, b, kInvalidVertex);
+}
+
+// QDE (adjacent twins): a ~ b and N(a)\{b} equals N(b)\{a}, edge labels
+// included. (Closed-neighborhood equality forces adjacency: N[a] = N[b]
+// with a ∈ N[a] requires a ∈ N[b].)
+bool ClosedEqual(const Graph& g, VertexId a, VertexId b) {
+  if (g.label(a) != g.label(b) || g.degree(a) != g.degree(b)) return false;
+  if (!g.HasEdge(a, b)) return false;
+  return NeighborhoodOf(g, a, b) == NeighborhoodOf(g, b, a);
+}
+
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t n) : parent_(n) {
+    for (uint32_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+VertexEquivalence VertexEquivalence::Compute(const Graph& g) {
+  const uint32_t n = g.NumVertices();
+  UnionFind uf(n);
+  std::vector<VertexId> ta;
+
+  // SE: bucket by open-neighborhood hash, verify exactly within buckets.
+  {
+    std::unordered_map<uint64_t, std::vector<VertexId>> buckets;
+    buckets.reserve(n);
+    for (uint32_t v = 0; v < n; ++v) {
+      auto& bucket = buckets[OpenKey(g, v)];
+      for (VertexId other : bucket) {
+        if (OpenEqual(g, other, v)) {
+          uf.Union(other, v);
+          break;
+        }
+      }
+      bucket.push_back(v);
+    }
+  }
+  // QDE: bucket by closed-neighborhood hash, verify with the exact
+  // edge-label-aware check.
+  {
+    std::unordered_map<uint64_t, std::vector<VertexId>> buckets;
+    buckets.reserve(n);
+    for (uint32_t v = 0; v < n; ++v) {
+      auto& bucket = buckets[ClosedKey(g, v, &ta)];
+      for (VertexId other : bucket) {
+        if (ClosedEqual(g, other, v)) {
+          uf.Union(other, v);
+          break;
+        }
+      }
+      bucket.push_back(v);
+    }
+  }
+
+  VertexEquivalence eq;
+  eq.class_id_.assign(n, 0);
+  std::unordered_map<uint32_t, uint32_t> root_to_class;
+  root_to_class.reserve(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    uint32_t root = uf.Find(v);
+    auto [it, inserted] = root_to_class.emplace(
+        root, static_cast<uint32_t>(eq.class_size_.size()));
+    if (inserted) eq.class_size_.push_back(0);
+    eq.class_id_[v] = it->second;
+    ++eq.class_size_[it->second];
+  }
+  return eq;
+}
+
+}  // namespace daf

@@ -1,0 +1,54 @@
+#ifndef DAF_DAF_BOOST_H_
+#define DAF_DAF_BOOST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace daf {
+
+/// Data-vertex equivalence classes in the spirit of BoostIso [33], used by
+/// DAF-Boost (Appendix A.5 — which, like the paper, exploits only the
+/// *equivalence* relationships SE/QDE, not the containment ones).
+///
+/// Two data vertices are equivalent iff they carry the same label and
+///   * SE  (non-adjacent twins): N(v) = N(v'), or
+///   * QDE (adjacent twins):     N(v) \ {v'} = N(v') \ {v}
+///     (equivalently, closed neighborhoods N[v] = N[v']).
+///
+/// Equivalent vertices are interchangeable in any embedding, so during
+/// backtracking a candidate whose class already failed exhaustively can be
+/// skipped: the two search subtrees are isomorphic under the swap v <-> v'.
+class VertexEquivalence {
+ public:
+  /// Computes the equivalence classes of g.
+  static VertexEquivalence Compute(const Graph& g);
+
+  /// Class id of data vertex v (dense, in [0, NumClasses())).
+  uint32_t ClassOf(VertexId v) const { return class_id_[v]; }
+
+  /// Number of members of class c.
+  uint32_t ClassSize(uint32_t c) const { return class_size_[c]; }
+
+  /// Number of equivalence classes.
+  uint32_t NumClasses() const {
+    return static_cast<uint32_t>(class_size_.size());
+  }
+
+  /// Fraction of vertices removed by compressing each class to one
+  /// representative: 1 - NumClasses()/|V| (the paper's "compression ratio").
+  double CompressionRatio() const {
+    return class_id_.empty()
+               ? 0.0
+               : 1.0 - static_cast<double>(NumClasses()) / class_id_.size();
+  }
+
+ private:
+  std::vector<uint32_t> class_id_;
+  std::vector<uint32_t> class_size_;
+};
+
+}  // namespace daf
+
+#endif  // DAF_DAF_BOOST_H_

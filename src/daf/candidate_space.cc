@@ -1,0 +1,213 @@
+#include "daf/candidate_space.h"
+
+#include <algorithm>
+
+#include "graph/query_extract.h"
+#include "util/bitset.h"
+
+namespace daf {
+
+namespace {
+
+// The neighborhood label frequency profile of a query vertex, in the data
+// graph's label space: (label, count) pairs. Returns false if some neighbor
+// label does not occur in the data graph (no candidate can then match).
+bool QueryNlfProfile(const Graph& query, const QueryDag& dag, VertexId u,
+                     std::vector<std::pair<Label, uint32_t>>* profile) {
+  profile->clear();
+  std::vector<Label> neighbor_labels;
+  neighbor_labels.reserve(query.degree(u));
+  for (VertexId w : query.Neighbors(u)) {
+    Label l = dag.DataLabel(w);
+    if (l == kNoSuchLabel) return false;
+    neighbor_labels.push_back(l);
+  }
+  std::sort(neighbor_labels.begin(), neighbor_labels.end());
+  for (size_t i = 0; i < neighbor_labels.size();) {
+    size_t j = i;
+    while (j < neighbor_labels.size() && neighbor_labels[j] ==
+                                             neighbor_labels[i]) {
+      ++j;
+    }
+    profile->emplace_back(neighbor_labels[i], static_cast<uint32_t>(j - i));
+    i = j;
+  }
+  return true;
+}
+
+}  // namespace
+
+CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
+                                     const Graph& data,
+                                     const Options& options) {
+  const int refinement_steps = options.refinement_steps;
+  CandidateSpace cs;
+  const uint32_t n = query.NumVertices();
+  const uint32_t data_n = data.NumVertices();
+  cs.candidates_.assign(n, {});
+
+  // Candidate membership bitmaps, kept in sync with cs.candidates_.
+  std::vector<Bitset> valid(n, Bitset(data_n));
+
+  // --- Initial candidate sets: label + degree + MND + NLF local filters.
+  // (The paper applies the local filters during the first q_D^{-1} pass;
+  // applying them while seeding C_ini is equivalent and cheaper.)
+  std::vector<std::pair<Label, uint32_t>> profile;
+  for (uint32_t u = 0; u < n; ++u) {
+    Label dl = dag.DataLabel(u);
+    if (dl == kNoSuchLabel) continue;
+    profile.clear();
+    if (options.use_nlf_filter && !QueryNlfProfile(query, dag, u, &profile)) {
+      continue;  // some neighbor label cannot exist in the data graph
+    }
+    uint32_t max_nbr_deg = 0;
+    for (VertexId w : query.Neighbors(u)) {
+      max_nbr_deg = std::max(max_nbr_deg, query.degree(w));
+    }
+    for (VertexId v : data.VerticesWithLabel(dl)) {
+      if (options.injective && data.degree(v) < query.degree(u)) continue;
+      if (options.injective && options.use_mnd_filter &&
+          data.MaxNeighborDegree(v) < max_nbr_deg) {
+        continue;
+      }
+      bool nlf_ok = true;
+      for (const auto& [label, count] : profile) {
+        uint32_t needed = options.injective ? count : 1;
+        if (data.NeighborLabelCount(v, label) < needed) {
+          nlf_ok = false;
+          break;
+        }
+      }
+      if (!nlf_ok) continue;
+      cs.candidates_[u].push_back(v);
+      valid[u].Set(v);
+    }
+  }
+
+  // --- DAG-graph DP refinement, Recurrence (1), alternating q_D^{-1}/q_D.
+  // For q' = q_D^{-1}: children in q' are parents in q_D; the reverse
+  // topological order of q' is the forward topological order of q_D.
+  // Edge labels participate whenever either graph carries them: an
+  // unlabeled query edge (label 0) then only matches label-0 data edges.
+  const bool check_edge_labels =
+      dag.HasEdgeLabels() || data.HasNontrivialEdgeLabels();
+  const std::vector<VertexId>& topo = dag.TopologicalOrder();
+  for (int step = 0; step < refinement_steps; ++step) {
+    const bool use_reversed_dag = (step % 2 == 0);
+    bool changed = false;
+    for (uint32_t pos = 0; pos < n; ++pos) {
+      VertexId u = use_reversed_dag ? topo[pos] : topo[n - 1 - pos];
+      const std::vector<VertexId>& dp_children =
+          use_reversed_dag ? dag.Parents(u) : dag.Children(u);
+      if (dp_children.empty()) continue;
+      // Query edge labels toward each DP child (all zero when unlabeled).
+      std::vector<Label> required_edge_label(dp_children.size(), 0);
+      if (dag.HasEdgeLabels()) {
+        for (size_t c = 0; c < dp_children.size(); ++c) {
+          required_edge_label[c] =
+              query.EdgeLabelBetween(u, dp_children[c]);
+        }
+      }
+      auto& cand = cs.candidates_[u];
+      size_t kept = 0;
+      for (size_t i = 0; i < cand.size(); ++i) {
+        VertexId v = cand[i];
+        bool survives = true;
+        for (size_t c = 0; c < dp_children.size(); ++c) {
+          VertexId uc = dp_children[c];
+          bool has_valid_neighbor = false;
+          if (check_edge_labels) {
+            Graph::NeighborSlice slice =
+                data.NeighborsWithLabelAndEdges(v, dag.DataLabel(uc));
+            for (size_t j = 0; j < slice.vertices.size(); ++j) {
+              if (slice.edge_labels[j] == required_edge_label[c] &&
+                  valid[uc].Test(slice.vertices[j])) {
+                has_valid_neighbor = true;
+                break;
+              }
+            }
+          } else {
+            for (VertexId vc :
+                 data.NeighborsWithLabel(v, dag.DataLabel(uc))) {
+              if (valid[uc].Test(vc)) {
+                has_valid_neighbor = true;
+                break;
+              }
+            }
+          }
+          if (!has_valid_neighbor) {
+            survives = false;
+            break;
+          }
+        }
+        if (survives) {
+          cand[kept++] = v;
+        } else {
+          valid[u].Clear(v);
+          changed = true;
+        }
+      }
+      cand.resize(kept);
+    }
+    if (changed) ++cs.effective_refinements_;
+  }
+
+  // --- Materialize the CS edges N^u_{uc}(v) as candidate-index CSR arrays.
+  cs.edge_offsets_.assign(dag.NumEdges(), {});
+  cs.edge_targets_.assign(dag.NumEdges(), {});
+  std::vector<uint32_t> cand_index(data_n, 0);
+  for (VertexId u : topo) {
+    // Index map: data vertex -> candidate index within C(u).
+    const auto& child_cand = cs.candidates_[u];
+    for (uint32_t i = 0; i < child_cand.size(); ++i) {
+      cand_index[child_cand[i]] = i;
+    }
+    Label child_label = dag.DataLabel(u);
+    const std::vector<VertexId>& parents = dag.Parents(u);
+    const std::vector<uint32_t>& edge_ids = dag.ParentEdgeIds(u);
+    for (size_t pi = 0; pi < parents.size(); ++pi) {
+      VertexId p = parents[pi];
+      uint32_t edge_id = edge_ids[pi];
+      auto& offsets = cs.edge_offsets_[edge_id];
+      auto& targets = cs.edge_targets_[edge_id];
+      const auto& parent_cand = cs.candidates_[p];
+      const Label required = dag.EdgeLabelOf(edge_id);
+      offsets.assign(parent_cand.size() + 1, 0);
+      for (uint32_t ip = 0; ip < parent_cand.size(); ++ip) {
+        if (check_edge_labels) {
+          Graph::NeighborSlice slice =
+              data.NeighborsWithLabelAndEdges(parent_cand[ip], child_label);
+          for (size_t j = 0; j < slice.vertices.size(); ++j) {
+            if (slice.edge_labels[j] == required &&
+                valid[u].Test(slice.vertices[j])) {
+              targets.push_back(cand_index[slice.vertices[j]]);
+            }
+          }
+        } else {
+          for (VertexId vc :
+               data.NeighborsWithLabel(parent_cand[ip], child_label)) {
+            if (valid[u].Test(vc)) {
+              targets.push_back(cand_index[vc]);
+            }
+          }
+        }
+        offsets[ip + 1] = targets.size();
+      }
+    }
+  }
+  return cs;
+}
+
+uint64_t CandidateSpace::TotalCandidates() const {
+  uint64_t total = 0;
+  for (const auto& c : candidates_) total += c.size();
+  return total;
+}
+
+uint64_t CandidateSpace::TotalEdges() const {
+  uint64_t total = 0;
+  for (const auto& t : edge_targets_) total += t.size();
+  return total;
+}
+
+}  // namespace daf

@@ -1,0 +1,108 @@
+#ifndef DAF_DAF_CANDIDATE_SPACE_H_
+#define DAF_DAF_CANDIDATE_SPACE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "daf/query_dag.h"
+#include "graph/graph.h"
+
+namespace daf {
+
+/// The CS (candidate space) structure of Section 4: one candidate set C(u)
+/// per query vertex plus, for every DAG edge (u -> u_c), the adjacency lists
+/// N^u_{u_c}(v) connecting candidates of u to candidates of u_c.
+///
+/// The candidate sets are computed by DAG-graph DP: starting from
+/// C_ini(u) = {v : L(v)=L(u), deg_G(v) >= deg_q(u)} (further filtered by the
+/// local MND and NLF features), the sets are refined by Recurrence (1),
+/// alternating the reversed DAG q_D^{-1} and q_D, for `refinement_steps`
+/// passes (the paper fixes 3). A vertex v survives in C(u) only while a weak
+/// embedding of the sub-DAG rooted at u exists at v, so the final CS is
+/// sound; because every query edge is materialized, it is also *equivalent*
+/// to G w.r.t. q (Theorem 4.1) and backtracking never touches G again.
+///
+/// Candidates are addressed by (query vertex, dense index); the adjacency
+/// lists store candidate indices of the child, sorted ascending, so the
+/// extendable-candidate intersection of Definition 5.2 is a sorted-list
+/// intersection.
+class CandidateSpace {
+ public:
+  /// Knobs for CS construction, exposed mainly for the ablation studies:
+  /// the paper's configuration is the default (3 DP passes, both local
+  /// filters on). Disabling a filter only grows the CS; soundness is kept.
+  struct Options {
+    /// DAG-graph DP passes (step i uses q_D^{-1} for even i, q_D for odd).
+    int refinement_steps = 3;
+    /// Neighborhood label frequency local filter [5, 16].
+    bool use_nlf_filter = true;
+    /// Maximum neighbor degree local filter [5].
+    bool use_mnd_filter = true;
+    /// Target mapping class. For homomorphism enumeration (false) the
+    /// injectivity-based filters are relaxed: the degree and MND filters
+    /// are dropped and NLF only requires each neighbor label to be
+    /// *present* (several query neighbors may collapse onto one data
+    /// vertex). The DAG-graph DP recurrence itself is already sound for
+    /// homomorphisms — a weak embedding is one (Definition 4.5).
+    bool injective = true;
+  };
+
+  /// Builds the CS for (query, dag, data).
+  static CandidateSpace Build(const Graph& query, const QueryDag& dag,
+                              const Graph& data, const Options& options);
+
+  /// Convenience overload: paper defaults with a custom pass count.
+  static CandidateSpace Build(const Graph& query, const QueryDag& dag,
+                              const Graph& data, int refinement_steps = 3) {
+    Options options;
+    options.refinement_steps = refinement_steps;
+    return Build(query, dag, data, options);
+  }
+
+  /// Number of candidates in C(u).
+  uint32_t NumCandidates(VertexId u) const {
+    return static_cast<uint32_t>(candidates_[u].size());
+  }
+
+  /// The data vertex of candidate `idx` of query vertex u.
+  VertexId CandidateVertex(VertexId u, uint32_t idx) const {
+    return candidates_[u][idx];
+  }
+
+  /// All candidates of u (data vertices, ascending).
+  std::span<const VertexId> Candidates(VertexId u) const {
+    return candidates_[u];
+  }
+
+  /// N^u_{u_c}(v): candidate *indices* into C(u_c) adjacent (in G) to
+  /// candidate `parent_idx` of u, for the DAG edge with dense id `edge_id`
+  /// (see QueryDag::ChildEdgeId). Sorted ascending.
+  std::span<const uint32_t> EdgeNeighbors(uint32_t edge_id,
+                                          uint32_t parent_idx) const {
+    const auto& offsets = edge_offsets_[edge_id];
+    return {edge_targets_[edge_id].data() + offsets[parent_idx],
+            offsets[parent_idx + 1] - offsets[parent_idx]};
+  }
+
+  /// Σ_u |C(u)| — the auxiliary-structure size metric of Figure 9.
+  uint64_t TotalCandidates() const;
+
+  /// Total number of CS edges (pairs counted once per DAG edge direction).
+  uint64_t TotalEdges() const;
+
+  /// Number of DP passes that removed at least one candidate (diagnostics).
+  uint32_t effective_refinements() const { return effective_refinements_; }
+
+ private:
+  std::vector<std::vector<VertexId>> candidates_;
+  // Per DAG edge: CSR over parent candidate indices -> child candidate
+  // indices.
+  std::vector<std::vector<uint64_t>> edge_offsets_;
+  std::vector<std::vector<uint32_t>> edge_targets_;
+  uint32_t effective_refinements_ = 0;
+};
+
+}  // namespace daf
+
+#endif  // DAF_DAF_CANDIDATE_SPACE_H_

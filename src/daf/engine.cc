@@ -1,0 +1,77 @@
+#include "daf/engine.h"
+
+#include "daf/candidate_space.h"
+#include "daf/query_dag.h"
+#include "daf/weights.h"
+#include "util/timer.h"
+
+namespace daf {
+
+MatchResult DafMatch(const Graph& query, const Graph& data,
+                     const MatchOptions& options) {
+  MatchResult result;
+  if (query.NumVertices() == 0) {
+    result.ok = false;
+    result.error = "empty query graph";
+    return result;
+  }
+
+  Deadline deadline(options.time_limit_ms);
+  Stopwatch preprocess_timer;
+  QueryDag dag = QueryDag::Build(query, data);
+  CandidateSpace::Options cs_options;
+  cs_options.refinement_steps = options.refinement_steps;
+  cs_options.use_nlf_filter = options.use_nlf_filter;
+  cs_options.use_mnd_filter = options.use_mnd_filter;
+  cs_options.injective = options.injective;
+  CandidateSpace cs = CandidateSpace::Build(query, dag, data, cs_options);
+  result.cs_candidates = cs.TotalCandidates();
+  result.cs_edges = cs.TotalEdges();
+
+  for (uint32_t u = 0; u < query.NumVertices(); ++u) {
+    if (cs.NumCandidates(u) == 0) {
+      // The CS certifies negativity: no search needed (Appendix A.3).
+      result.cs_certified_negative = true;
+      result.preprocess_ms = preprocess_timer.ElapsedMs();
+      return result;
+    }
+  }
+
+  WeightArray weights;
+  if (options.order == MatchOrder::kPathSize) {
+    weights = WeightArray::Compute(dag, cs);
+  }
+  result.preprocess_ms = preprocess_timer.ElapsedMs();
+
+  Stopwatch search_timer;
+  Backtracker backtracker(query, dag, cs,
+                          options.order == MatchOrder::kPathSize ? &weights
+                                                                 : nullptr,
+                          data.NumVertices());
+  BacktrackOptions bt;
+  bt.order = options.order;
+  bt.use_failing_sets = options.use_failing_sets;
+  bt.leaf_decomposition = options.leaf_decomposition;
+  bt.limit = options.limit;
+  bt.injective = options.injective;
+  bt.deadline = options.time_limit_ms > 0 ? &deadline : nullptr;
+  bt.equivalence = options.equivalence;
+  bt.callback = options.callback;
+  BacktrackStats stats = backtracker.Run(bt);
+  result.search_ms = search_timer.ElapsedMs();
+
+  result.embeddings = stats.embeddings;
+  result.recursive_calls = stats.recursive_calls;
+  result.limit_reached = stats.limit_reached || stats.callback_stopped;
+  result.timed_out = stats.timed_out;
+  return result;
+}
+
+uint64_t CountAutomorphisms(const Graph& g) {
+  MatchOptions options;
+  options.limit = 0;
+  MatchResult result = DafMatch(g, g, options);
+  return result.ok ? result.embeddings : 0;
+}
+
+}  // namespace daf

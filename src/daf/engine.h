@@ -1,0 +1,73 @@
+#ifndef DAF_DAF_ENGINE_H_
+#define DAF_DAF_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "daf/backtrack.h"
+#include "graph/graph.h"
+
+namespace daf {
+
+/// Options for a full DAF match (Algorithm 1: BuildDAG + BuildCS +
+/// Backtrack).
+struct MatchOptions {
+  /// Adaptive matching order; kPathSize is the paper's final DAF.
+  MatchOrder order = MatchOrder::kPathSize;
+  /// Failing-set pruning (off = the paper's DA variant).
+  bool use_failing_sets = true;
+  /// Defer degree-one query vertices to the end of the matching order.
+  bool leaf_decomposition = true;
+  /// Stop after this many embeddings (the paper uses k = 10^5); 0 = all.
+  uint64_t limit = 0;
+  /// Wall-clock limit covering preprocessing + search; 0 = none.
+  uint64_t time_limit_ms = 0;
+  /// Number of DAG-graph DP passes when building the CS (paper: 3).
+  int refinement_steps = 3;
+  /// CS local filters (ablation knobs; the paper has both on).
+  bool use_nlf_filter = true;
+  bool use_mnd_filter = true;
+  /// When false, enumerates graph *homomorphisms* (injectivity dropped)
+  /// instead of embeddings — the mapping class of Section 2 that weak
+  /// embeddings are built from.
+  bool injective = true;
+  /// Data-vertex equivalence for DAF-Boost; null disables boosting.
+  const VertexEquivalence* equivalence = nullptr;
+  /// Optional per-embedding callback.
+  EmbeddingCallback callback;
+};
+
+/// Result of a full DAF match.
+struct MatchResult {
+  bool ok = true;          // false => `error` explains why nothing ran
+  std::string error;
+  uint64_t embeddings = 0;
+  uint64_t recursive_calls = 0;
+  bool limit_reached = false;
+  bool timed_out = false;
+  /// True when some candidate set was empty after CS construction, so the
+  /// query was proven negative without any backtracking (Appendix A.3).
+  bool cs_certified_negative = false;
+  double preprocess_ms = 0;  // BuildDAG + BuildCS + weight array
+  double search_ms = 0;      // backtracking
+  uint64_t cs_candidates = 0;  // Σ_u |C(u)| (Figure 9 metric)
+  uint64_t cs_edges = 0;
+
+  /// True iff the search ran to completion (all embeddings enumerated).
+  bool Complete() const { return ok && !limit_reached && !timed_out; }
+};
+
+/// Runs DAF end-to-end on (query, data). The query must be non-empty;
+/// disconnected queries are supported via per-component query DAGs (an
+/// extension over the paper, which assumes connected graphs).
+MatchResult DafMatch(const Graph& query, const Graph& data,
+                     const MatchOptions& options = {});
+
+/// Number of automorphisms of g (embeddings of g in itself), computed by
+/// DAF. Useful to convert embedding counts into unordered occurrence
+/// counts: occurrences = embeddings / automorphisms.
+uint64_t CountAutomorphisms(const Graph& g);
+
+}  // namespace daf
+
+#endif  // DAF_DAF_ENGINE_H_

@@ -1,0 +1,100 @@
+#include "daf/parallel.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "daf/candidate_space.h"
+#include "daf/query_dag.h"
+#include "daf/weights.h"
+#include "util/timer.h"
+
+namespace daf {
+
+ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
+                                     const MatchOptions& options,
+                                     uint32_t num_threads) {
+  ParallelMatchResult result;
+  if (num_threads == 0) num_threads = 1;
+  if (query.NumVertices() == 0) {
+    result.ok = false;
+    result.error = "empty query graph";
+    return result;
+  }
+
+  Deadline deadline(options.time_limit_ms);
+  Stopwatch preprocess_timer;
+  QueryDag dag = QueryDag::Build(query, data);
+  CandidateSpace::Options cs_options;
+  cs_options.refinement_steps = options.refinement_steps;
+  cs_options.use_nlf_filter = options.use_nlf_filter;
+  cs_options.use_mnd_filter = options.use_mnd_filter;
+  cs_options.injective = options.injective;
+  CandidateSpace cs = CandidateSpace::Build(query, dag, data, cs_options);
+  result.cs_candidates = cs.TotalCandidates();
+  result.cs_edges = cs.TotalEdges();
+  for (uint32_t u = 0; u < query.NumVertices(); ++u) {
+    if (cs.NumCandidates(u) == 0) {
+      result.cs_certified_negative = true;
+      result.preprocess_ms = preprocess_timer.ElapsedMs();
+      return result;
+    }
+  }
+  WeightArray weights;
+  const bool path_order = options.order == MatchOrder::kPathSize;
+  if (path_order) weights = WeightArray::Compute(dag, cs);
+  result.preprocess_ms = preprocess_timer.ElapsedMs();
+
+  Stopwatch search_timer;
+  std::atomic<uint64_t> shared_count{0};
+  std::atomic<uint32_t> root_cursor{0};
+  std::mutex callback_mutex;
+
+  EmbeddingCallback guarded_callback;
+  if (options.callback) {
+    guarded_callback = [&](std::span<const VertexId> embedding) {
+      std::lock_guard<std::mutex> lock(callback_mutex);
+      return options.callback(embedding);
+    };
+  }
+
+  std::vector<BacktrackStats> stats(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t]() {
+      Backtracker backtracker(query, dag, cs, path_order ? &weights : nullptr,
+                              data.NumVertices());
+      BacktrackOptions bt;
+      bt.order = options.order;
+      bt.use_failing_sets = options.use_failing_sets;
+      bt.leaf_decomposition = options.leaf_decomposition;
+      bt.limit = options.limit;
+      bt.injective = options.injective;
+      bt.deadline = options.time_limit_ms > 0 ? &deadline : nullptr;
+      bt.shared_count = &shared_count;
+      bt.root_cursor = &root_cursor;
+      bt.equivalence = options.equivalence;
+      bt.callback = guarded_callback;
+      stats[t] = backtracker.Run(bt);
+    });
+  }
+  for (auto& w : workers) w.join();
+  result.search_ms = search_timer.ElapsedMs();
+
+  result.threads_used = num_threads;
+  result.per_thread_calls.resize(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    result.embeddings += stats[t].embeddings;
+    result.recursive_calls += stats[t].recursive_calls;
+    result.per_thread_calls[t] = stats[t].recursive_calls;
+    result.limit_reached |= stats[t].limit_reached ||
+                            stats[t].callback_stopped;
+    result.timed_out |= stats[t].timed_out;
+  }
+  return result;
+}
+
+}  // namespace daf

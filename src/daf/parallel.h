@@ -1,0 +1,34 @@
+#ifndef DAF_DAF_PARALLEL_H_
+#define DAF_DAF_PARALLEL_H_
+
+#include <cstdint>
+
+#include "daf/engine.h"
+#include "graph/graph.h"
+
+namespace daf {
+
+/// Extra counters reported by the parallel engine (Appendix A.4).
+struct ParallelMatchResult : MatchResult {
+  uint32_t threads_used = 0;
+  /// Recursive calls performed by each thread (load-balance diagnostics).
+  std::vector<uint64_t> per_thread_calls;
+};
+
+/// Multi-threaded DAF (Appendix A.4): the CS is built once and shared; the
+/// iterations over the root's candidates (line 4 of Algorithm 2) are
+/// distributed over `num_threads` workers through a work-stealing cursor.
+/// Each worker owns its visited table and failing-set stack; a shared atomic
+/// counter enforces the global embedding limit, so with a limit the set of
+/// embeddings found may differ across runs (their count may overshoot the
+/// limit by at most `num_threads - 1`, matching the paper's termination
+/// rule), while without a limit the full embedding set is always produced.
+///
+/// `options.callback` is invoked under a mutex when set.
+ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
+                                     const MatchOptions& options,
+                                     uint32_t num_threads);
+
+}  // namespace daf
+
+#endif  // DAF_DAF_PARALLEL_H_

@@ -1,0 +1,51 @@
+#include "daf/weights.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace daf {
+
+namespace {
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  uint64_t sum = 0;
+  if (__builtin_add_overflow(a, b, &sum)) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return sum;
+}
+
+}  // namespace
+
+WeightArray WeightArray::Compute(const QueryDag& dag,
+                                 const CandidateSpace& cs) {
+  WeightArray w;
+  const uint32_t n = dag.NumVertices();
+  w.weights_.assign(n, {});
+  const std::vector<VertexId>& topo = dag.TopologicalOrder();
+  // Bottom-up: children before parents.
+  for (uint32_t pos = n; pos-- > 0;) {
+    VertexId u = topo[pos];
+    const uint32_t num_cand = cs.NumCandidates(u);
+    auto& wu = w.weights_[u];
+    wu.assign(num_cand, 1);
+    bool first_child = true;
+    const std::vector<VertexId>& children = dag.Children(u);
+    for (uint32_t cpos = 0; cpos < children.size(); ++cpos) {
+      VertexId c = children[cpos];
+      if (dag.Parents(c).size() != 1) continue;  // not a tree-like child
+      uint32_t edge_id = dag.ChildEdgeId(u, cpos);
+      for (uint32_t iv = 0; iv < num_cand; ++iv) {
+        uint64_t sum = 0;
+        for (uint32_t ic : cs.EdgeNeighbors(edge_id, iv)) {
+          sum = SaturatingAdd(sum, w.weights_[c][ic]);
+        }
+        wu[iv] = first_child ? sum : std::min(wu[iv], sum);
+      }
+      first_child = false;
+    }
+  }
+  return w;
+}
+
+}  // namespace daf

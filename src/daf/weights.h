@@ -1,0 +1,39 @@
+#ifndef DAF_DAF_WEIGHTS_H_
+#define DAF_DAF_WEIGHTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "daf/candidate_space.h"
+#include "daf/query_dag.h"
+
+namespace daf {
+
+/// The weight array W_u(v) of Section 5.2 driving the *path-size* adaptive
+/// matching order.
+///
+/// W_u(v) upper-bounds the number of CS paths corresponding to the most
+/// infrequent maximal tree-like path starting at u when u is mapped to v.
+/// It is computed bottom-up over q_D: with c_1..c_k the children of u having
+/// exactly one parent,
+///   W_{u,c_i}(v) = Σ_{v' ∈ N^u_{c_i}(v)} W_{c_i}(v'),
+///   W_u(v)       = min_i W_{u,c_i}(v),
+/// and W_u(v) = 1 when u has no single-parent child. Sums saturate at
+/// UINT64_MAX (the values are only compared, never reported).
+class WeightArray {
+ public:
+  /// Computes W over the given CS.
+  static WeightArray Compute(const QueryDag& dag, const CandidateSpace& cs);
+
+  /// W_u(v) for candidate index `idx` of query vertex u.
+  uint64_t Weight(VertexId u, uint32_t idx) const {
+    return weights_[u][idx];
+  }
+
+ private:
+  std::vector<std::vector<uint64_t>> weights_;
+};
+
+}  // namespace daf
+
+#endif  // DAF_DAF_WEIGHTS_H_

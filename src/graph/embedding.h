@@ -1,0 +1,17 @@
+#ifndef DAF_GRAPH_EMBEDDING_H_
+#define DAF_GRAPH_EMBEDDING_H_
+
+#include <functional>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace daf {
+
+/// Invoked once per embedding with the mapping in query-vertex-id order
+/// (element u is M(u)). Return false to stop the search.
+using EmbeddingCallback = std::function<bool(std::span<const VertexId>)>;
+
+}  // namespace daf
+
+#endif  // DAF_GRAPH_EMBEDDING_H_

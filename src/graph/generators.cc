@@ -1,0 +1,233 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace daf {
+
+namespace {
+
+// Packs an undirected edge into a canonical 64-bit key for dedup.
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+std::vector<Label> ZipfLabels(uint32_t n, uint32_t num_labels, double s,
+                              Rng& rng) {
+  std::vector<double> weights(num_labels);
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    weights[l] = 1.0 / std::pow(static_cast<double>(l + 1), s);
+  }
+  std::vector<Label> labels(n);
+  // Guarantee every label occurs at least once when n >= num_labels so the
+  // declared alphabet size is realized.
+  uint32_t v = 0;
+  if (n >= num_labels) {
+    for (; v < num_labels; ++v) labels[v] = v;
+  }
+  for (; v < n; ++v) {
+    labels[v] = static_cast<Label>(rng.WeightedIndex(weights));
+  }
+  rng.Shuffle(labels);
+  return labels;
+}
+
+std::vector<Edge> ErdosRenyiEdges(uint32_t n, uint64_t m, Rng& rng) {
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+  if (n < 2) return edges;
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  edges.reserve(m);
+  seen.reserve(m * 2);
+  while (edges.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.UniformInt(n));
+    VertexId v = static_cast<VertexId>(rng.UniformInt(n));
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) {
+      edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+std::vector<Edge> PowerLawEdges(uint32_t n, uint64_t m, Rng& rng) {
+  // Holme–Kim model: preferential attachment interleaved with triad
+  // formation (attach to a neighbor of the previous target). Real data
+  // graphs (PPI, social, citation) are strongly clustered, and the paper's
+  // random-walk query extraction relies on that clustering to find
+  // non-sparse queries — plain preferential attachment would produce
+  // near-tree neighborhoods whose induced subgraphs never reach
+  // avg-deg > 3.
+  std::vector<Edge> edges;
+  if (n < 2) return edges;
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  // `targets` holds one entry per endpoint, so sampling uniformly from it is
+  // degree-proportional (the standard preferential-attachment trick).
+  std::vector<VertexId> targets;
+  targets.reserve(m * 2);
+  std::vector<std::vector<VertexId>> adj(n);
+
+  const uint32_t per_vertex =
+      std::max<uint32_t>(1, static_cast<uint32_t>(m / std::max(1u, n)));
+  constexpr double kTriadProbability = 0.7;
+  edges.reserve(m);
+
+  auto add_edge = [&](VertexId u, VertexId v) {
+    if (u == v) return false;
+    if (!seen.insert(EdgeKey(u, v)).second) return false;
+    edges.emplace_back(u, v);
+    targets.push_back(u);
+    targets.push_back(v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+    return true;
+  };
+
+  add_edge(0, 1);
+  for (VertexId v = 2; v < n && edges.size() < m; ++v) {
+    uint32_t added = 0;
+    uint32_t attempts = 0;
+    VertexId last_target = kInvalidVertex;
+    while (added < per_vertex && edges.size() < m &&
+           attempts < 4 * per_vertex + 32) {
+      ++attempts;
+      // Triad formation: attach to a neighbor of the previous target.
+      if (last_target != kInvalidVertex && !adj[last_target].empty() &&
+          rng.Bernoulli(kTriadProbability)) {
+        VertexId w =
+            adj[last_target][rng.UniformInt(adj[last_target].size())];
+        if (add_edge(v, w)) {
+          ++added;
+          continue;
+        }
+      }
+      VertexId u = targets[rng.UniformInt(targets.size())];
+      if (add_edge(v, u)) {
+        ++added;
+        last_target = u;
+      }
+    }
+    if (added == 0) {
+      // Fall back to a uniform target so every vertex gets attached.
+      add_edge(v, static_cast<VertexId>(rng.UniformInt(v)));
+    }
+  }
+  // Top up to exactly m: close wedges around degree-biased pivots (keeps
+  // the clustering high), falling back to preferential pairs.
+  uint64_t stall = 0;
+  while (edges.size() < m && stall < 64 * m + 1024) {
+    bool added = false;
+    VertexId pivot = targets[rng.UniformInt(targets.size())];
+    if (adj[pivot].size() >= 2 && rng.Bernoulli(kTriadProbability)) {
+      VertexId a = adj[pivot][rng.UniformInt(adj[pivot].size())];
+      VertexId b = adj[pivot][rng.UniformInt(adj[pivot].size())];
+      added = add_edge(a, b);
+    } else {
+      VertexId v = static_cast<VertexId>(rng.UniformInt(n));
+      added = add_edge(pivot, v);
+    }
+    if (!added) ++stall;
+  }
+  // As a last resort (tiny dense graphs) fill uniformly.
+  while (edges.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.UniformInt(n));
+    VertexId v = static_cast<VertexId>(rng.UniformInt(n));
+    add_edge(u, v);
+  }
+  return edges;
+}
+
+std::vector<Edge> RmatEdges(uint32_t scale, uint64_t m, double a, double b,
+                            double c, Rng& rng) {
+  const uint32_t n = 1u << scale;
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  uint64_t stall = 0;
+  while (edges.size() < m && stall < 64 * m + 1024) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.UniformReal();
+      // Small per-level noise avoids the degenerate striped structure of
+      // noiseless R-MAT.
+      double na = a * (0.95 + 0.1 * rng.UniformReal());
+      double nb = b * (0.95 + 0.1 * rng.UniformReal());
+      double nc = c * (0.95 + 0.1 * rng.UniformReal());
+      double sum = na + nb + nc + (1 - a - b - c);
+      na /= sum;
+      nb /= sum;
+      nc /= sum;
+      u <<= 1;
+      v <<= 1;
+      if (r < na) {
+        // top-left quadrant
+      } else if (r < na + nb) {
+        v |= 1;
+      } else if (r < na + nb + nc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) {
+      ++stall;
+      continue;
+    }
+    if (seen.insert(EdgeKey(u, v)).second) {
+      edges.emplace_back(u, v);
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+  return edges;
+}
+
+void ConnectComponents(uint32_t n, std::vector<Edge>* edges, Rng& rng) {
+  // Union-find over the current edge set.
+  std::vector<VertexId> parent(n);
+  for (uint32_t v = 0; v < n; ++v) parent[v] = v;
+  std::vector<VertexId> stack;
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Edge& e : *edges) {
+    VertexId a = find(e.first);
+    VertexId b = find(e.second);
+    if (a != b) parent[a] = b;
+  }
+  std::vector<VertexId> roots;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (find(v) == v) roots.push_back(v);
+  }
+  for (size_t i = 1; i < roots.size(); ++i) {
+    // Attach each extra component to a random vertex of the first one; using
+    // a random anchor avoids creating one hub vertex.
+    VertexId anchor = static_cast<VertexId>(rng.UniformInt(n));
+    while (find(anchor) == find(roots[i])) {
+      anchor = static_cast<VertexId>(rng.UniformInt(n));
+    }
+    edges->emplace_back(anchor, roots[i]);
+    parent[find(roots[i])] = find(anchor);
+  }
+}
+
+}  // namespace daf

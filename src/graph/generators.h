@@ -1,0 +1,41 @@
+#ifndef DAF_GRAPH_GENERATORS_H_
+#define DAF_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace daf {
+
+/// Assigns each of `n` vertices a label in [0, num_labels) with Zipf-like
+/// frequencies (exponent `s`); s = 0 gives the uniform distribution. The
+/// sensitivity analysis of the paper assigns labels "according to
+/// power-laws" (Section 7.2).
+std::vector<Label> ZipfLabels(uint32_t n, uint32_t num_labels, double s,
+                              Rng& rng);
+
+/// `m` distinct uniform random edges over `n` vertices (Erdős–Rényi G(n, m)).
+std::vector<Edge> ErdosRenyiEdges(uint32_t n, uint64_t m, Rng& rng);
+
+/// Approximately `m` edges over `n` vertices with a power-law (preferential
+/// attachment) degree distribution; duplicates removed, then topped up with
+/// preferential edges until exactly `m` distinct edges exist (or the graph
+/// is complete).
+std::vector<Edge> PowerLawEdges(uint32_t n, uint64_t m, Rng& rng);
+
+/// R-MAT edge generator (used for the Twitter stand-in, Appendix A.1):
+/// 2^scale vertices, `m` distinct edges, recursive quadrant probabilities
+/// (a, b, c, implicit d = 1-a-b-c).
+std::vector<Edge> RmatEdges(uint32_t scale, uint64_t m, double a, double b,
+                            double c, Rng& rng);
+
+/// Adds the minimum number of random edges required to make the graph over
+/// `n` vertices with edge set `edges` connected (one edge per extra
+/// component). The paper assumes connected data graphs.
+void ConnectComponents(uint32_t n, std::vector<Edge>* edges, Rng& rng);
+
+}  // namespace daf
+
+#endif  // DAF_GRAPH_GENERATORS_H_

@@ -1,0 +1,237 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace daf {
+
+Graph Graph::FromEdges(std::vector<Label> labels,
+                       const std::vector<Edge>& edges) {
+  return FromLabeledEdges(std::move(labels), edges, {});
+}
+
+Graph Graph::FromLabeledEdges(std::vector<Label> labels,
+                              const std::vector<Edge>& edges,
+                              const std::vector<Label>& edge_labels) {
+  Graph g;
+  const uint32_t n = static_cast<uint32_t>(labels.size());
+  assert(edge_labels.empty() || edge_labels.size() == edges.size());
+
+  // Remap labels to a dense 0..k-1 range preserving relative order.
+  std::vector<Label> sorted_labels = labels;
+  std::sort(sorted_labels.begin(), sorted_labels.end());
+  sorted_labels.erase(
+      std::unique(sorted_labels.begin(), sorted_labels.end()),
+      sorted_labels.end());
+  g.original_labels_ = sorted_labels;
+  g.labels_.resize(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    g.labels_[v] = static_cast<Label>(
+        std::lower_bound(sorted_labels.begin(), sorted_labels.end(),
+                         labels[v]) -
+        sorted_labels.begin());
+  }
+  const uint32_t num_labels = static_cast<uint32_t>(sorted_labels.size());
+
+  // Deduplicate edges, dropping self-loops; normalize to u < v. A stable
+  // sort + unique keeps the *first* occurrence of a duplicated edge, so its
+  // edge label wins.
+  struct LabeledEdge {
+    Edge edge;
+    Label label;
+  };
+  std::vector<LabeledEdge> clean;
+  clean.reserve(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    if (e.first == e.second) continue;
+    assert(e.first < n && e.second < n);
+    clean.push_back({{std::min(e.first, e.second),
+                      std::max(e.first, e.second)},
+                     edge_labels.empty() ? 0 : edge_labels[i]});
+  }
+  std::stable_sort(clean.begin(), clean.end(),
+                   [](const LabeledEdge& a, const LabeledEdge& b) {
+                     return a.edge < b.edge;
+                   });
+  clean.erase(std::unique(clean.begin(), clean.end(),
+                          [](const LabeledEdge& a, const LabeledEdge& b) {
+                            return a.edge == b.edge;
+                          }),
+              clean.end());
+
+  // CSR with adjacency (and aligned edge labels) sorted by (label, id).
+  g.offsets_.assign(n + 1, 0);
+  for (const LabeledEdge& e : clean) {
+    ++g.offsets_[e.edge.first + 1];
+    ++g.offsets_[e.edge.second + 1];
+  }
+  for (uint32_t v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  g.adjacency_.resize(clean.size() * 2);
+  g.edge_labels_.resize(clean.size() * 2);
+  {
+    std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (const LabeledEdge& e : clean) {
+      g.adjacency_[cursor[e.edge.first]] = e.edge.second;
+      g.edge_labels_[cursor[e.edge.first]++] = e.label;
+      g.adjacency_[cursor[e.edge.second]] = e.edge.first;
+      g.edge_labels_[cursor[e.edge.second]++] = e.label;
+    }
+  }
+  {
+    std::vector<std::pair<VertexId, Label>> scratch;
+    for (uint32_t v = 0; v < n; ++v) {
+      const uint64_t begin = g.offsets_[v];
+      const uint64_t end = g.offsets_[v + 1];
+      scratch.clear();
+      for (uint64_t i = begin; i < end; ++i) {
+        scratch.emplace_back(g.adjacency_[i], g.edge_labels_[i]);
+      }
+      std::sort(scratch.begin(), scratch.end(),
+                [&g](const auto& a, const auto& b) {
+                  return std::make_pair(g.labels_[a.first], a.first) <
+                         std::make_pair(g.labels_[b.first], b.first);
+                });
+      for (uint64_t i = begin; i < end; ++i) {
+        g.adjacency_[i] = scratch[i - begin].first;
+        g.edge_labels_[i] = scratch[i - begin].second;
+      }
+    }
+  }
+  for (Label l : g.edge_labels_) {
+    if (l != 0) {
+      g.nontrivial_edge_labels_ = true;
+      break;
+    }
+  }
+
+  // Max neighbor degree.
+  g.max_neighbor_degree_.assign(n, 0);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (VertexId u : g.Neighbors(v)) {
+      g.max_neighbor_degree_[v] =
+          std::max(g.max_neighbor_degree_[v], g.degree(u));
+    }
+  }
+
+  // Label index.
+  g.label_frequency_.assign(num_labels, 0);
+  for (uint32_t v = 0; v < n; ++v) ++g.label_frequency_[g.labels_[v]];
+  g.label_offsets_.assign(num_labels + 1, 0);
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    g.label_offsets_[l + 1] = g.label_offsets_[l] + g.label_frequency_[l];
+  }
+  g.vertices_by_label_.resize(n);
+  {
+    std::vector<uint64_t> cursor(g.label_offsets_.begin(),
+                                 g.label_offsets_.end() - 1);
+    for (uint32_t v = 0; v < n; ++v) {
+      g.vertices_by_label_[cursor[g.labels_[v]]++] = v;
+    }
+  }
+  return g;
+}
+
+std::span<const VertexId> Graph::NeighborsWithLabel(VertexId v,
+                                                    Label l) const {
+  std::span<const VertexId> all = Neighbors(v);
+  auto lo = std::lower_bound(
+      all.begin(), all.end(), l,
+      [this](VertexId a, Label key) { return labels_[a] < key; });
+  auto hi = std::upper_bound(
+      lo, all.end(), l,
+      [this](Label key, VertexId a) { return key < labels_[a]; });
+  return {lo, hi};
+}
+
+Graph::NeighborSlice Graph::NeighborsWithLabelAndEdges(VertexId v,
+                                                       Label l) const {
+  std::span<const VertexId> vertices = NeighborsWithLabel(v, l);
+  if (vertices.empty()) return {{}, {}};
+  const uint64_t base =
+      static_cast<uint64_t>(vertices.data() - adjacency_.data());
+  return {vertices, {edge_labels_.data() + base, vertices.size()}};
+}
+
+uint32_t Graph::NeighborLabelVariety(VertexId v) const {
+  std::span<const VertexId> all = Neighbors(v);
+  uint32_t variety = 0;
+  Label prev = static_cast<Label>(-1);
+  for (VertexId u : all) {
+    if (labels_[u] != prev) {
+      ++variety;
+      prev = labels_[u];
+    }
+  }
+  return variety;
+}
+
+namespace {
+
+// Index of v within u's adjacency slice, or -1 when the edge is absent.
+// `slice` must be u's neighbors-with-v's-label sub-range and `base` its
+// offset into the global adjacency array.
+int64_t FindInSlice(std::span<const VertexId> slice, uint64_t base,
+                    VertexId v) {
+  auto it = std::lower_bound(slice.begin(), slice.end(), v);
+  if (it == slice.end() || *it != v) return -1;
+  return static_cast<int64_t>(base + (it - slice.begin()));
+}
+
+}  // namespace
+
+int64_t Graph::FindNeighborIndex(VertexId u, VertexId v) const {
+  std::span<const VertexId> slice = NeighborsWithLabel(u, labels_[v]);
+  if (slice.empty()) return -1;
+  uint64_t base =
+      offsets_[u] + static_cast<uint64_t>(slice.data() -
+                                          (adjacency_.data() + offsets_[u]));
+  return FindInSlice(slice, base, v);
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (degree(u) > degree(v)) std::swap(u, v);
+  std::span<const VertexId> candidates = NeighborsWithLabel(u, labels_[v]);
+  return std::binary_search(candidates.begin(), candidates.end(), v);
+}
+
+bool Graph::HasEdgeWithLabel(VertexId u, VertexId v, Label edge_label) const {
+  if (degree(u) > degree(v)) std::swap(u, v);
+  int64_t index = FindNeighborIndex(u, v);
+  return index >= 0 && edge_labels_[static_cast<uint64_t>(index)] ==
+                           edge_label;
+}
+
+Label Graph::EdgeLabelBetween(VertexId u, VertexId v) const {
+  int64_t index = FindNeighborIndex(u, v);
+  assert(index >= 0);
+  return edge_labels_[static_cast<uint64_t>(index)];
+}
+
+std::vector<Edge> Graph::EdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (uint32_t v = 0; v < NumVertices(); ++v) {
+    for (VertexId u : Neighbors(v)) {
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  return edges;
+}
+
+std::vector<std::pair<Edge, Label>> Graph::LabeledEdgeList() const {
+  std::vector<std::pair<Edge, Label>> edges;
+  edges.reserve(NumEdges());
+  for (uint32_t v = 0; v < NumVertices(); ++v) {
+    auto neighbors = Neighbors(v);
+    auto labels = NeighborEdgeLabels(v);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      if (v < neighbors[i]) {
+        edges.push_back({{v, neighbors[i]}, labels[i]});
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace daf

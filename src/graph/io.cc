@@ -1,0 +1,212 @@
+#include "graph/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace daf {
+
+std::optional<Graph> ParseGraphText(const std::string& text,
+                                    std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  uint64_t declared_vertices = 0;
+  uint64_t declared_edges = 0;
+  bool saw_header = false;
+  std::vector<Label> labels;
+  std::vector<Edge> edges;
+  std::vector<Label> edge_labels;
+  size_t line_no = 0;
+
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + message;
+    }
+    return std::nullopt;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 't') {
+      if (saw_header) return fail("duplicate header");
+      if (!(ls >> declared_vertices >> declared_edges)) {
+        return fail("malformed header");
+      }
+      saw_header = true;
+      labels.assign(declared_vertices, 0);
+      edges.reserve(declared_edges);
+    } else if (tag == 'v') {
+      uint64_t id = 0;
+      uint64_t label = 0;
+      if (!(ls >> id >> label)) return fail("malformed vertex line");
+      if (!saw_header) return fail("vertex line before 't' header");
+      if (id >= declared_vertices) return fail("vertex id out of range");
+      labels[id] = static_cast<Label>(label);
+    } else if (tag == 'e') {
+      uint64_t u = 0;
+      uint64_t v = 0;
+      if (!(ls >> u >> v)) return fail("malformed edge line");
+      if (!saw_header) return fail("edge line before 't' header");
+      if (u >= declared_vertices || v >= declared_vertices) {
+        return fail("edge endpoint out of range");
+      }
+      uint64_t edge_label = 0;
+      ls >> edge_label;  // optional trailing edge label; 0 when absent
+      edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      edge_labels.push_back(static_cast<Label>(edge_label));
+    } else {
+      return fail(std::string("unknown line tag '") + tag + "'");
+    }
+  }
+  if (!saw_header) {
+    if (error != nullptr) *error = "missing 't' header line";
+    return std::nullopt;
+  }
+  return Graph::FromLabeledEdges(std::move(labels), edges, edge_labels);
+}
+
+std::optional<Graph> LoadGraph(const std::string& path, std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseGraphText(buffer.str(), error);
+}
+
+std::string GraphToText(const Graph& g) {
+  std::ostringstream out;
+  out << "t " << g.NumVertices() << " " << g.NumEdges() << "\n";
+  for (uint32_t v = 0; v < g.NumVertices(); ++v) {
+    out << "v " << v << " " << g.original_label(g.label(v)) << " "
+        << g.degree(v) << "\n";
+  }
+  const bool edge_labels = g.HasNontrivialEdgeLabels();
+  for (const auto& [e, label] : g.LabeledEdgeList()) {
+    out << "e " << e.first << " " << e.second;
+    if (edge_labels) out << " " << label;
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool SaveGraph(const Graph& g, const std::string& path, std::string* error) {
+  std::ofstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  file << GraphToText(g);
+  if (!file) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'D', 'A', 'F', 'G'};
+constexpr uint32_t kBinaryVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool SaveGraphBinary(const Graph& g, const std::string& path,
+                     std::string* error) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  file.write(kBinaryMagic, sizeof(kBinaryMagic));
+  WritePod(file, kBinaryVersion);
+  WritePod(file, g.NumVertices());
+  WritePod(file, g.NumEdges());
+  const uint8_t has_edge_labels = g.HasNontrivialEdgeLabels() ? 1 : 0;
+  WritePod(file, has_edge_labels);
+  for (uint32_t v = 0; v < g.NumVertices(); ++v) {
+    WritePod(file, g.original_label(g.label(v)));
+  }
+  for (const auto& [e, label] : g.LabeledEdgeList()) {
+    WritePod(file, e.first);
+    WritePod(file, e.second);
+    if (has_edge_labels != 0) WritePod(file, label);
+  }
+  if (!file) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+std::optional<Graph> LoadGraphBinary(const std::string& path,
+                                     std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  if (!file) return fail("cannot open " + path);
+  char magic[4] = {};
+  file.read(magic, sizeof(magic));
+  if (!file || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return fail("not a DAFG binary graph file");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(file, &version) || version != kBinaryVersion) {
+    return fail("unsupported DAFG version");
+  }
+  uint32_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint8_t has_edge_labels = 0;
+  if (!ReadPod(file, &num_vertices) || !ReadPod(file, &num_edges) ||
+      !ReadPod(file, &has_edge_labels)) {
+    return fail("truncated header");
+  }
+  std::vector<Label> labels(num_vertices);
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    if (!ReadPod(file, &labels[v])) return fail("truncated vertex labels");
+  }
+  std::vector<Edge> edges;
+  std::vector<Label> edge_labels;
+  edges.reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    VertexId u = 0;
+    VertexId v = 0;
+    if (!ReadPod(file, &u) || !ReadPod(file, &v)) {
+      return fail("truncated edge list");
+    }
+    if (u >= num_vertices || v >= num_vertices) {
+      return fail("edge endpoint out of range");
+    }
+    edges.emplace_back(u, v);
+    if (has_edge_labels != 0) {
+      Label l = 0;
+      if (!ReadPod(file, &l)) return fail("truncated edge labels");
+      edge_labels.push_back(l);
+    }
+  }
+  return Graph::FromLabeledEdges(std::move(labels), edges, edge_labels);
+}
+
+}  // namespace daf

@@ -1,0 +1,196 @@
+#include "graph/properties.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace daf {
+
+uint32_t ConnectedComponents(const Graph& g,
+                             std::vector<uint32_t>* component) {
+  const uint32_t n = g.NumVertices();
+  component->assign(n, static_cast<uint32_t>(-1));
+  uint32_t next_id = 0;
+  std::vector<VertexId> stack;
+  for (uint32_t s = 0; s < n; ++s) {
+    if ((*component)[s] != static_cast<uint32_t>(-1)) continue;
+    stack.push_back(s);
+    (*component)[s] = next_id;
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId u : g.Neighbors(v)) {
+        if ((*component)[u] == static_cast<uint32_t>(-1)) {
+          (*component)[u] = next_id;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return next_id;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.NumVertices() == 0) return true;
+  std::vector<uint32_t> component;
+  return ConnectedComponents(g, &component) == 1;
+}
+
+std::vector<uint32_t> BfsLevels(const Graph& g, VertexId root) {
+  std::vector<uint32_t> level(g.NumVertices(), kUnreachableLevel);
+  std::queue<VertexId> queue;
+  level[root] = 0;
+  queue.push(root);
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop();
+    for (VertexId u : g.Neighbors(v)) {
+      if (level[u] == kUnreachableLevel) {
+        level[u] = level[v] + 1;
+        queue.push(u);
+      }
+    }
+  }
+  return level;
+}
+
+uint32_t Eccentricity(const Graph& g, VertexId root) {
+  std::vector<uint32_t> level = BfsLevels(g, root);
+  uint32_t ecc = 0;
+  for (uint32_t l : level) {
+    if (l != kUnreachableLevel) ecc = std::max(ecc, l);
+  }
+  return ecc;
+}
+
+uint32_t Diameter(const Graph& g) {
+  uint32_t diameter = 0;
+  for (uint32_t v = 0; v < g.NumVertices(); ++v) {
+    diameter = std::max(diameter, Eccentricity(g, v));
+  }
+  return diameter;
+}
+
+std::vector<bool> KCoreMembership(const Graph& g, uint32_t k) {
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> degree(n);
+  std::vector<bool> in_core(n, true);
+  std::vector<VertexId> worklist;
+  for (uint32_t v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    if (degree[v] < k) {
+      in_core[v] = false;
+      worklist.push_back(v);
+    }
+  }
+  while (!worklist.empty()) {
+    VertexId v = worklist.back();
+    worklist.pop_back();
+    for (VertexId u : g.Neighbors(v)) {
+      if (in_core[u] && --degree[u] < k) {
+        in_core[u] = false;
+        worklist.push_back(u);
+      }
+    }
+  }
+  return in_core;
+}
+
+std::vector<uint64_t> DegreeHistogram(const Graph& g) {
+  uint32_t max_degree = 0;
+  for (uint32_t v = 0; v < g.NumVertices(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  std::vector<uint64_t> histogram(max_degree + 1, 0);
+  for (uint32_t v = 0; v < g.NumVertices(); ++v) ++histogram[g.degree(v)];
+  return histogram;
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  uint64_t wedges = 0;
+  uint64_t closed = 0;  // each triangle counted once per corner (3 total)
+  for (uint32_t v = 0; v < g.NumVertices(); ++v) {
+    auto neighbors = g.Neighbors(v);
+    const uint64_t d = neighbors.size();
+    wedges += d * (d - 1) / 2;
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      for (size_t j = i + 1; j < neighbors.size(); ++j) {
+        if (g.HasEdge(neighbors[i], neighbors[j])) ++closed;
+      }
+    }
+  }
+  return wedges == 0 ? 0.0
+                     : static_cast<double>(closed) /
+                           static_cast<double>(wedges);
+}
+
+uint32_t Degeneracy(const Graph& g) {
+  const uint32_t n = g.NumVertices();
+  if (n == 0) return 0;
+  // Matula–Beck peeling with bucketed degrees: O(|V| + |E|).
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
+  for (uint32_t v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+  uint32_t degeneracy = 0;
+  uint32_t cursor = 0;
+  for (uint32_t step = 0; step < n; ++step) {
+    while (cursor <= max_degree && buckets[cursor].empty()) ++cursor;
+    // The bucket may hold stale entries; skip them.
+    while (cursor <= max_degree) {
+      if (buckets[cursor].empty()) {
+        ++cursor;
+        continue;
+      }
+      VertexId v = buckets[cursor].back();
+      buckets[cursor].pop_back();
+      if (removed[v] || degree[v] != cursor) continue;  // stale
+      removed[v] = true;
+      degeneracy = std::max(degeneracy, cursor);
+      for (VertexId w : g.Neighbors(v)) {
+        if (!removed[w] && degree[w] > 0) {
+          --degree[w];
+          buckets[degree[w]].push_back(w);
+          if (degree[w] < cursor) cursor = degree[w];
+        }
+      }
+      break;
+    }
+  }
+  return degeneracy;
+}
+
+double LabelEntropy(const Graph& g) {
+  const double n = g.NumVertices();
+  if (n == 0) return 0;
+  double entropy = 0;
+  for (uint32_t l = 0; l < g.NumLabels(); ++l) {
+    double p = g.LabelFrequency(l) / n;
+    if (p > 0) entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+GraphStats ComputeStats(const Graph& g) {
+  GraphStats stats;
+  stats.num_vertices = g.NumVertices();
+  stats.num_edges = g.NumEdges();
+  stats.num_labels = g.NumLabels();
+  stats.avg_degree = g.AverageDegree();
+  for (uint32_t v = 0; v < g.NumVertices(); ++v) {
+    stats.max_degree = std::max(stats.max_degree, g.degree(v));
+  }
+  stats.clustering = GlobalClusteringCoefficient(g);
+  stats.degeneracy = Degeneracy(g);
+  stats.label_entropy = LabelEntropy(g);
+  stats.connected = IsConnected(g);
+  return stats;
+}
+
+}  // namespace daf

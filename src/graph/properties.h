@@ -1,0 +1,70 @@
+#ifndef DAF_GRAPH_PROPERTIES_H_
+#define DAF_GRAPH_PROPERTIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace daf {
+
+/// Assigns each vertex a component id in [0, num_components); returns the
+/// number of connected components.
+uint32_t ConnectedComponents(const Graph& g, std::vector<uint32_t>* component);
+
+/// True iff g is connected (the paper assumes connected graphs).
+bool IsConnected(const Graph& g);
+
+/// BFS levels from `root`; unreachable vertices get kUnreachableLevel.
+inline constexpr uint32_t kUnreachableLevel = static_cast<uint32_t>(-1);
+std::vector<uint32_t> BfsLevels(const Graph& g, VertexId root);
+
+/// Eccentricity of `root` (max BFS distance to a reachable vertex).
+uint32_t Eccentricity(const Graph& g, VertexId root);
+
+/// Exact diameter by all-pairs BFS. Intended for query graphs (the
+/// sensitivity analysis of Section 7.2 bins queries by diam(q)); cost is
+/// O(|V| * |E|).
+uint32_t Diameter(const Graph& g);
+
+/// Membership of each vertex in the k-core of g (the maximal subgraph with
+/// minimum degree >= k). CFL-Match's "core" is the 2-core.
+std::vector<bool> KCoreMembership(const Graph& g, uint32_t k);
+
+/// Histogram of vertex degrees (index = degree).
+std::vector<uint64_t> DegreeHistogram(const Graph& g);
+
+/// Global (transitivity) clustering coefficient: 3 * #triangles / #wedges.
+/// Real data graphs are strongly clustered, which is what makes the
+/// paper's random-walk query extraction find non-sparse queries; the
+/// synthetic stand-ins are validated against this. O(Σ_v deg(v)^2).
+double GlobalClusteringCoefficient(const Graph& g);
+
+/// Degeneracy of g: the largest k such that the k-core is non-empty
+/// (equivalently, the smallest k with a vertex ordering where every vertex
+/// has <= k later neighbors). A standard hardness proxy for matching.
+uint32_t Degeneracy(const Graph& g);
+
+/// Shannon entropy (bits) of the vertex-label distribution; lower entropy
+/// = more skew = harder workloads (bigger candidate sets for the frequent
+/// labels).
+double LabelEntropy(const Graph& g);
+
+/// One-stop structural summary used by the dataset validation tests and
+/// the Table 2 harness.
+struct GraphStats {
+  uint32_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint32_t num_labels = 0;
+  double avg_degree = 0;
+  uint32_t max_degree = 0;
+  double clustering = 0;
+  uint32_t degeneracy = 0;
+  double label_entropy = 0;
+  bool connected = false;
+};
+GraphStats ComputeStats(const Graph& g);
+
+}  // namespace daf
+
+#endif  // DAF_GRAPH_PROPERTIES_H_

@@ -1,0 +1,137 @@
+#include "graph/query_extract.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace daf {
+
+std::optional<ExtractedQuery> ExtractRandomWalkQuery(const Graph& g,
+                                                     uint32_t num_vertices,
+                                                     double target_avg_deg,
+                                                     Rng& rng) {
+  if (num_vertices == 0 || g.NumVertices() < num_vertices) {
+    return std::nullopt;
+  }
+  constexpr int kRestarts = 16;
+  for (int attempt = 0; attempt < kRestarts; ++attempt) {
+    VertexId start = static_cast<VertexId>(rng.UniformInt(g.NumVertices()));
+    if (g.degree(start) == 0 && num_vertices > 1) continue;
+
+    std::unordered_map<VertexId, VertexId> data_to_query;
+    std::vector<VertexId> witness;
+    std::vector<Edge> walk_edges;  // in query-vertex ids
+    data_to_query.reserve(num_vertices * 2);
+    witness.reserve(num_vertices);
+
+    data_to_query.emplace(start, 0);
+    witness.push_back(start);
+
+    VertexId current = start;
+    // The walk is bounded so a trap (e.g., a small dense region) triggers a
+    // restart instead of spinning forever.
+    uint64_t max_steps = 200ull * num_vertices * num_vertices + 1000;
+    while (witness.size() < num_vertices && max_steps-- > 0) {
+      std::span<const VertexId> nbrs = g.Neighbors(current);
+      if (nbrs.empty()) break;
+      VertexId next = nbrs[rng.UniformInt(nbrs.size())];
+      auto [it, inserted] = data_to_query.emplace(
+          next, static_cast<VertexId>(witness.size()));
+      if (inserted) {
+        witness.push_back(next);
+        walk_edges.emplace_back(data_to_query[current], it->second);
+      }
+      current = next;
+    }
+    if (witness.size() < num_vertices) continue;
+
+    // Gather all induced (non-walk) edges among the visited vertices.
+    std::vector<Edge> extra_edges;
+    for (uint32_t qu = 0; qu < num_vertices; ++qu) {
+      for (VertexId data_nbr : g.Neighbors(witness[qu])) {
+        auto it = data_to_query.find(data_nbr);
+        if (it != data_to_query.end() && it->second > qu) {
+          extra_edges.emplace_back(qu, it->second);
+        }
+      }
+    }
+    // Walk edges are a subset of induced edges; remove them from extras.
+    std::sort(walk_edges.begin(), walk_edges.end());
+    std::vector<Edge> normalized_walk;
+    normalized_walk.reserve(walk_edges.size());
+    for (Edge e : walk_edges) {
+      normalized_walk.emplace_back(std::min(e.first, e.second),
+                                   std::max(e.first, e.second));
+    }
+    std::sort(normalized_walk.begin(), normalized_walk.end());
+    normalized_walk.erase(
+        std::unique(normalized_walk.begin(), normalized_walk.end()),
+        normalized_walk.end());
+    std::vector<Edge> candidates;
+    for (const Edge& e : extra_edges) {
+      if (!std::binary_search(normalized_walk.begin(), normalized_walk.end(),
+                              e)) {
+        candidates.push_back(e);
+      }
+    }
+    rng.Shuffle(candidates);
+
+    std::vector<Edge> chosen = normalized_walk;
+    if (target_avg_deg <= 0) {
+      chosen.insert(chosen.end(), candidates.begin(), candidates.end());
+    } else {
+      const size_t target_edges = static_cast<size_t>(
+          std::ceil(target_avg_deg * num_vertices / 2.0));
+      for (const Edge& e : candidates) {
+        if (chosen.size() >= target_edges) break;
+        chosen.push_back(e);
+      }
+    }
+
+    std::vector<Label> labels(num_vertices);
+    for (uint32_t qu = 0; qu < num_vertices; ++qu) {
+      labels[qu] = g.original_label(g.label(witness[qu]));
+    }
+    // Edge labels carry over from the data graph, so the witness stays an
+    // embedding under edge-label-preserving semantics too.
+    std::vector<Label> edge_labels;
+    if (g.HasNontrivialEdgeLabels()) {
+      edge_labels.reserve(chosen.size());
+      for (const Edge& e : chosen) {
+        edge_labels.push_back(
+            g.EdgeLabelBetween(witness[e.first], witness[e.second]));
+      }
+    }
+    ExtractedQuery result;
+    result.query =
+        Graph::FromLabeledEdges(std::move(labels), chosen, edge_labels);
+    result.witness = std::move(witness);
+    return result;
+  }
+  return std::nullopt;
+}
+
+std::vector<Label> MapQueryLabels(const Graph& query, const Graph& data) {
+  std::vector<Label> mapping(query.NumVertices());
+  for (uint32_t u = 0; u < query.NumVertices(); ++u) {
+    Label original = query.original_label(query.label(u));
+    mapping[u] = kNoSuchLabel;
+    // original_labels of `data` are sorted ascending by construction.
+    uint32_t lo = 0;
+    uint32_t hi = data.NumLabels();
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (data.original_label(mid) < original) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < data.NumLabels() && data.original_label(lo) == original) {
+      mapping[u] = lo;
+    }
+  }
+  return mapping;
+}
+
+}  // namespace daf

@@ -1,0 +1,46 @@
+#ifndef DAF_GRAPH_QUERY_EXTRACT_H_
+#define DAF_GRAPH_QUERY_EXTRACT_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace daf {
+
+/// A query graph extracted from a data graph together with the witness
+/// embedding it was extracted from (query vertex -> data vertex). The
+/// witness guarantees the query has at least one embedding, which is how the
+/// paper generates its positive query sets (Section 7, "Query Graphs").
+struct ExtractedQuery {
+  Graph query;
+  std::vector<VertexId> witness;
+};
+
+/// Extracts a connected query graph with `num_vertices` vertices by the
+/// paper's procedure: perform a random walk on the data graph until
+/// `num_vertices` distinct vertices are visited, then keep all visited
+/// vertices and a subset of the edges among them.
+///
+/// The subset always contains every edge the walk traversed (so the query is
+/// connected) and is extended with random induced edges until the average
+/// degree reaches `target_avg_deg`; pass `target_avg_deg <= 0` to keep all
+/// induced edges. Labels of the query are the data graph's labels.
+///
+/// Returns std::nullopt if the data graph has fewer than `num_vertices`
+/// vertices reachable from any sampled start (after a few restarts).
+std::optional<ExtractedQuery> ExtractRandomWalkQuery(const Graph& g,
+                                                     uint32_t num_vertices,
+                                                     double target_avg_deg,
+                                                     Rng& rng);
+
+/// Maps every query vertex's label into the data graph's dense label space.
+/// Labels that do not occur in the data graph map to `kNoSuchLabel` (such a
+/// query vertex has an empty candidate set).
+inline constexpr Label kNoSuchLabel = static_cast<Label>(-1);
+std::vector<Label> MapQueryLabels(const Graph& query, const Graph& data);
+
+}  // namespace daf
+
+#endif  // DAF_GRAPH_QUERY_EXTRACT_H_

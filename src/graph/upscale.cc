@@ -1,0 +1,51 @@
+#include "graph/upscale.h"
+
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace daf {
+
+Graph Upscale(const Graph& g, uint32_t factor, Rng& rng,
+              double rewire_probability) {
+  const uint32_t n = g.NumVertices();
+  std::vector<Label> labels;
+  labels.reserve(static_cast<size_t>(n) * factor);
+  for (uint32_t c = 0; c < factor; ++c) {
+    for (uint32_t v = 0; v < n; ++v) {
+      labels.push_back(g.original_label(g.label(v)));
+    }
+  }
+  std::vector<std::pair<Edge, Label>> original_edges = g.LabeledEdgeList();
+  std::vector<Edge> edges;
+  std::vector<Label> edge_labels;
+  edges.reserve(original_edges.size() * factor);
+  edge_labels.reserve(original_edges.size() * factor);
+  for (uint32_t c = 0; c < factor; ++c) {
+    const uint64_t base = static_cast<uint64_t>(c) * n;
+    for (const auto& [e, edge_label] : original_edges) {
+      VertexId u = static_cast<VertexId>(base + e.first);
+      VertexId v = static_cast<VertexId>(base + e.second);
+      if (factor > 1 && rng.Bernoulli(rewire_probability)) {
+        // Teleport one endpoint to its image in a random copy. The image has
+        // the same label and the same local structure, so the degree and
+        // label statistics are preserved.
+        uint32_t target_copy = static_cast<uint32_t>(rng.UniformInt(factor));
+        if (rng.Bernoulli(0.5)) {
+          u = static_cast<VertexId>(
+              static_cast<uint64_t>(target_copy) * n + e.first);
+        } else {
+          v = static_cast<VertexId>(
+              static_cast<uint64_t>(target_copy) * n + e.second);
+        }
+      }
+      edges.emplace_back(u, v);
+      edge_labels.push_back(edge_label);
+    }
+  }
+  ConnectComponents(n * factor, &edges, rng);
+  edge_labels.resize(edges.size(), 0);  // bridge edges added above
+  return Graph::FromLabeledEdges(std::move(labels), edges, edge_labels);
+}
+
+}  // namespace daf

@@ -1,0 +1,29 @@
+#ifndef DAF_GRAPH_UPSCALE_H_
+#define DAF_GRAPH_UPSCALE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace daf {
+
+/// Upscales a data graph by `factor` in both vertices and edges while
+/// preserving its statistical properties (degree distribution, label
+/// frequencies, clustering) — the role EvoGraph [29] plays in the paper's
+/// sensitivity analysis (Section 7.2, scale(G) ∈ {2,4,8,16}).
+///
+/// Construction: `factor` disjoint copies of g are created; each copied edge
+/// independently "teleports" one endpoint to the equivalent vertex in a
+/// uniformly random copy with probability `rewire_probability`, which mixes
+/// the copies into one connected graph without changing any vertex's label
+/// or expected degree. The result is then connected (a handful of bridge
+/// edges at most). The default rewire probability is kept small because
+/// every teleported edge breaks the triangles through it, and preserving
+/// the clustering coefficient across scales is what EvoGraph is for.
+Graph Upscale(const Graph& g, uint32_t factor, Rng& rng,
+              double rewire_probability = 0.08);
+
+}  // namespace daf
+
+#endif  // DAF_GRAPH_UPSCALE_H_

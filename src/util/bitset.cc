@@ -1,0 +1,20 @@
+#include "util/bitset.h"
+
+#include <bit>
+
+namespace daf {
+
+size_t Bitset::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+std::string Bitset::ToString() const {
+  std::string s;
+  s.reserve(num_bits_);
+  for (size_t i = 0; i < num_bits_; ++i) s.push_back(Test(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace daf

@@ -1,0 +1,111 @@
+#ifndef DAF_UTIL_BITSET_H_
+#define DAF_UTIL_BITSET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace daf {
+
+/// A fixed-capacity dynamic bitset sized at construction time.
+///
+/// Used as the failing-set representation during backtracking (Section 6 of
+/// the paper): one bit per query vertex, so union is O(|V(q)|/64) and
+/// membership is O(1). The capacity is the number of query vertices and never
+/// changes after construction (but `Resize` allows reusing one object across
+/// queries).
+class Bitset {
+ public:
+  Bitset() = default;
+
+  /// Creates a bitset holding `num_bits` bits, all cleared.
+  explicit Bitset(size_t num_bits) { Resize(num_bits); }
+
+  Bitset(const Bitset&) = default;
+  Bitset& operator=(const Bitset&) = default;
+  Bitset(Bitset&&) = default;
+  Bitset& operator=(Bitset&&) = default;
+
+  /// Re-sizes to `num_bits` bits and clears all of them.
+  void Resize(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign((num_bits + 63) / 64, 0);
+  }
+
+  /// Number of bits this bitset holds.
+  size_t size() const { return num_bits_; }
+
+  /// Sets bit `i`.
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+
+  /// Clears bit `i`.
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  /// Returns bit `i`.
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Clears all bits.
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Sets all bits in [0, size()).
+  void SetAll() {
+    if (num_bits_ == 0) return;
+    std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+    size_t rem = num_bits_ & 63;
+    if (rem != 0) words_.back() &= (uint64_t{1} << rem) - 1;
+  }
+
+  /// Returns true if no bit is set.
+  bool None() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Returns true if at least one bit is set.
+  bool Any() const { return !None(); }
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// In-place union: this |= other. Both bitsets must have equal size.
+  void UnionWith(const Bitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// In-place intersection: this &= other. Both bitsets must have equal size.
+  void IntersectWith(const Bitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// Copies the contents of `other` (sizes must match).
+  void Assign(const Bitset& other) { words_ = other.words_; }
+
+  /// Returns true if every set bit of this is also set in `other`.
+  bool IsSubsetOf(const Bitset& other) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+  /// "0101..." rendering, bit 0 first; for tests and debugging.
+  std::string ToString() const;
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace daf
+
+#endif  // DAF_UTIL_BITSET_H_

@@ -1,0 +1,144 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace daf {
+
+int64_t& FlagSet::Int64(const std::string& name, int64_t default_value,
+                        const std::string& help) {
+  Flag& f = flags_[name];
+  f.type = Type::kInt64;
+  f.help = help;
+  f.int_value = default_value;
+  return f.int_value;
+}
+
+double& FlagSet::Double(const std::string& name, double default_value,
+                        const std::string& help) {
+  Flag& f = flags_[name];
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  return f.double_value;
+}
+
+std::string& FlagSet::String(const std::string& name,
+                             const std::string& default_value,
+                             const std::string& help) {
+  Flag& f = flags_[name];
+  f.type = Type::kString;
+  f.help = help;
+  f.string_value = default_value;
+  return f.string_value;
+}
+
+bool& FlagSet::Bool(const std::string& name, bool default_value,
+                    const std::string& help) {
+  Flag& f = flags_[name];
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  return f.bool_value;
+}
+
+bool FlagSet::SetValue(Flag& flag, const std::string& text) {
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt64:
+      flag.int_value = std::strtoll(text.c_str(), &end, 10);
+      return end != nullptr && *end == '\0' && !text.empty();
+    case Type::kDouble:
+      flag.double_value = std::strtod(text.c_str(), &end);
+      return end != nullptr && *end == '\0' && !text.empty();
+    case Type::kString:
+      flag.string_value = text;
+      return true;
+    case Type::kBool:
+      if (text == "true" || text == "1") {
+        flag.bool_value = true;
+        return true;
+      }
+      if (text == "false" || text == "0") {
+        flag.bool_value = false;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      error_ = std::string("unexpected positional argument: ") + arg;
+      return false;
+    }
+    std::string body = arg + 2;
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      error_ = "unknown flag: --" + name;
+      return false;
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.type == Type::kBool) {
+        flag.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        error_ = "missing value for flag --" + name;
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!SetValue(flag, value)) {
+      error_ = "bad value for flag --" + name + ": " + value;
+      return false;
+    }
+  }
+  return true;
+}
+
+void FlagSet::PrintUsage(const char* program) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", program);
+  for (const auto& [name, flag] : flags_) {
+    const char* type = "";
+    std::string def;
+    switch (flag.type) {
+      case Type::kInt64:
+        type = "int";
+        def = std::to_string(flag.int_value);
+        break;
+      case Type::kDouble:
+        type = "double";
+        def = std::to_string(flag.double_value);
+        break;
+      case Type::kString:
+        type = "string";
+        def = flag.string_value;
+        break;
+      case Type::kBool:
+        type = "bool";
+        def = flag.bool_value ? "true" : "false";
+        break;
+    }
+    std::fprintf(stderr, "  --%s (%s, default %s): %s\n", name.c_str(), type,
+                 def.c_str(), flag.help.c_str());
+  }
+}
+
+}  // namespace daf

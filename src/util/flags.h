@@ -1,0 +1,66 @@
+#ifndef DAF_UTIL_FLAGS_H_
+#define DAF_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace daf {
+
+/// Minimal command-line flag parser for the benchmark and example binaries.
+///
+/// Supports `--name=value`, `--name value`, and bare `--name` for booleans.
+/// Unknown flags are reported via `error()`. Typical use:
+///
+///   FlagSet flags;
+///   int64_t& k = flags.Int64("k", 100000, "embeddings to find");
+///   if (!flags.Parse(argc, argv)) { flags.PrintUsage(argv[0]); return 1; }
+class FlagSet {
+ public:
+  /// Registers an int64 flag; returns a reference bound to its value.
+  int64_t& Int64(const std::string& name, int64_t default_value,
+                 const std::string& help);
+
+  /// Registers a double flag.
+  double& Double(const std::string& name, double default_value,
+                 const std::string& help);
+
+  /// Registers a string flag.
+  std::string& String(const std::string& name,
+                      const std::string& default_value,
+                      const std::string& help);
+
+  /// Registers a boolean flag (`--name` sets it true, `--name=false` false).
+  bool& Bool(const std::string& name, bool default_value,
+             const std::string& help);
+
+  /// Parses argv; returns false on any unknown flag or malformed value.
+  bool Parse(int argc, char** argv);
+
+  /// The first parse error, if Parse returned false.
+  const std::string& error() const { return error_; }
+
+  /// Prints registered flags with defaults and help strings to stderr.
+  void PrintUsage(const char* program) const;
+
+ private:
+  enum class Type { kInt64, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    // Exactly one of these is active, selected by `type`.
+    int64_t int_value = 0;
+    double double_value = 0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  bool SetValue(Flag& flag, const std::string& text);
+
+  std::map<std::string, Flag> flags_;
+  std::string error_;
+};
+
+}  // namespace daf
+
+#endif  // DAF_UTIL_FLAGS_H_

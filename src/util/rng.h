@@ -1,0 +1,56 @@
+#ifndef DAF_UTIL_RNG_H_
+#define DAF_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace daf {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// SplitMix64). All randomized components of the library (graph generators,
+/// query extraction, workload synthesis) take an explicit `Rng` so experiments
+/// are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed);
+
+  /// Next 64 raw bits.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformReal();
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return UniformReal() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace daf
+
+#endif  // DAF_UTIL_RNG_H_

@@ -1,0 +1,51 @@
+#ifndef DAF_UTIL_TIMER_H_
+#define DAF_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace daf {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction or the last Restart().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock deadline used to cut off hard query instances (the paper uses
+/// a 10-minute limit per query). A deadline of 0 ms means "no limit".
+class Deadline {
+ public:
+  /// Creates a deadline `timeout_ms` from now; 0 disables the deadline.
+  explicit Deadline(uint64_t timeout_ms = 0) {
+    if (timeout_ms > 0) {
+      deadline_ = Clock::now() + std::chrono::milliseconds(timeout_ms);
+      enabled_ = true;
+    }
+  }
+
+  /// True if the deadline is enabled and has passed.
+  bool Expired() const { return enabled_ && Clock::now() >= deadline_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point deadline_;
+  bool enabled_ = false;
+};
+
+}  // namespace daf
+
+#endif  // DAF_UTIL_TIMER_H_

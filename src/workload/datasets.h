@@ -1,0 +1,59 @@
+#ifndef DAF_WORKLOAD_DATASETS_H_
+#define DAF_WORKLOAD_DATASETS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace daf::workload {
+
+/// The data graphs of the paper's evaluation (Table 2 plus the Twitter
+/// graph of Appendix A.1). The real datasets are not distributable with
+/// this repository, so each is synthesized as a stand-in matching the
+/// published |V|, |E|, |Σ| and average degree, with a power-law degree
+/// distribution and Zipf-distributed labels (see DESIGN.md, substitution 1).
+enum class DatasetId {
+  kYeast,
+  kHuman,
+  kHprd,
+  kEmail,
+  kDblp,
+  kYago,
+  kTwitterSim,  // RMAT stand-in for the billion-edge Twitter graph
+};
+
+/// Published statistics a stand-in must match.
+struct DatasetSpec {
+  DatasetId id;
+  const char* name;
+  uint32_t num_vertices;
+  uint64_t num_edges;
+  uint32_t num_labels;
+  double avg_degree;            // as reported in Table 2
+  double label_zipf_exponent;   // skew of the synthetic label distribution
+  /// Fraction of vertices created by duplicating an existing vertex's
+  /// neighborhood (SE/QDE twins). Matches the per-dataset compression
+  /// ratios the paper reports in Appendix A.5 (Human 53.1%, YAGO 41.4%,
+  /// Email 16.4%, Yeast 5.1%, DBLP 2.1%, HPRD 1.4%), which is what makes
+  /// the DAF-Boost experiment (Figure 17) meaningful.
+  double duplication_fraction;
+  std::array<uint32_t, 4> query_sizes;  // the i of Q_iS / Q_iN
+};
+
+/// Spec lookup.
+const DatasetSpec& GetSpec(DatasetId id);
+
+/// The six Table 2 datasets, in the paper's order.
+const std::vector<DatasetSpec>& Table2Specs();
+
+/// Synthesizes the stand-in for `id`. `scale` in (0, 1] shrinks |V|, |E|
+/// and |Σ| proportionally so benchmarks can trade fidelity for runtime;
+/// scale = 1 reproduces the published sizes. Deterministic in `seed`.
+Graph MakeDataset(DatasetId id, double scale, uint64_t seed);
+
+}  // namespace daf::workload
+
+#endif  // DAF_WORKLOAD_DATASETS_H_

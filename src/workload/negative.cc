@@ -1,0 +1,64 @@
+#include "workload/negative.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace daf::workload {
+
+Graph PerturbLabels(const Graph& query, const Graph& data,
+                    uint32_t num_changes, Rng& rng) {
+  const uint32_t n = query.NumVertices();
+  std::vector<Label> labels(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    labels[u] = query.original_label(query.label(u));
+  }
+  std::vector<VertexId> victims(n);
+  for (uint32_t u = 0; u < n; ++u) victims[u] = u;
+  rng.Shuffle(victims);
+  num_changes = std::min(num_changes, n);
+  for (uint32_t i = 0; i < num_changes; ++i) {
+    Label l = static_cast<Label>(rng.UniformInt(data.NumLabels()));
+    labels[victims[i]] = data.original_label(l);
+  }
+  std::vector<Edge> edges;
+  std::vector<Label> edge_labels;
+  for (const auto& [e, label] : query.LabeledEdgeList()) {
+    edges.push_back(e);
+    edge_labels.push_back(label);
+  }
+  return Graph::FromLabeledEdges(std::move(labels), edges, edge_labels);
+}
+
+Graph AddRandomEdges(const Graph& query, uint32_t num_edges, Rng& rng) {
+  const uint32_t n = query.NumVertices();
+  std::vector<Label> labels(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    labels[u] = query.original_label(query.label(u));
+  }
+  std::vector<Edge> edges;
+  std::vector<Label> edge_labels;
+  for (const auto& [e, label] : query.LabeledEdgeList()) {
+    edges.push_back(e);
+    edge_labels.push_back(label);
+  }
+  // Enumerate the absent pairs and sample from them; new edges reuse the
+  // label of a random existing edge (0 for edge-unlabeled queries).
+  std::vector<Edge> absent;
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) {
+      if (!query.HasEdge(u, v)) absent.emplace_back(u, v);
+    }
+  }
+  rng.Shuffle(absent);
+  num_edges = std::min<uint32_t>(num_edges,
+                                 static_cast<uint32_t>(absent.size()));
+  const size_t original = edge_labels.size();
+  for (uint32_t i = 0; i < num_edges; ++i) {
+    edges.push_back(absent[i]);
+    edge_labels.push_back(
+        original > 0 ? edge_labels[rng.UniformInt(original)] : 0);
+  }
+  return Graph::FromLabeledEdges(std::move(labels), edges, edge_labels);
+}
+
+}  // namespace daf::workload

@@ -1,0 +1,25 @@
+#ifndef DAF_WORKLOAD_NEGATIVE_H_
+#define DAF_WORKLOAD_NEGATIVE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace daf::workload {
+
+/// Negative-query generators of Appendix A.3: perturbations of positive
+/// queries that may destroy all embeddings.
+
+/// Replaces `num_changes` distinct query vertices' labels with labels drawn
+/// uniformly from the data graph's label alphabet.
+Graph PerturbLabels(const Graph& query, const Graph& data,
+                    uint32_t num_changes, Rng& rng);
+
+/// Adds `num_edges` random non-existing edges to the query (the structure
+/// of the query densifies toward a complete graph, the paper's "C" point).
+Graph AddRandomEdges(const Graph& query, uint32_t num_edges, Rng& rng);
+
+}  // namespace daf::workload
+
+#endif  // DAF_WORKLOAD_NEGATIVE_H_

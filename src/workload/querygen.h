@@ -1,0 +1,61 @@
+#ifndef DAF_WORKLOAD_QUERYGEN_H_
+#define DAF_WORKLOAD_QUERYGEN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace daf::workload {
+
+/// A query set in the paper's sense: Q_iS (sparse, avg-deg(q) <= 3) or
+/// Q_iN (non-sparse, avg-deg(q) > 3), each query a connected random-walk
+/// subgraph of the data graph with i vertices — hence guaranteed positive.
+struct QuerySet {
+  uint32_t size = 0;   // i
+  bool sparse = true;  // S or N
+  std::vector<Graph> queries;
+
+  /// "Q50S"-style display name.
+  std::string Name() const;
+};
+
+/// Generates a query set of `count` queries of `size` vertices. Sparse sets
+/// target avg-deg <= 3 by subsampling induced edges; non-sparse sets keep
+/// all induced edges and retry walks until avg-deg > 3 (falling back to the
+/// densest extraction found if the data graph region is too sparse).
+QuerySet MakeQuerySet(const Graph& data, uint32_t size, bool sparse,
+                      uint32_t count, Rng& rng);
+
+/// Constraints for the sensitivity-analysis query generator (Section 7.2),
+/// matched by rejection sampling. Bounds are inclusive; use 0 /
+/// UINT32_MAX-style sentinels for "unbounded".
+struct QueryConstraints {
+  uint32_t size = 100;
+  double min_avg_deg = 0;
+  double max_avg_deg = 1e9;
+  uint32_t min_diameter = 0;
+  uint32_t max_diameter = 1u << 30;
+};
+
+/// Samples one query satisfying `constraints` (std::nullopt after
+/// `max_attempts` rejections). High-density constraints (min_avg_deg > 4)
+/// additionally try greedy dense-region extraction, since plain random
+/// walks rarely induce such subgraphs.
+std::optional<Graph> MakeConstrainedQuery(const Graph& data,
+                                          const QueryConstraints& constraints,
+                                          Rng& rng, int max_attempts = 200);
+
+/// Extracts a connected `size`-vertex query by greedily growing the set
+/// that maximizes induced edges (densest-region expansion from a random
+/// high-degree seed). Like the random-walk extraction the result is an
+/// induced subgraph of `data`, hence positive by construction.
+std::optional<Graph> ExtractDenseQuery(const Graph& data, uint32_t size,
+                                       Rng& rng);
+
+}  // namespace daf::workload
+
+#endif  // DAF_WORKLOAD_QUERYGEN_H_

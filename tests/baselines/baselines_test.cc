@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "baselines/bruteforce.h"
+#include "baselines/cfl_match.h"
+#include "baselines/gaddi.h"
+#include "baselines/graphql.h"
+#include "baselines/quicksi.h"
+#include "baselines/spath.h"
+#include "baselines/turboiso.h"
+#include "baselines/vf2.h"
+#include "graph/query_extract.h"
+#include "tests/test_util.h"
+
+namespace daf::baselines {
+namespace {
+
+using daf::testing::Collector;
+using daf::testing::EmbeddingSet;
+using daf::testing::MakeClique;
+using daf::testing::MakeCycle;
+using daf::testing::MakePath;
+
+using MatchFn = MatcherResult (*)(const Graph&, const Graph&,
+                                  const MatcherOptions&);
+
+struct NamedAlgorithm {
+  const char* name;
+  MatchFn fn;
+};
+
+constexpr NamedAlgorithm kAlgorithms[] = {
+    {"VF2", &Vf2Match},         {"QuickSI", &QuickSiMatch},
+    {"GraphQL", &GraphQlMatch}, {"SPath", &SPathMatch},
+    {"GADDI", &GaddiMatch},     {"TurboIso", &TurboIsoMatch},
+    {"CFL", &CflMatch},
+};
+
+// Parameterized over (algorithm index, generator seed): every baseline must
+// enumerate exactly the brute-force embedding set on random positive and
+// near-negative instances.
+class BaselineEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BaselineEquivalenceTest, MatchesBruteForceExactly) {
+  const auto [algorithm_index, seed] = GetParam();
+  const NamedAlgorithm& algorithm = kAlgorithms[algorithm_index];
+  Rng rng(1000 + seed);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph data =
+        daf::testing::RandomDataGraph(30 + rng.UniformInt(50),
+                                      80 + rng.UniformInt(160), 3, rng);
+    auto extracted =
+        ExtractRandomWalkQuery(data, 3 + rng.UniformInt(6),
+                               rng.Bernoulli(0.5) ? 2.5 : -1.0, rng);
+    if (!extracted) continue;
+    EmbeddingSet expected;
+    MatcherOptions brute_opts;
+    brute_opts.callback = Collector(&expected);
+    BruteForceMatch(extracted->query, data, brute_opts);
+
+    EmbeddingSet found;
+    MatcherOptions opts;
+    opts.callback = Collector(&found);
+    MatcherResult result = algorithm.fn(extracted->query, data, opts);
+    ASSERT_TRUE(result.ok) << algorithm.name;
+    EXPECT_EQ(result.embeddings, expected.size()) << algorithm.name;
+    EXPECT_EQ(found, expected) << algorithm.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaselineEquivalenceTest,
+    ::testing::Combine(::testing::Range(0, 7), ::testing::Range(0, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(kAlgorithms[std::get<0>(info.param)].name) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+class BaselineFixedInstanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineFixedInstanceTest, TriangleInClique) {
+  const NamedAlgorithm& algorithm = kAlgorithms[GetParam()];
+  Graph data = MakeClique({0, 0, 0, 0, 0});
+  Graph query = MakeCycle({0, 0, 0});
+  MatcherResult result = algorithm.fn(query, data, {});
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.embeddings, 60u) << algorithm.name;
+}
+
+TEST_P(BaselineFixedInstanceTest, NoEmbeddingOnMissingLabel) {
+  const NamedAlgorithm& algorithm = kAlgorithms[GetParam()];
+  Graph data = MakePath({0, 1, 0});
+  Graph query = MakePath({0, 9});
+  MatcherResult result = algorithm.fn(query, data, {});
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.embeddings, 0u) << algorithm.name;
+}
+
+TEST_P(BaselineFixedInstanceTest, LimitStopsEarly) {
+  const NamedAlgorithm& algorithm = kAlgorithms[GetParam()];
+  Graph data = MakeClique({0, 0, 0, 0, 0, 0});
+  Graph query = MakeCycle({0, 0, 0});  // 120 embeddings
+  MatcherOptions opts;
+  opts.limit = 9;
+  MatcherResult result = algorithm.fn(query, data, opts);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.embeddings, 9u) << algorithm.name;
+  EXPECT_TRUE(result.limit_reached) << algorithm.name;
+  EXPECT_FALSE(result.Complete()) << algorithm.name;
+}
+
+TEST_P(BaselineFixedInstanceTest, SingleEdgeQuery) {
+  const NamedAlgorithm& algorithm = kAlgorithms[GetParam()];
+  Graph data = MakePath({0, 1, 0});
+  Graph query = MakePath({0, 1});
+  MatcherResult result = algorithm.fn(query, data, {});
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.embeddings, 2u) << algorithm.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, BaselineFixedInstanceTest, ::testing::Range(0, 7),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return kAlgorithms[info.param].name;
+    });
+
+TEST(BruteForceTest, HandlesDisconnectedQueries) {
+  // Two isolated query vertices of label 0 in a 3-vertex label-0 path:
+  // 3 * 2 = 6 ordered embeddings.
+  Graph data = MakePath({0, 0, 0});
+  Graph query = Graph::FromEdges({0, 0}, {});
+  MatcherResult result = BruteForceMatch(query, data, {});
+  EXPECT_EQ(result.embeddings, 6u);
+}
+
+TEST(BruteForceTest, TimeoutFires) {
+  std::vector<Label> labels(40, 0);
+  Graph data = MakeClique(labels);
+  Graph query = MakeClique(std::vector<Label>(10, 0));
+  MatcherOptions opts;
+  opts.time_limit_ms = 1;
+  MatcherResult result = BruteForceMatch(query, data, opts);
+  EXPECT_TRUE(result.timed_out);
+}
+
+}  // namespace
+}  // namespace daf::baselines

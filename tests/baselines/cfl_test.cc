@@ -1,0 +1,89 @@
+#include "baselines/cfl_match.h"
+
+#include <gtest/gtest.h>
+
+#include "daf/candidate_space.h"
+#include "daf/query_dag.h"
+#include "graph/query_extract.h"
+#include "tests/test_util.h"
+
+namespace daf::baselines {
+namespace {
+
+using daf::testing::MakeCycle;
+using daf::testing::MakePath;
+
+TEST(CflMatchTest, ReportsAuxiliaryStructureSize) {
+  Rng rng(121);
+  Graph data = daf::testing::RandomDataGraph(60, 180, 3, rng);
+  auto extracted = ExtractRandomWalkQuery(data, 6, -1.0, rng);
+  ASSERT_TRUE(extracted.has_value());
+  MatcherResult result = CflMatch(extracted->query, data, {});
+  ASSERT_TRUE(result.ok);
+  EXPECT_GT(result.aux_size, 0u);
+}
+
+TEST(CflMatchTest, CpiIsNeverSmallerThanCs) {
+  // The CS uses all query edges in its DP while the CPI refines along tree
+  // edges (plus backward-edge checks), so Σ|C(u)| of the CS must be <= the
+  // CPI's on the same instance — the Figure 9 relationship.
+  // The roots (and hence BFS trees) of the two structures may differ, so
+  // the comparison is aggregated over instances, as in Figure 9.
+  Rng rng(122);
+  int checked = 0;
+  uint64_t total_cs = 0;
+  uint64_t total_cpi = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph data =
+        daf::testing::RandomDataGraph(60, 150 + rng.UniformInt(150), 3, rng);
+    auto extracted =
+        ExtractRandomWalkQuery(data, 5 + rng.UniformInt(5), -1.0, rng);
+    if (!extracted) continue;
+    MatcherResult cfl = CflMatch(extracted->query, data, {});
+    if (!cfl.ok || cfl.aux_size == 0) continue;
+    QueryDag dag = QueryDag::Build(extracted->query, data);
+    CandidateSpace cs = CandidateSpace::Build(extracted->query, dag, data);
+    total_cs += cs.TotalCandidates();
+    total_cpi += cfl.aux_size;
+    ++checked;
+  }
+  EXPECT_GT(checked, 5);
+  EXPECT_LE(total_cs, total_cpi);
+}
+
+TEST(CflMatchTest, RejectsDisconnectedQuery) {
+  Graph data = MakePath({0, 0, 0});
+  Graph query = Graph::FromEdges({0, 0}, {});
+  MatcherResult result = CflMatch(query, data, {});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(CflMatchTest, HandlesTreeQueriesWithoutCore) {
+  // A path query has an empty 2-core; the core-forest-leaf decomposition
+  // must still produce a valid order.
+  Graph data = MakePath({0, 1, 2, 1, 0});
+  Graph query = MakePath({0, 1, 2});
+  MatcherResult result = CflMatch(query, data, {});
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.embeddings, 2u);
+}
+
+TEST(CflMatchTest, HandlesCliqueQueries) {
+  // A clique query is all core.
+  Graph data = daf::testing::MakeClique({0, 0, 0, 0, 0});
+  Graph query = daf::testing::MakeClique({0, 0, 0, 0});
+  MatcherResult result = CflMatch(query, data, {});
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.embeddings, 120u);  // 5*4*3*2
+}
+
+TEST(CflMatchTest, SingleVertexQuery) {
+  Graph data = MakePath({3, 3, 4});
+  Graph query = Graph::FromEdges({3}, {});
+  MatcherResult result = CflMatch(query, data, {});
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.embeddings, 2u);
+}
+
+}  // namespace
+}  // namespace daf::baselines

@@ -1,0 +1,201 @@
+#include "daf/boost.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.h"
+#include "daf/engine.h"
+#include "graph/query_extract.h"
+#include "tests/test_util.h"
+
+namespace daf {
+namespace {
+
+using daf::testing::Collector;
+using daf::testing::EmbeddingSet;
+using daf::testing::MakeClique;
+using daf::testing::MakeCycle;
+using daf::testing::MakeStar;
+
+TEST(VertexEquivalenceTest, StarLeavesAreEquivalent) {
+  // SE: the leaves of a star share N(v) = {center} and the same label.
+  Graph star = MakeStar({1, 0, 0, 0, 0});
+  VertexEquivalence eq = VertexEquivalence::Compute(star);
+  EXPECT_EQ(eq.ClassOf(1), eq.ClassOf(2));
+  EXPECT_EQ(eq.ClassOf(2), eq.ClassOf(3));
+  EXPECT_EQ(eq.ClassOf(3), eq.ClassOf(4));
+  EXPECT_NE(eq.ClassOf(0), eq.ClassOf(1));
+  EXPECT_EQ(eq.NumClasses(), 2u);
+  EXPECT_NEAR(eq.CompressionRatio(), 1.0 - 2.0 / 5.0, 1e-9);
+}
+
+TEST(VertexEquivalenceTest, CliqueVerticesAreQdeEquivalent) {
+  // QDE: in a monochromatic clique all closed neighborhoods coincide.
+  Graph clique = MakeClique({0, 0, 0, 0});
+  VertexEquivalence eq = VertexEquivalence::Compute(clique);
+  EXPECT_EQ(eq.NumClasses(), 1u);
+  EXPECT_EQ(eq.ClassSize(eq.ClassOf(0)), 4u);
+}
+
+TEST(VertexEquivalenceTest, LabelsSplitClasses) {
+  Graph star = MakeStar({1, 0, 0, 2, 2});
+  VertexEquivalence eq = VertexEquivalence::Compute(star);
+  EXPECT_EQ(eq.ClassOf(1), eq.ClassOf(2));
+  EXPECT_EQ(eq.ClassOf(3), eq.ClassOf(4));
+  EXPECT_NE(eq.ClassOf(1), eq.ClassOf(3));
+}
+
+TEST(VertexEquivalenceTest, PathHasSymmetricEndpointsOnly) {
+  Graph path = daf::testing::MakePath({0, 1, 0});
+  VertexEquivalence eq = VertexEquivalence::Compute(path);
+  EXPECT_EQ(eq.ClassOf(0), eq.ClassOf(2));  // both adjacent to the middle
+  EXPECT_NE(eq.ClassOf(0), eq.ClassOf(1));
+  EXPECT_EQ(eq.NumClasses(), 2u);
+}
+
+TEST(VertexEquivalenceTest, NoEquivalenceInAsymmetricGraph) {
+  // Path with distinct labels: no two vertices equivalent.
+  Graph path = daf::testing::MakePath({0, 1, 2, 3});
+  VertexEquivalence eq = VertexEquivalence::Compute(path);
+  EXPECT_EQ(eq.NumClasses(), 4u);
+  EXPECT_DOUBLE_EQ(eq.CompressionRatio(), 0.0);
+}
+
+TEST(VertexEquivalenceTest, EdgeLabelsSplitSeClasses) {
+  // Star where two leaves attach with bond 1 and one with bond 2: the
+  // bond-2 leaf must not join the others' class (a boost-skip across
+  // them would be unsound for edge-label-preserving matching).
+  Graph star = Graph::FromLabeledEdges({1, 0, 0, 0},
+                                       {{0, 1}, {0, 2}, {0, 3}}, {1, 1, 2});
+  VertexEquivalence eq = VertexEquivalence::Compute(star);
+  EXPECT_EQ(eq.ClassOf(1), eq.ClassOf(2));
+  EXPECT_NE(eq.ClassOf(1), eq.ClassOf(3));
+}
+
+TEST(VertexEquivalenceTest, EdgeLabelsSplitQdeClasses) {
+  // Triangle with one odd edge: x-y labeled 1, x-z labeled 1, y-z labeled
+  // 2. y and z are adjacent twins structurally, and their remaining edges
+  // (to x) carry equal labels, so y ~ z; but x pairs with neither (its
+  // two edges both have label 1 while y/z each see a label-2 edge).
+  Graph t = Graph::FromLabeledEdges({0, 0, 0}, {{0, 1}, {0, 2}, {1, 2}},
+                                    {1, 1, 2});
+  VertexEquivalence eq = VertexEquivalence::Compute(t);
+  EXPECT_EQ(eq.ClassOf(1), eq.ClassOf(2));
+  EXPECT_NE(eq.ClassOf(0), eq.ClassOf(1));
+}
+
+TEST(DafBoostTest, SoundOnEdgeLabeledGraphs) {
+  // The decisive scenario: two structurally-twin leaves with different
+  // bond labels, a query that matches only one of them. A label-blind
+  // equivalence would let the boost skip the good leaf after the bad one
+  // fails.
+  Graph data = Graph::FromLabeledEdges(
+      {1, 0, 0}, {{0, 1}, {0, 2}}, {1, 2});  // hub, leaf@1, leaf@2
+  Graph query = Graph::FromLabeledEdges({1, 0}, {{0, 1}}, {2});
+  VertexEquivalence eq = VertexEquivalence::Compute(data);
+  MatchOptions opts;
+  opts.equivalence = &eq;
+  MatchResult r = DafMatch(query, data, opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.embeddings, 1u);
+}
+
+TEST(DafBoostTest, ProducesIdenticalEmbeddings) {
+  Rng rng(111);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph data =
+        daf::testing::RandomDataGraph(40, 80 + rng.UniformInt(120), 3, rng);
+    auto extracted =
+        ExtractRandomWalkQuery(data, 4 + rng.UniformInt(5), -1.0, rng);
+    if (!extracted) continue;
+    VertexEquivalence eq = VertexEquivalence::Compute(data);
+    EmbeddingSet plain;
+    EmbeddingSet boosted;
+    MatchOptions a;
+    a.callback = Collector(&plain);
+    MatchResult ra = DafMatch(extracted->query, data, a);
+    MatchOptions b;
+    b.callback = Collector(&boosted);
+    b.equivalence = &eq;
+    MatchResult rb = DafMatch(extracted->query, data, b);
+    ASSERT_TRUE(ra.ok && rb.ok);
+    EXPECT_EQ(plain, boosted);
+    // Skipping can only reduce explored nodes.
+    EXPECT_LE(rb.recursive_calls, ra.recursive_calls);
+  }
+}
+
+TEST(DafBoostTest, SkipsEquivalentFailingSiblings) {
+  // Same structure as the failing-set showcase (see failing_set_test.cc),
+  // except all D vertices share one pendant E vertex, making them
+  // SE-equivalent: N(d_i) = {hub, e0} for every i. Every d_i subtree fails
+  // for reasons that do not involve d_i (the u2/u5 conflict on the only B
+  // vertex), so with equivalence skipping — and failing sets disabled, to
+  // isolate the boost effect — the D branch must be explored exactly once.
+  Graph query = Graph::FromEdges(
+      {0, 1, 2, 3, 1, 4},
+      {{0, 1}, {0, 2}, {2, 4}, {0, 3}, {3, 5}});
+  std::vector<Label> labels{0, 1, 4};  // v0 = A hub, v1 = only B, v2 = e0
+  std::vector<Edge> edges{{0, 1}};
+  constexpr uint32_t kNumC = 20;
+  constexpr uint32_t kNumD = 15;
+  for (uint32_t i = 0; i < kNumC; ++i) {
+    VertexId c = static_cast<VertexId>(labels.size());
+    labels.push_back(2);
+    edges.emplace_back(0, c);
+    edges.emplace_back(c, 1);
+  }
+  for (uint32_t i = 0; i < kNumD; ++i) {
+    VertexId d = static_cast<VertexId>(labels.size());
+    labels.push_back(3);
+    edges.emplace_back(0, d);
+    edges.emplace_back(d, 2);  // shared pendant e0
+  }
+  Graph data = Graph::FromEdges(std::move(labels), edges);
+  VertexEquivalence eq = VertexEquivalence::Compute(data);
+  // All D vertices form one class.
+  EXPECT_EQ(eq.ClassSize(eq.ClassOf(3 + kNumC)), kNumD);
+
+  MatchOptions plain;
+  plain.use_failing_sets = false;
+  MatchResult r_plain = DafMatch(query, data, plain);
+  MatchOptions boosted;
+  boosted.use_failing_sets = false;
+  boosted.equivalence = &eq;
+  MatchResult r_boost = DafMatch(query, data, boosted);
+  ASSERT_TRUE(r_plain.ok && r_boost.ok);
+  EXPECT_EQ(r_plain.embeddings, 0u);
+  EXPECT_EQ(r_boost.embeddings, 0u);
+  EXPECT_GT(r_plain.recursive_calls, 500u);
+  EXPECT_LT(r_boost.recursive_calls, 150u);
+}
+
+TEST(DafBoostTest, AgreesWithBruteForceOnCompressibleGraphs) {
+  // Highly compressible data graph: few hubs, many equivalent leaves.
+  Rng rng(112);
+  std::vector<Label> labels{0, 0, 0};
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  for (int i = 0; i < 40; ++i) {
+    VertexId leaf = static_cast<VertexId>(labels.size());
+    labels.push_back(1);
+    edges.emplace_back(static_cast<VertexId>(i % 3), leaf);
+  }
+  Graph data = Graph::FromEdges(std::move(labels), edges);
+  VertexEquivalence eq = VertexEquivalence::Compute(data);
+  EXPECT_GT(eq.CompressionRatio(), 0.5);
+
+  Graph query = Graph::FromEdges({0, 0, 1, 1}, {{0, 1}, {0, 2}, {1, 3}});
+  EmbeddingSet expected;
+  baselines::MatcherOptions brute;
+  brute.callback = Collector(&expected);
+  baselines::BruteForceMatch(query, data, brute);
+  EmbeddingSet found;
+  MatchOptions opts;
+  opts.equivalence = &eq;
+  opts.callback = Collector(&found);
+  MatchResult result = DafMatch(query, data, opts);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(found, expected);
+}
+
+}  // namespace
+}  // namespace daf

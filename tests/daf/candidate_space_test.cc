@@ -1,0 +1,241 @@
+#include "daf/candidate_space.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/bruteforce.h"
+#include "graph/query_extract.h"
+#include "tests/test_util.h"
+
+namespace daf {
+namespace {
+
+using daf::testing::Collector;
+using daf::testing::EmbeddingSet;
+using daf::testing::MakePath;
+using daf::testing::RandomDataGraph;
+
+// Structural invariants of any CS: candidates carry the right label and
+// degree, edge lists are sorted index lists, every CS edge is a data edge,
+// and the CS edges are complete w.r.t. condition (2) of the definition.
+void CheckCsInvariants(const Graph& query, const QueryDag& dag,
+                       const Graph& data, const CandidateSpace& cs) {
+  for (uint32_t u = 0; u < query.NumVertices(); ++u) {
+    auto cands = cs.Candidates(u);
+    EXPECT_TRUE(std::is_sorted(cands.begin(), cands.end()));
+    for (VertexId v : cands) {
+      EXPECT_EQ(data.label(v), dag.DataLabel(u));
+      EXPECT_GE(data.degree(v), query.degree(u));
+    }
+  }
+  for (uint32_t u = 0; u < query.NumVertices(); ++u) {
+    const auto& children = dag.Children(u);
+    for (uint32_t pos = 0; pos < children.size(); ++pos) {
+      VertexId c = children[pos];
+      uint32_t edge_id = dag.ChildEdgeId(u, pos);
+      for (uint32_t ip = 0; ip < cs.NumCandidates(u); ++ip) {
+        auto targets = cs.EdgeNeighbors(edge_id, ip);
+        EXPECT_TRUE(std::is_sorted(targets.begin(), targets.end()));
+        VertexId vp = cs.CandidateVertex(u, ip);
+        for (uint32_t ic : targets) {
+          ASSERT_LT(ic, cs.NumCandidates(c));
+          EXPECT_TRUE(data.HasEdge(vp, cs.CandidateVertex(c, ic)));
+        }
+        // Completeness: every adjacent candidate pair is materialized.
+        size_t expected = 0;
+        for (uint32_t ic = 0; ic < cs.NumCandidates(c); ++ic) {
+          if (data.HasEdge(vp, cs.CandidateVertex(c, ic))) ++expected;
+        }
+        EXPECT_EQ(targets.size(), expected);
+      }
+    }
+  }
+}
+
+TEST(CandidateSpaceTest, SoundnessOnRandomInstances) {
+  Rng rng(61);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph data = RandomDataGraph(60, 150 + rng.UniformInt(150), 4, rng);
+    auto extracted =
+        ExtractRandomWalkQuery(data, 4 + rng.UniformInt(5), -1.0, rng);
+    if (!extracted) continue;
+    const Graph& query = extracted->query;
+    QueryDag dag = QueryDag::Build(query, data);
+    CandidateSpace cs = CandidateSpace::Build(query, dag, data);
+    CheckCsInvariants(query, dag, data, cs);
+
+    // Every true embedding survives every candidate set (Definition 4.2).
+    EmbeddingSet embeddings;
+    baselines::MatcherOptions opts;
+    opts.callback = Collector(&embeddings);
+    baselines::BruteForceMatch(query, data, opts);
+    for (const auto& embedding : embeddings) {
+      for (uint32_t u = 0; u < query.NumVertices(); ++u) {
+        auto cands = cs.Candidates(u);
+        EXPECT_TRUE(
+            std::binary_search(cands.begin(), cands.end(), embedding[u]))
+            << "embedding vertex dropped from C(" << u << ")";
+      }
+    }
+  }
+}
+
+TEST(CandidateSpaceTest, RefinementOnlyShrinksCandidates) {
+  Rng rng(62);
+  Graph data = RandomDataGraph(80, 240, 3, rng);
+  auto extracted = ExtractRandomWalkQuery(data, 8, -1.0, rng);
+  ASSERT_TRUE(extracted.has_value());
+  const Graph& query = extracted->query;
+  QueryDag dag = QueryDag::Build(query, data);
+  uint64_t previous = ~0ull;
+  for (int steps = 0; steps <= 5; ++steps) {
+    CandidateSpace cs = CandidateSpace::Build(query, dag, data, steps);
+    EXPECT_LE(cs.TotalCandidates(), previous);
+    previous = cs.TotalCandidates();
+  }
+}
+
+TEST(CandidateSpaceTest, DagGraphDpRemovesDeadEnds) {
+  // Query: path A-B-C-D. Data: good chain a-b1-c1-d plus a decoy branch
+  // a-b2-c2 where c2 has no D-neighbor. b2 passes every *local* filter
+  // (label, degree, MND, NLF: it has an A- and a C-neighbor); only the
+  // DAG-graph DP recurrence — which needs a surviving C-child candidate,
+  // and c2 dies because it lacks a D-neighbor — can eliminate it. This is
+  // exactly the 2-hop propagation local filters cannot see.
+  Graph query = MakePath({0, 1, 2, 3});
+  Graph data = Graph::FromEdges({0, 1, 2, 3, 1, 2},
+                                {{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 5}});
+  QueryDag dag = QueryDag::BuildWithRoot(query, data, 0);
+  CandidateSpace unrefined = CandidateSpace::Build(query, dag, data, 0);
+  CandidateSpace refined = CandidateSpace::Build(query, dag, data, 3);
+  const uint32_t ub = 1;  // query vertex with label B
+  auto unrefined_b = unrefined.Candidates(ub);
+  EXPECT_TRUE(std::binary_search(unrefined_b.begin(), unrefined_b.end(), 4u))
+      << "decoy b2 should survive the local filters";
+  ASSERT_EQ(refined.NumCandidates(ub), 1u);
+  EXPECT_EQ(refined.CandidateVertex(ub, 0), 1u);
+}
+
+TEST(CandidateSpaceTest, NlfFilterPrunesAtSeedTime) {
+  // Query center needs two B-neighbors; data vertex x has degree 2 but
+  // only one B-neighbor, so only NLF (not the degree filter) rejects it.
+  Graph query = MakePath({1, 0, 1});  // B - A - B
+  Graph data = Graph::FromEdges(
+      {0, 1, 2, 0, 1, 1},
+      {{0, 1}, {0, 2}, {3, 4}, {3, 5}});  // x-B, x-C ; y-B, y-B
+  QueryDag dag = QueryDag::Build(query, data);
+  CandidateSpace cs = CandidateSpace::Build(query, dag, data, 0);
+  const uint32_t center = 1;
+  ASSERT_EQ(cs.NumCandidates(center), 1u);
+  EXPECT_EQ(cs.CandidateVertex(center, 0), 3u);
+}
+
+TEST(CandidateSpaceTest, MissingLabelEmptiesCandidates) {
+  Graph query = MakePath({0, 9});
+  Graph data = MakePath({0, 0, 0});
+  QueryDag dag = QueryDag::Build(query, data);
+  CandidateSpace cs = CandidateSpace::Build(query, dag, data);
+  bool some_empty = false;
+  for (uint32_t u = 0; u < 2; ++u) {
+    some_empty |= cs.NumCandidates(u) == 0;
+  }
+  EXPECT_TRUE(some_empty);
+}
+
+TEST(CandidateSpaceTest, SingleVertexQuery) {
+  Graph query = Graph::FromEdges({5}, {});
+  Graph data = Graph::FromEdges({5, 5, 6}, {{0, 1}, {1, 2}});
+  QueryDag dag = QueryDag::Build(query, data);
+  CandidateSpace cs = CandidateSpace::Build(query, dag, data);
+  EXPECT_EQ(cs.NumCandidates(0), 2u);
+  EXPECT_EQ(cs.TotalCandidates(), 2u);
+  EXPECT_EQ(cs.TotalEdges(), 0u);
+}
+
+TEST(CandidateSpaceTest, DisablingFiltersOnlyGrowsCandidates) {
+  Rng rng(64);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph data = RandomDataGraph(60, 150 + rng.UniformInt(100), 3, rng);
+    auto extracted =
+        ExtractRandomWalkQuery(data, 5 + rng.UniformInt(4), -1.0, rng);
+    if (!extracted) continue;
+    QueryDag dag = QueryDag::Build(extracted->query, data);
+    CandidateSpace::Options all_on;
+    CandidateSpace::Options no_nlf;
+    no_nlf.use_nlf_filter = false;
+    CandidateSpace::Options no_mnd;
+    no_mnd.use_mnd_filter = false;
+    CandidateSpace::Options none;
+    none.use_nlf_filter = false;
+    none.use_mnd_filter = false;
+    uint64_t base =
+        CandidateSpace::Build(extracted->query, dag, data, all_on)
+            .TotalCandidates();
+    EXPECT_LE(base, CandidateSpace::Build(extracted->query, dag, data,
+                                          no_nlf)
+                        .TotalCandidates());
+    EXPECT_LE(base, CandidateSpace::Build(extracted->query, dag, data,
+                                          no_mnd)
+                        .TotalCandidates());
+    EXPECT_LE(base, CandidateSpace::Build(extracted->query, dag, data, none)
+                        .TotalCandidates());
+  }
+}
+
+TEST(CandidateSpaceTest, FiltersOffStillSound) {
+  Rng rng(65);
+  Graph data = RandomDataGraph(50, 140, 3, rng);
+  auto extracted = ExtractRandomWalkQuery(data, 6, -1.0, rng);
+  ASSERT_TRUE(extracted.has_value());
+  const Graph& query = extracted->query;
+  EmbeddingSet embeddings;
+  baselines::MatcherOptions brute;
+  brute.callback = Collector(&embeddings);
+  baselines::BruteForceMatch(query, data, brute);
+  QueryDag dag = QueryDag::Build(query, data);
+  CandidateSpace::Options none;
+  none.use_nlf_filter = false;
+  none.use_mnd_filter = false;
+  CandidateSpace cs = CandidateSpace::Build(query, dag, data, none);
+  for (const auto& embedding : embeddings) {
+    for (uint32_t u = 0; u < query.NumVertices(); ++u) {
+      auto cands = cs.Candidates(u);
+      EXPECT_TRUE(
+          std::binary_search(cands.begin(), cands.end(), embedding[u]));
+    }
+  }
+}
+
+TEST(CandidateSpaceTest, HomomorphismModeKeepsCollapsedImages) {
+  // Star query B-A-B; data path A-B. In injective mode the B-leaf demand
+  // (NLF count 2) empties C(u_A); in homomorphism mode the data A vertex
+  // must survive because the hom collapsing both leaves onto B exists.
+  Graph query = MakePath({1, 0, 1});
+  Graph data = MakePath({0, 1});
+  QueryDag dag = QueryDag::Build(query, data);
+  CandidateSpace::Options hom;
+  hom.injective = false;
+  CandidateSpace cs = CandidateSpace::Build(query, dag, data, hom);
+  uint32_t center = 1;  // label A
+  EXPECT_EQ(cs.NumCandidates(center), 1u);
+  CandidateSpace strict = CandidateSpace::Build(query, dag, data);
+  EXPECT_EQ(strict.NumCandidates(center), 0u);
+}
+
+TEST(CandidateSpaceTest, TotalsAreConsistent) {
+  Rng rng(63);
+  Graph data = RandomDataGraph(70, 200, 4, rng);
+  auto extracted = ExtractRandomWalkQuery(data, 6, -1.0, rng);
+  ASSERT_TRUE(extracted.has_value());
+  QueryDag dag = QueryDag::Build(extracted->query, data);
+  CandidateSpace cs = CandidateSpace::Build(extracted->query, dag, data);
+  uint64_t total = 0;
+  for (uint32_t u = 0; u < extracted->query.NumVertices(); ++u) {
+    total += cs.NumCandidates(u);
+  }
+  EXPECT_EQ(total, cs.TotalCandidates());
+}
+
+}  // namespace
+}  // namespace daf

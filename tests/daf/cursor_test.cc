@@ -1,0 +1,112 @@
+#include "daf/cursor.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.h"
+#include "graph/query_extract.h"
+#include "tests/test_util.h"
+
+namespace daf {
+namespace {
+
+using daf::testing::Collector;
+using daf::testing::EmbeddingSet;
+using daf::testing::MakeClique;
+using daf::testing::MakeCycle;
+using daf::testing::MakePath;
+
+TEST(CursorTest, EnumeratesExactlyTheEmbeddingSet) {
+  Graph data = MakeClique({0, 0, 0, 0, 0});
+  Graph query = MakeCycle({0, 0, 0});
+  EmbeddingSet expected;
+  MatchOptions collect;
+  collect.callback = Collector(&expected);
+  DafMatch(query, data, collect);
+
+  EmbeddingCursor cursor(query, data);
+  EmbeddingSet found;
+  while (auto embedding = cursor.Next()) {
+    found.insert(*embedding);
+  }
+  EXPECT_EQ(found, expected);
+  const MatchResult& result = cursor.Finish();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.embeddings, expected.size());
+  EXPECT_TRUE(result.Complete());
+}
+
+TEST(CursorTest, NextAfterExhaustionKeepsReturningNullopt) {
+  Graph data = MakePath({0, 1});
+  Graph query = MakePath({0, 1});
+  EmbeddingCursor cursor(query, data);
+  ASSERT_TRUE(cursor.Next().has_value());
+  EXPECT_FALSE(cursor.Next().has_value());
+  EXPECT_FALSE(cursor.Next().has_value());
+}
+
+TEST(CursorTest, EarlyAbandonStopsSearch) {
+  // Huge search space; pulling 5 embeddings and destroying the cursor must
+  // terminate promptly.
+  std::vector<Label> labels(30, 0);
+  Graph data = MakeClique(labels);
+  Graph query = MakeClique(std::vector<Label>(6, 0));
+  {
+    EmbeddingCursor cursor(query, data);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(cursor.Next().has_value());
+    }
+  }  // destructor closes + joins; hang here = bug
+  SUCCEED();
+}
+
+TEST(CursorTest, FinishBeforeExhaustionStopsEarly) {
+  Graph data = MakeClique({0, 0, 0, 0, 0, 0});
+  Graph query = MakeCycle({0, 0, 0});
+  EmbeddingCursor cursor(query, data);
+  ASSERT_TRUE(cursor.Next().has_value());
+  const MatchResult& result = cursor.Finish();
+  EXPECT_TRUE(result.ok);
+  EXPECT_FALSE(result.Complete());  // stopped early via the callback
+}
+
+TEST(CursorTest, RespectsLimitOption) {
+  Graph data = MakeClique({0, 0, 0, 0, 0, 0});
+  Graph query = MakeCycle({0, 0, 0});  // 120 embeddings
+  MatchOptions options;
+  options.limit = 4;
+  EmbeddingCursor cursor(query, data, options);
+  int count = 0;
+  while (cursor.Next()) ++count;
+  EXPECT_EQ(count, 4);
+  EXPECT_TRUE(cursor.Finish().limit_reached);
+}
+
+TEST(CursorTest, AgreesWithBruteForceOnRandomInstances) {
+  Rng rng(171);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph data =
+        daf::testing::RandomDataGraph(40, 100 + rng.UniformInt(80), 3, rng);
+    auto extracted =
+        ExtractRandomWalkQuery(data, 4 + rng.UniformInt(4), -1.0, rng);
+    if (!extracted) continue;
+    EmbeddingSet expected;
+    baselines::MatcherOptions brute;
+    brute.callback = Collector(&expected);
+    baselines::BruteForceMatch(extracted->query, data, brute);
+    EmbeddingCursor cursor(extracted->query, data);
+    EmbeddingSet found;
+    while (auto embedding = cursor.Next()) found.insert(*embedding);
+    EXPECT_EQ(found, expected);
+  }
+}
+
+TEST(CursorTest, NegativeQueryYieldsNothing) {
+  Graph data = MakePath({0, 1, 0});
+  Graph query = MakePath({0, 9});
+  EmbeddingCursor cursor(query, data);
+  EXPECT_FALSE(cursor.Next().has_value());
+  EXPECT_TRUE(cursor.Finish().cs_certified_negative);
+}
+
+}  // namespace
+}  // namespace daf

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "daf/engine.h"
+#include "graph/query_extract.h"
+#include "tests/test_util.h"
+
+namespace daf {
+namespace {
+
+using daf::testing::Collector;
+using daf::testing::EmbeddingSet;
+
+// An Example 6.1-style instance. Query (labels in parentheses):
+//
+//   u1(A) - u2(B),  u1 - u3(C),  u3 - u5(B),  u1 - u4(D),  u4 - u6(E)
+//
+// Data: one A-hub v0; a single B vertex v1 adjacent to v0 and to every C
+// vertex; `num_c` C vertices adjacent to the hub; `num_d` D vertices, each
+// adjacent to the hub and to a private E vertex.
+//
+// Every search dead-ends in a conflict between u2 and u5 on v1 (the only B
+// vertex), no matter which D vertex u4 takes — so u4 is *irrelevant to the
+// failure* and the failing set {u1,u2,u3,u5} excludes u4. u4 carries a
+// pendant E child so it is a non-leaf (leaf decomposition must not defer
+// it), and with num_d < num_c the path-size order maps u4 before u3
+// (w_M(u4) = num_d < w_M(u3) = num_c). Failing-set pruning must collapse
+// the num_d redundant u4-subtrees into one (Lemma 6.1); the unpruned search
+// explores all of them.
+struct Instance {
+  Graph query;
+  Graph data;
+};
+
+Instance MakeInstance(uint32_t num_d, uint32_t num_c = 20) {
+  Instance inst;
+  inst.query = Graph::FromEdges(
+      {0, 1, 2, 3, 1, 4},
+      {{0, 1}, {0, 2}, {2, 4}, {0, 3}, {3, 5}});
+  std::vector<Label> labels{0, 1};  // v0 = A hub, v1 = the only B
+  std::vector<Edge> edges{{0, 1}};
+  for (uint32_t i = 0; i < num_c; ++i) {
+    VertexId c = static_cast<VertexId>(labels.size());
+    labels.push_back(2);
+    edges.emplace_back(0, c);
+    edges.emplace_back(c, 1);
+  }
+  for (uint32_t i = 0; i < num_d; ++i) {
+    VertexId d = static_cast<VertexId>(labels.size());
+    labels.push_back(3);
+    edges.emplace_back(0, d);
+    VertexId e = static_cast<VertexId>(labels.size());
+    labels.push_back(4);
+    edges.emplace_back(d, e);
+  }
+  inst.data = Graph::FromEdges(std::move(labels), edges);
+  return inst;
+}
+
+TEST(FailingSetTest, PrunesRedundantSiblings) {
+  Instance inst = MakeInstance(/*num_d=*/15);
+
+  MatchOptions with;
+  with.use_failing_sets = true;
+  MatchResult pruned = DafMatch(inst.query, inst.data, with);
+
+  MatchOptions without;
+  without.use_failing_sets = false;
+  MatchResult unpruned = DafMatch(inst.query, inst.data, without);
+
+  ASSERT_TRUE(pruned.ok);
+  ASSERT_TRUE(unpruned.ok);
+  EXPECT_EQ(pruned.embeddings, 0u);
+  EXPECT_EQ(unpruned.embeddings, 0u);
+  // Unpruned: all 15 u4 candidates are explored, each paying the full
+  // 20-candidate u3 sweep. Pruned: the u4 branch is entered exactly once.
+  EXPECT_GT(unpruned.recursive_calls, 300u);
+  EXPECT_LT(pruned.recursive_calls, 80u);
+}
+
+TEST(FailingSetTest, PrunedSearchIsIndependentOfRedundancyWidth) {
+  MatchOptions with;
+  with.use_failing_sets = true;
+  MatchResult narrow = DafMatch(MakeInstance(5).query,
+                                MakeInstance(5).data, with);
+  MatchResult wide = DafMatch(MakeInstance(18).query,
+                              MakeInstance(18).data, with);
+  ASSERT_TRUE(narrow.ok);
+  ASSERT_TRUE(wide.ok);
+  // Lemma 6.1 removes the whole redundant sibling range, so the pruned
+  // search-tree size does not depend on how many u4 candidates exist.
+  EXPECT_EQ(narrow.recursive_calls, wide.recursive_calls);
+}
+
+TEST(FailingSetTest, UnprunedSearchGrowsWithRedundancyWidth) {
+  MatchOptions without;
+  without.use_failing_sets = false;
+  MatchResult narrow = DafMatch(MakeInstance(5).query,
+                                MakeInstance(5).data, without);
+  MatchResult wide = DafMatch(MakeInstance(18).query,
+                              MakeInstance(18).data, without);
+  EXPECT_GT(wide.recursive_calls, narrow.recursive_calls + 200);
+}
+
+TEST(FailingSetTest, NeverChangesResultsOnRandomInstances) {
+  Rng rng(95);
+  for (int trial = 0; trial < 25; ++trial) {
+    Graph data =
+        daf::testing::RandomDataGraph(50, 100 + rng.UniformInt(150), 3, rng);
+    auto extracted =
+        ExtractRandomWalkQuery(data, 4 + rng.UniformInt(6), -1.0, rng);
+    if (!extracted) continue;
+    EmbeddingSet with;
+    EmbeddingSet without;
+    MatchOptions a;
+    a.use_failing_sets = true;
+    a.callback = Collector(&with);
+    MatchResult ra = DafMatch(extracted->query, data, a);
+    MatchOptions b;
+    b.use_failing_sets = false;
+    b.callback = Collector(&without);
+    MatchResult rb = DafMatch(extracted->query, data, b);
+    ASSERT_TRUE(ra.ok && rb.ok);
+    EXPECT_EQ(with, without);
+    EXPECT_LE(ra.recursive_calls, rb.recursive_calls);
+  }
+}
+
+TEST(FailingSetTest, WorksTogetherWithCandidateSizeOrder) {
+  Instance inst = MakeInstance(15);
+  MatchOptions opts;
+  opts.order = MatchOrder::kCandidateSize;
+  opts.use_failing_sets = true;
+  MatchResult pruned = DafMatch(inst.query, inst.data, opts);
+  opts.use_failing_sets = false;
+  MatchResult unpruned = DafMatch(inst.query, inst.data, opts);
+  EXPECT_EQ(pruned.embeddings, unpruned.embeddings);
+  EXPECT_LE(pruned.recursive_calls, unpruned.recursive_calls);
+}
+
+}  // namespace
+}  // namespace daf

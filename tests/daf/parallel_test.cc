@@ -1,0 +1,125 @@
+#include "daf/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "baselines/bruteforce.h"
+#include "graph/query_extract.h"
+#include "tests/test_util.h"
+
+namespace daf {
+namespace {
+
+using daf::testing::Collector;
+using daf::testing::EmbeddingSet;
+using daf::testing::MakeClique;
+using daf::testing::MakeCycle;
+
+TEST(ParallelTest, MatchesSequentialWithoutLimit) {
+  Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph data =
+        daf::testing::RandomDataGraph(50, 120 + rng.UniformInt(120), 3, rng);
+    auto extracted =
+        ExtractRandomWalkQuery(data, 4 + rng.UniformInt(4), -1.0, rng);
+    if (!extracted) continue;
+    MatchResult sequential = DafMatch(extracted->query, data);
+    for (uint32_t threads : {1u, 2u, 4u}) {
+      ParallelMatchResult parallel =
+          ParallelDafMatch(extracted->query, data, MatchOptions{}, threads);
+      ASSERT_TRUE(parallel.ok);
+      EXPECT_EQ(parallel.embeddings, sequential.embeddings)
+          << "threads=" << threads;
+      EXPECT_EQ(parallel.threads_used, threads);
+    }
+  }
+}
+
+TEST(ParallelTest, ProducesExactEmbeddingSet) {
+  Graph data = MakeClique({0, 0, 0, 0, 0, 0});
+  Graph query = MakeCycle({0, 0, 0});
+  EmbeddingSet expected;
+  MatchOptions seq;
+  seq.callback = Collector(&expected);
+  DafMatch(query, data, seq);
+
+  EmbeddingSet found;
+  MatchOptions par;
+  par.callback = Collector(&found);  // engine serializes callback
+  ParallelMatchResult result = ParallelDafMatch(query, data, par, 4);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(found, expected);
+  EXPECT_EQ(result.embeddings, expected.size());
+}
+
+TEST(ParallelTest, RespectsLimitApproximately) {
+  Graph data = MakeClique({0, 0, 0, 0, 0, 0, 0});
+  Graph query = MakeCycle({0, 0, 0});  // 7*6*5 = 210 embeddings
+  MatchOptions opts;
+  opts.limit = 50;
+  ParallelMatchResult result = ParallelDafMatch(query, data, opts, 4);
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.limit_reached);
+  EXPECT_GE(result.embeddings, 50u);
+  // Termination-rule overshoot is bounded by the thread count.
+  EXPECT_LE(result.embeddings, 50u + 3u);
+}
+
+TEST(ParallelTest, PerThreadCallsSumToTotal) {
+  Graph data = MakeClique({0, 0, 0, 0, 0, 0});
+  Graph query = MakeCycle({0, 0, 0});
+  ParallelMatchResult result =
+      ParallelDafMatch(query, data, MatchOptions{}, 3);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.per_thread_calls.size(), 3u);
+  uint64_t sum = 0;
+  for (uint64_t c : result.per_thread_calls) sum += c;
+  EXPECT_EQ(sum, result.recursive_calls);
+}
+
+TEST(ParallelTest, SupportsDisconnectedQueries) {
+  // Edge (6 ordered embeddings in K3) x isolated third vertex (1 choice
+  // left) = 6.
+  Graph data = MakeClique({0, 0, 0});
+  Graph query = Graph::FromEdges({0, 0, 0}, {{0, 1}});
+  ParallelMatchResult result =
+      ParallelDafMatch(query, data, MatchOptions{}, 2);
+  ASSERT_TRUE(result.ok);
+  baselines::MatcherResult brute = baselines::BruteForceMatch(query, data);
+  EXPECT_EQ(result.embeddings, brute.embeddings);
+}
+
+TEST(ParallelTest, HomomorphismModeAgrees) {
+  Graph data = MakeClique({0, 0, 0, 0});
+  Graph query = MakeCycle({0, 0, 0});
+  MatchOptions hom;
+  hom.injective = false;
+  ParallelMatchResult parallel = ParallelDafMatch(query, data, hom, 3);
+  MatchResult sequential = DafMatch(query, data, hom);
+  ASSERT_TRUE(parallel.ok && sequential.ok);
+  EXPECT_EQ(parallel.embeddings, sequential.embeddings);
+}
+
+TEST(ParallelTest, ZeroThreadsClampsToOne) {
+  Graph data = MakeClique({0, 0, 0, 0});
+  Graph query = MakeCycle({0, 0, 0});
+  ParallelMatchResult result =
+      ParallelDafMatch(query, data, MatchOptions{}, 0);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.threads_used, 1u);
+  EXPECT_EQ(result.embeddings, 24u);
+}
+
+TEST(ParallelTest, NegativeQueryCertifiedWithoutSearch) {
+  Graph data = MakeClique({0, 0, 0});
+  Graph query = MakeCycle({0, 0, 7});
+  ParallelMatchResult result =
+      ParallelDafMatch(query, data, MatchOptions{}, 2);
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.cs_certified_negative);
+  EXPECT_EQ(result.embeddings, 0u);
+}
+
+}  // namespace
+}  // namespace daf

@@ -1,0 +1,252 @@
+#include "daf/query_dag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "graph/properties.h"
+#include "graph/query_extract.h"
+#include "tests/test_util.h"
+
+namespace daf {
+namespace {
+
+using daf::testing::MakeCycle;
+using daf::testing::MakePath;
+using daf::testing::RandomDataGraph;
+
+Graph RandomDataGraphFixture() {
+  Rng rng(77);
+  return RandomDataGraph(60, 180, 3, rng);
+}
+
+std::optional<Graph> ExtractedQueryFixture(const Graph& data, uint32_t size,
+                                           Rng& rng) {
+  auto e = ExtractRandomWalkQuery(data, size, -1.0, rng);
+  if (!e) return std::nullopt;
+  return e->query;
+}
+
+// Checks the structural invariants every query DAG must satisfy.
+void CheckDagInvariants(const Graph& query, const QueryDag& dag) {
+  const uint32_t n = query.NumVertices();
+  ASSERT_EQ(dag.NumVertices(), n);
+  EXPECT_EQ(dag.NumEdges(), query.NumEdges());
+
+  // Root has no parents; every other vertex has at least one.
+  EXPECT_TRUE(dag.Parents(dag.root()).empty());
+  for (uint32_t u = 0; u < n; ++u) {
+    if (u != dag.root()) {
+      EXPECT_FALSE(dag.Parents(u).empty()) << "u=" << u;
+    }
+  }
+
+  // Every query edge appears exactly once, directed.
+  uint32_t directed_edges = 0;
+  for (uint32_t u = 0; u < n; ++u) {
+    for (VertexId c : dag.Children(u)) {
+      EXPECT_TRUE(query.HasEdge(u, c));
+      ++directed_edges;
+    }
+  }
+  EXPECT_EQ(directed_edges, query.NumEdges());
+
+  // Topological order: every vertex after all its parents.
+  const auto& topo = dag.TopologicalOrder();
+  ASSERT_EQ(topo.size(), n);
+  std::vector<uint32_t> position(n);
+  for (uint32_t i = 0; i < n; ++i) position[topo[i]] = i;
+  EXPECT_EQ(topo[0], dag.root());
+  for (uint32_t u = 0; u < n; ++u) {
+    for (VertexId p : dag.Parents(u)) {
+      EXPECT_LT(position[p], position[u]);
+    }
+  }
+
+  // Parent/child symmetric and edge ids consistent.
+  for (uint32_t u = 0; u < n; ++u) {
+    const auto& parents = dag.Parents(u);
+    const auto& edge_ids = dag.ParentEdgeIds(u);
+    ASSERT_EQ(parents.size(), edge_ids.size());
+    for (size_t i = 0; i < parents.size(); ++i) {
+      VertexId p = parents[i];
+      const auto& siblings = dag.Children(p);
+      auto it = std::find(siblings.begin(), siblings.end(), u);
+      ASSERT_NE(it, siblings.end());
+      uint32_t pos = static_cast<uint32_t>(it - siblings.begin());
+      EXPECT_EQ(dag.ChildEdgeId(p, pos), edge_ids[i]);
+    }
+  }
+
+  // Ancestor sets: anc(u) contains u and the root, is ancestor-closed, and
+  // matches the union of parents' ancestor sets.
+  for (uint32_t u = 0; u < n; ++u) {
+    const Bitset& anc = dag.Ancestors(u);
+    EXPECT_TRUE(anc.Test(u));
+    EXPECT_TRUE(anc.Test(dag.root()));
+    Bitset expected(n);
+    expected.Set(u);
+    for (VertexId p : dag.Parents(u)) expected.UnionWith(dag.Ancestors(p));
+    EXPECT_EQ(anc, expected);
+  }
+
+  // Levels: root at 0, every edge spans at most one level downward.
+  EXPECT_EQ(dag.Level(dag.root()), 0u);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (VertexId c : dag.Children(u)) {
+      EXPECT_LE(dag.Level(u), dag.Level(c));
+      EXPECT_LE(dag.Level(c), dag.Level(u) + 1);
+    }
+  }
+}
+
+TEST(QueryDagTest, PathQuery) {
+  Graph data = MakePath({0, 1, 2, 1, 0});
+  Graph query = MakePath({0, 1, 2});
+  QueryDag dag = QueryDag::Build(query, data);
+  CheckDagInvariants(query, dag);
+}
+
+TEST(QueryDagTest, CycleQueryHasOneMultiParentVertex) {
+  Graph data = MakeCycle({0, 1, 2, 0, 1, 2});
+  Graph query = MakeCycle({0, 1, 2});
+  QueryDag dag = QueryDag::Build(query, data);
+  CheckDagInvariants(query, dag);
+  // In a directed triangle DAG exactly one vertex has two parents.
+  int multi_parent = 0;
+  for (uint32_t u = 0; u < 3; ++u) {
+    if (dag.Parents(u).size() == 2) ++multi_parent;
+  }
+  EXPECT_EQ(multi_parent, 1);
+}
+
+TEST(QueryDagTest, RootMinimizesCandidateToDegreeRatio) {
+  // Data: many label-0 vertices, one label-1 vertex. The query vertex with
+  // label 1 must become the root.
+  Graph data = Graph::FromEdges({0, 0, 0, 0, 1},
+                                {{0, 4}, {1, 4}, {2, 4}, {3, 4}, {0, 1}});
+  Graph query = MakePath({0, 1, 0});
+  QueryDag dag = QueryDag::Build(query, data);
+  EXPECT_EQ(dag.root(), 1u);
+  CheckDagInvariants(query, dag);
+}
+
+TEST(QueryDagTest, InitialCandidateCountsRespectLabelAndDegree) {
+  // Data: star center label 0 degree 3, leaves label 1 degree 1.
+  Graph data = daf::testing::MakeStar({0, 1, 1, 1});
+  Graph query = MakePath({1, 0, 1});
+  QueryDag dag = QueryDag::Build(query, data);
+  // Query center (label 0, degree 2): only the data center qualifies.
+  EXPECT_EQ(dag.InitialCandidateCount(1), 1u);
+  // Query endpoints (label 1, degree 1): all three leaves qualify.
+  EXPECT_EQ(dag.InitialCandidateCount(0), 3u);
+  EXPECT_EQ(dag.InitialCandidateCount(2), 3u);
+}
+
+TEST(QueryDagTest, MissingLabelYieldsZeroCandidates) {
+  Graph data = MakePath({0, 0, 0});
+  Graph query = MakePath({0, 7});
+  QueryDag dag = QueryDag::Build(query, data);
+  for (uint32_t u = 0; u < 2; ++u) {
+    if (query.original_label(query.label(u)) == 7u) {
+      EXPECT_EQ(dag.DataLabel(u), kNoSuchLabel);
+      EXPECT_EQ(dag.InitialCandidateCount(u), 0u);
+    }
+  }
+}
+
+TEST(QueryDagTest, ExplicitRootIsHonored) {
+  Graph data = RandomDataGraphFixture();
+  Graph query = MakeCycle({0, 1, 2, 3});
+  for (VertexId r = 0; r < 4; ++r) {
+    QueryDag dag = QueryDag::BuildWithRoot(query, data, r);
+    EXPECT_EQ(dag.root(), r);
+    CheckDagInvariants(query, dag);
+  }
+}
+
+TEST(QueryDagTest, RandomQueriesSatisfyInvariants) {
+  Rng rng(55);
+  for (int trial = 0; trial < 25; ++trial) {
+    Graph data = RandomDataGraph(80, 200 + rng.UniformInt(200), 4, rng);
+    auto extracted = ExtractedQueryFixture(data, 4 + rng.UniformInt(10), rng);
+    if (!extracted.has_value()) continue;
+    QueryDag dag = QueryDag::Build(*extracted, data);
+    CheckDagInvariants(*extracted, dag);
+  }
+}
+
+TEST(QueryDagTest, DisconnectedQueryGetsOneRootPerComponent) {
+  Graph data = RandomDataGraphFixture();
+  // Components: an edge {0,1} and an isolated vertex {2}.
+  Graph query = Graph::FromEdges({0, 0, 1}, {{0, 1}});
+  QueryDag dag = QueryDag::Build(query, data);
+  ASSERT_EQ(dag.Roots().size(), 2u);
+  EXPECT_EQ(dag.Roots()[0], dag.root());
+  // Every vertex is either a root or has parents; every root has none.
+  for (uint32_t u = 0; u < 3; ++u) {
+    bool is_root = std::find(dag.Roots().begin(), dag.Roots().end(), u) !=
+                   dag.Roots().end();
+    EXPECT_EQ(dag.Parents(u).empty(), is_root) << "u=" << u;
+  }
+  // Topological order covers everything; ancestors stay within components.
+  EXPECT_EQ(dag.TopologicalOrder().size(), 3u);
+  EXPECT_TRUE(dag.Ancestors(2).Test(2));
+  EXPECT_EQ(dag.Ancestors(2).Count(), 1u);
+  EXPECT_EQ(dag.NumEdges(), 1u);
+}
+
+TEST(QueryDagTest, DisconnectedRandomQueriesStayConsistent) {
+  Rng rng(78);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph data = RandomDataGraph(50, 140, 3, rng);
+    // Build a 2-component query: two independent paths.
+    std::vector<Label> labels{0, 1, 0, 1, 2};
+    std::vector<Edge> edges{{0, 1}, {1, 2}, {3, 4}};
+    Graph query = Graph::FromEdges(labels, edges);
+    QueryDag dag = QueryDag::Build(query, data);
+    EXPECT_EQ(dag.Roots().size(), 2u);
+    // Topological order: parents before children.
+    const auto& topo = dag.TopologicalOrder();
+    std::vector<uint32_t> position(5);
+    for (uint32_t i = 0; i < 5; ++i) position[topo[i]] = i;
+    for (uint32_t u = 0; u < 5; ++u) {
+      for (VertexId p : dag.Parents(u)) {
+        EXPECT_LT(position[p], position[u]);
+      }
+    }
+    uint32_t directed = 0;
+    for (uint32_t u = 0; u < 5; ++u) {
+      directed += static_cast<uint32_t>(dag.Children(u).size());
+    }
+    EXPECT_EQ(directed, query.NumEdges());
+  }
+}
+
+TEST(QueryDagTest, EdgeLabelsExposedPerDagEdge) {
+  Graph data = Graph::FromLabeledEdges({0, 1, 1}, {{0, 1}, {0, 2}}, {5, 7});
+  Graph query = Graph::FromLabeledEdges({0, 1}, {{0, 1}}, {5});
+  QueryDag dag = QueryDag::Build(query, data);
+  ASSERT_TRUE(dag.HasEdgeLabels());
+  ASSERT_EQ(dag.NumEdges(), 1u);
+  EXPECT_EQ(dag.EdgeLabelOf(0), 5u);
+  // Unlabeled query: flag off, labels read as 0.
+  Graph plain = Graph::FromEdges({0, 1}, {{0, 1}});
+  QueryDag plain_dag = QueryDag::Build(plain, data);
+  EXPECT_FALSE(plain_dag.HasEdgeLabels());
+  EXPECT_EQ(plain_dag.EdgeLabelOf(0), 0u);
+}
+
+TEST(QueryDagTest, SingleVertexQuery) {
+  Graph data = MakePath({3, 3});
+  Graph query = Graph::FromEdges({3}, {});
+  QueryDag dag = QueryDag::Build(query, data);
+  EXPECT_EQ(dag.root(), 0u);
+  EXPECT_EQ(dag.NumEdges(), 0u);
+  EXPECT_TRUE(dag.Children(0).empty());
+  EXPECT_TRUE(dag.Ancestors(0).Test(0));
+}
+
+}  // namespace
+}  // namespace daf

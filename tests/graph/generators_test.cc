@@ -1,0 +1,112 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/properties.h"
+
+namespace daf {
+namespace {
+
+TEST(GeneratorsTest, ZipfLabelsInRangeAndComplete) {
+  Rng rng(1);
+  std::vector<Label> labels = ZipfLabels(1000, 10, 1.0, rng);
+  ASSERT_EQ(labels.size(), 1000u);
+  std::set<Label> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 10u);  // every label realized
+  for (Label l : labels) EXPECT_LT(l, 10u);
+}
+
+TEST(GeneratorsTest, ZipfLabelsAreSkewed) {
+  Rng rng(2);
+  std::vector<Label> labels = ZipfLabels(20000, 10, 1.2, rng);
+  std::vector<int> counts(10, 0);
+  for (Label l : labels) ++counts[l];
+  // With exponent 1.2, label 0 should clearly dominate label 9.
+  EXPECT_GT(counts[0], 3 * counts[9]);
+}
+
+TEST(GeneratorsTest, ZeroExponentIsRoughlyUniform) {
+  Rng rng(3);
+  std::vector<Label> labels = ZipfLabels(20000, 4, 0.0, rng);
+  std::vector<int> counts(4, 0);
+  for (Label l : labels) ++counts[l];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 500);
+}
+
+TEST(GeneratorsTest, ErdosRenyiExactEdgeCount) {
+  Rng rng(4);
+  std::vector<Edge> edges = ErdosRenyiEdges(100, 300, rng);
+  EXPECT_EQ(edges.size(), 300u);
+  std::set<uint64_t> keys;
+  for (const Edge& e : edges) {
+    EXPECT_NE(e.first, e.second);
+    EXPECT_LT(e.first, 100u);
+    EXPECT_LT(e.second, 100u);
+    uint64_t key = (static_cast<uint64_t>(std::min(e.first, e.second)) << 32) |
+                   std::max(e.first, e.second);
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate edge";
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiCapsAtCompleteGraph) {
+  Rng rng(5);
+  std::vector<Edge> edges = ErdosRenyiEdges(5, 1000, rng);
+  EXPECT_EQ(edges.size(), 10u);
+}
+
+TEST(GeneratorsTest, PowerLawEdgesHitTargetAndAreSkewed) {
+  Rng rng(6);
+  const uint32_t n = 2000;
+  const uint64_t m = 8000;
+  std::vector<Edge> edges = PowerLawEdges(n, m, rng);
+  EXPECT_EQ(edges.size(), m);
+  std::vector<uint32_t> degree(n, 0);
+  for (const Edge& e : edges) {
+    ++degree[e.first];
+    ++degree[e.second];
+  }
+  uint32_t max_degree = *std::max_element(degree.begin(), degree.end());
+  double avg_degree = 2.0 * m / n;
+  // Preferential attachment produces hubs far above the mean.
+  EXPECT_GT(max_degree, 5 * avg_degree);
+}
+
+TEST(GeneratorsTest, RmatEdgesBasicShape) {
+  Rng rng(7);
+  std::vector<Edge> edges = RmatEdges(10, 4000, 0.57, 0.19, 0.19, rng);
+  EXPECT_GE(edges.size(), 3500u);  // may fall slightly short on collisions
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.first, 1024u);
+    EXPECT_LT(e.second, 1024u);
+    EXPECT_NE(e.first, e.second);
+  }
+}
+
+TEST(GeneratorsTest, ConnectComponentsMakesConnected) {
+  Rng rng(8);
+  // Sparse graph, almost surely disconnected.
+  std::vector<Edge> edges = ErdosRenyiEdges(200, 60, rng);
+  ConnectComponents(200, &edges, rng);
+  Graph g = Graph::FromEdges(std::vector<Label>(200, 0), edges);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, ConnectComponentsNoOpWhenConnected) {
+  Rng rng(9);
+  std::vector<Edge> edges{{0, 1}, {1, 2}};
+  size_t before = edges.size();
+  ConnectComponents(3, &edges, rng);
+  EXPECT_EQ(edges.size(), before);
+}
+
+TEST(GeneratorsTest, DeterministicInSeed) {
+  Rng a(99);
+  Rng b(99);
+  EXPECT_EQ(ErdosRenyiEdges(50, 100, a), ErdosRenyiEdges(50, 100, b));
+}
+
+}  // namespace
+}  // namespace daf

@@ -1,0 +1,134 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/query_extract.h"
+#include "tests/test_util.h"
+
+namespace daf {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g = Graph::FromEdges({}, {});
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.NumLabels(), 0u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 0.0);
+}
+
+TEST(GraphTest, BasicAccessors) {
+  // Triangle + pendant: 0-1, 1-2, 0-2, 2-3. Labels 5,5,9,7.
+  Graph g = Graph::FromEdges({5, 5, 9, 7}, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_EQ(g.NumLabels(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0);
+}
+
+TEST(GraphTest, LabelRemappingPreservesOriginals) {
+  Graph g = Graph::FromEdges({100, 7, 100}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.NumLabels(), 2u);
+  // Dense labels are ordered by original value: 7 -> 0, 100 -> 1.
+  EXPECT_EQ(g.label(0), 1u);
+  EXPECT_EQ(g.label(1), 0u);
+  EXPECT_EQ(g.original_label(0), 7u);
+  EXPECT_EQ(g.original_label(1), 100u);
+}
+
+TEST(GraphTest, DropsSelfLoopsAndDuplicates) {
+  Graph g = Graph::FromEdges({0, 0}, {{0, 1}, {1, 0}, {0, 0}, {0, 1}});
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphTest, AdjacencySortedByLabelThenId) {
+  // Vertex 0 adjacent to 1(label 2), 2(label 1), 3(label 1).
+  Graph g =
+      Graph::FromEdges({0, 2, 1, 1}, {{0, 1}, {0, 2}, {0, 3}});
+  auto neighbors = g.Neighbors(0);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0], 2u);  // label 1, id 2
+  EXPECT_EQ(neighbors[1], 3u);  // label 1, id 3
+  EXPECT_EQ(neighbors[2], 1u);  // label 2
+}
+
+TEST(GraphTest, NeighborsWithLabel) {
+  Graph g =
+      Graph::FromEdges({0, 2, 1, 1, 2}, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  auto ones = g.NeighborsWithLabel(0, 1);
+  ASSERT_EQ(ones.size(), 2u);
+  EXPECT_EQ(ones[0], 2u);
+  EXPECT_EQ(ones[1], 3u);
+  auto twos = g.NeighborsWithLabel(0, 2);
+  ASSERT_EQ(twos.size(), 2u);
+  EXPECT_EQ(g.NeighborsWithLabel(1, 2).size(), 0u);
+  EXPECT_EQ(g.NeighborLabelCount(0, 1), 2u);
+  EXPECT_EQ(g.NeighborLabelVariety(0), 2u);
+}
+
+TEST(GraphTest, HasEdge) {
+  Graph g = Graph::FromEdges({0, 1, 2, 0}, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(1, 3));
+}
+
+TEST(GraphTest, VerticesWithLabelAndFrequency) {
+  Graph g = Graph::FromEdges({3, 3, 8, 3}, {{0, 1}, {1, 2}, {2, 3}});
+  auto threes = g.VerticesWithLabel(0);  // dense label of original 3
+  ASSERT_EQ(threes.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(threes.begin(), threes.end()));
+  EXPECT_EQ(g.LabelFrequency(0), 3u);
+  EXPECT_EQ(g.LabelFrequency(1), 1u);
+}
+
+TEST(GraphTest, MaxNeighborDegree) {
+  Graph star = daf::testing::MakeStar({0, 1, 1, 1});
+  EXPECT_EQ(star.MaxNeighborDegree(0), 1u);
+  EXPECT_EQ(star.MaxNeighborDegree(1), 3u);
+}
+
+TEST(GraphTest, EdgeListRoundTrip) {
+  Rng rng(11);
+  Graph g = daf::testing::RandomDataGraph(40, 90, 4, rng);
+  std::vector<Label> labels(g.NumVertices());
+  for (uint32_t v = 0; v < g.NumVertices(); ++v) {
+    labels[v] = g.original_label(g.label(v));
+  }
+  Graph g2 = Graph::FromEdges(labels, g.EdgeList());
+  EXPECT_EQ(g2.NumEdges(), g.NumEdges());
+  for (uint32_t v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g2.degree(v), g.degree(v));
+    EXPECT_EQ(g2.label(v), g.label(v));
+  }
+}
+
+TEST(MapQueryLabelsTest, MapsSharedAndMissingLabels) {
+  Graph data = Graph::FromEdges({10, 20, 30}, {{0, 1}, {1, 2}});
+  Graph query = Graph::FromEdges({20, 99}, {{0, 1}});
+  std::vector<Label> mapped = MapQueryLabels(query, data);
+  ASSERT_EQ(mapped.size(), 2u);
+  EXPECT_EQ(data.original_label(mapped[0]), 20u);
+  EXPECT_EQ(mapped[1], kNoSuchLabel);
+}
+
+TEST(MapQueryLabelsTest, IdentityWhenAlphabetsMatch) {
+  Rng rng(12);
+  Graph data = daf::testing::RandomDataGraph(30, 60, 5, rng);
+  std::vector<Label> mapped = MapQueryLabels(data, data);
+  for (uint32_t v = 0; v < data.NumVertices(); ++v) {
+    EXPECT_EQ(mapped[v], data.label(v));
+  }
+}
+
+}  // namespace
+}  // namespace daf

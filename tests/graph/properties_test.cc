@@ -1,0 +1,143 @@
+#include "graph/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace daf {
+namespace {
+
+using daf::testing::MakeClique;
+using daf::testing::MakeCycle;
+using daf::testing::MakePath;
+using daf::testing::MakeStar;
+
+TEST(PropertiesTest, ConnectedComponents) {
+  // Two components: 0-1 and 2-3-4.
+  Graph g = Graph::FromEdges({0, 0, 0, 0, 0}, {{0, 1}, {2, 3}, {3, 4}});
+  std::vector<uint32_t> component;
+  EXPECT_EQ(ConnectedComponents(g, &component), 2u);
+  EXPECT_EQ(component[0], component[1]);
+  EXPECT_EQ(component[2], component[3]);
+  EXPECT_EQ(component[3], component[4]);
+  EXPECT_NE(component[0], component[2]);
+}
+
+TEST(PropertiesTest, IsConnected) {
+  EXPECT_TRUE(IsConnected(MakePath({0, 0, 0, 0})));
+  EXPECT_FALSE(IsConnected(Graph::FromEdges({0, 0, 0}, {{0, 1}})));
+  EXPECT_TRUE(IsConnected(Graph::FromEdges({}, {})));
+  EXPECT_TRUE(IsConnected(Graph::FromEdges({0}, {})));
+}
+
+TEST(PropertiesTest, BfsLevels) {
+  Graph g = MakePath({0, 0, 0, 0});
+  std::vector<uint32_t> levels = BfsLevels(g, 0);
+  EXPECT_EQ(levels, (std::vector<uint32_t>{0, 1, 2, 3}));
+  levels = BfsLevels(g, 1);
+  EXPECT_EQ(levels, (std::vector<uint32_t>{1, 0, 1, 2}));
+}
+
+TEST(PropertiesTest, BfsLevelsUnreachable) {
+  Graph g = Graph::FromEdges({0, 0, 0}, {{0, 1}});
+  std::vector<uint32_t> levels = BfsLevels(g, 0);
+  EXPECT_EQ(levels[2], kUnreachableLevel);
+}
+
+TEST(PropertiesTest, DiameterOfKnownShapes) {
+  EXPECT_EQ(Diameter(MakePath({0, 0, 0, 0, 0})), 4u);
+  EXPECT_EQ(Diameter(MakeCycle({0, 0, 0, 0, 0, 0})), 3u);
+  EXPECT_EQ(Diameter(MakeClique({0, 0, 0, 0})), 1u);
+  EXPECT_EQ(Diameter(MakeStar({0, 0, 0, 0})), 2u);
+}
+
+TEST(PropertiesTest, Eccentricity) {
+  Graph path = MakePath({0, 0, 0, 0, 0});
+  EXPECT_EQ(Eccentricity(path, 0), 4u);
+  EXPECT_EQ(Eccentricity(path, 2), 2u);
+}
+
+TEST(PropertiesTest, TwoCoreOfCycleWithTail) {
+  // Cycle 0-1-2 plus tail 2-3-4: 2-core = {0,1,2}.
+  Graph g = Graph::FromEdges({0, 0, 0, 0, 0},
+                             {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  std::vector<bool> core = KCoreMembership(g, 2);
+  EXPECT_TRUE(core[0]);
+  EXPECT_TRUE(core[1]);
+  EXPECT_TRUE(core[2]);
+  EXPECT_FALSE(core[3]);
+  EXPECT_FALSE(core[4]);
+}
+
+TEST(PropertiesTest, TwoCoreOfTreeIsEmpty) {
+  std::vector<bool> core = KCoreMembership(MakePath({0, 0, 0, 0}), 2);
+  for (bool b : core) EXPECT_FALSE(b);
+}
+
+TEST(PropertiesTest, KCoreCascades) {
+  // Clique of 4 with a path attached; 3-core = the clique only.
+  Graph g = Graph::FromEdges(
+      {0, 0, 0, 0, 0, 0},
+      {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}});
+  std::vector<bool> core3 = KCoreMembership(g, 3);
+  EXPECT_TRUE(core3[0] && core3[1] && core3[2] && core3[3]);
+  EXPECT_FALSE(core3[4] || core3[5]);
+}
+
+TEST(PropertiesTest, ClusteringCoefficient) {
+  // Triangle: every wedge closed.
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(MakeCycle({0, 0, 0})), 1.0);
+  // Path: no triangles.
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(MakePath({0, 0, 0, 0})), 0.0);
+  // K4: fully clustered.
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(MakeClique({0, 0, 0, 0})),
+                   1.0);
+  // Triangle + pendant: wedges = 3 (triangle corners) + C(2,2)... compute:
+  // degrees 2,2,3,1 -> wedges 1+1+3+0 = 5; closed corners = 3.
+  Graph g = Graph::FromEdges({0, 0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  EXPECT_NEAR(GlobalClusteringCoefficient(g), 3.0 / 5.0, 1e-12);
+}
+
+TEST(PropertiesTest, Degeneracy) {
+  EXPECT_EQ(Degeneracy(MakePath({0, 0, 0, 0, 0})), 1u);   // tree
+  EXPECT_EQ(Degeneracy(MakeCycle({0, 0, 0, 0, 0})), 2u);  // cycle
+  EXPECT_EQ(Degeneracy(MakeClique({0, 0, 0, 0, 0})), 4u);  // K5
+  // Clique of 4 with a long tail: still 3.
+  Graph g = Graph::FromEdges(
+      {0, 0, 0, 0, 0, 0},
+      {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}});
+  EXPECT_EQ(Degeneracy(g), 3u);
+  EXPECT_EQ(Degeneracy(Graph::FromEdges({0}, {})), 0u);
+}
+
+TEST(PropertiesTest, LabelEntropy) {
+  // Uniform over 4 labels -> 2 bits.
+  Graph g = Graph::FromEdges({0, 1, 2, 3}, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_NEAR(LabelEntropy(g), 2.0, 1e-12);
+  // Single label -> 0 bits.
+  EXPECT_NEAR(LabelEntropy(MakePath({5, 5, 5})), 0.0, 1e-12);
+}
+
+TEST(PropertiesTest, ComputeStatsAggregates) {
+  Graph g = MakeClique({0, 0, 1, 1});
+  GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_vertices, 4u);
+  EXPECT_EQ(stats.num_edges, 6u);
+  EXPECT_EQ(stats.num_labels, 2u);
+  EXPECT_EQ(stats.max_degree, 3u);
+  EXPECT_DOUBLE_EQ(stats.clustering, 1.0);
+  EXPECT_EQ(stats.degeneracy, 3u);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_NEAR(stats.label_entropy, 1.0, 1e-12);
+}
+
+TEST(PropertiesTest, DegreeHistogram) {
+  Graph star = MakeStar({0, 0, 0, 0, 0});
+  std::vector<uint64_t> hist = DegreeHistogram(star);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[1], 4u);
+  EXPECT_EQ(hist[4], 1u);
+}
+
+}  // namespace
+}  // namespace daf

@@ -1,0 +1,81 @@
+#include "graph/query_extract.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.h"
+#include "tests/test_util.h"
+
+namespace daf {
+namespace {
+
+TEST(QueryExtractTest, ExtractsRequestedSizeAndConnectivity) {
+  Rng rng(31);
+  Graph data = daf::testing::RandomDataGraph(200, 600, 5, rng);
+  for (uint32_t size : {2u, 5u, 10u, 25u}) {
+    auto extracted = ExtractRandomWalkQuery(data, size, -1.0, rng);
+    ASSERT_TRUE(extracted.has_value());
+    EXPECT_EQ(extracted->query.NumVertices(), size);
+    EXPECT_TRUE(IsConnected(extracted->query));
+  }
+}
+
+TEST(QueryExtractTest, WitnessIsAnEmbedding) {
+  Rng rng(32);
+  Graph data = daf::testing::RandomDataGraph(150, 500, 4, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto extracted = ExtractRandomWalkQuery(data, 8, -1.0, rng);
+    ASSERT_TRUE(extracted.has_value());
+    const Graph& q = extracted->query;
+    const auto& witness = extracted->witness;
+    // Distinct data vertices with matching labels.
+    std::set<VertexId> distinct(witness.begin(), witness.end());
+    EXPECT_EQ(distinct.size(), witness.size());
+    for (uint32_t u = 0; u < q.NumVertices(); ++u) {
+      EXPECT_EQ(q.original_label(q.label(u)),
+                data.original_label(data.label(witness[u])));
+    }
+    // Every query edge realized in the data graph.
+    for (const Edge& e : q.EdgeList()) {
+      EXPECT_TRUE(data.HasEdge(witness[e.first], witness[e.second]));
+    }
+  }
+}
+
+TEST(QueryExtractTest, SparseTargetBoundsAverageDegree) {
+  Rng rng(33);
+  Graph data = daf::testing::RandomDataGraph(300, 2400, 3, rng);  // dense
+  for (int trial = 0; trial < 10; ++trial) {
+    auto extracted = ExtractRandomWalkQuery(data, 12, 2.6, rng);
+    ASSERT_TRUE(extracted.has_value());
+    EXPECT_LE(extracted->query.AverageDegree(), 3.0);
+    EXPECT_TRUE(IsConnected(extracted->query));
+  }
+}
+
+TEST(QueryExtractTest, NegativeTargetKeepsAllInducedEdges) {
+  Rng rng(34);
+  Graph data = daf::testing::MakeClique({0, 0, 0, 0, 0, 0});
+  auto extracted = ExtractRandomWalkQuery(data, 4, -1.0, rng);
+  ASSERT_TRUE(extracted.has_value());
+  // Induced subgraph of a clique on 4 vertices is K4.
+  EXPECT_EQ(extracted->query.NumEdges(), 6u);
+}
+
+TEST(QueryExtractTest, FailsWhenDataTooSmall) {
+  Rng rng(35);
+  Graph data = daf::testing::MakePath({0, 0, 0});
+  EXPECT_FALSE(ExtractRandomWalkQuery(data, 10, -1.0, rng).has_value());
+  EXPECT_FALSE(ExtractRandomWalkQuery(data, 0, -1.0, rng).has_value());
+}
+
+TEST(QueryExtractTest, SingleVertexQuery) {
+  Rng rng(36);
+  Graph data = daf::testing::RandomDataGraph(50, 100, 3, rng);
+  auto extracted = ExtractRandomWalkQuery(data, 1, -1.0, rng);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(extracted->query.NumVertices(), 1u);
+  EXPECT_EQ(extracted->query.NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace daf

@@ -1,0 +1,76 @@
+#include "graph/upscale.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.h"
+#include "tests/test_util.h"
+
+namespace daf {
+namespace {
+
+TEST(UpscaleTest, ScalesVerticesAndEdges) {
+  Rng rng(41);
+  Graph g = daf::testing::RandomDataGraph(100, 400, 5, rng);
+  for (uint32_t factor : {2u, 4u, 8u}) {
+    Rng local(42);
+    Graph big = Upscale(g, factor, local);
+    EXPECT_EQ(big.NumVertices(), g.NumVertices() * factor);
+    // Edge count within 2% of factor * |E| (duplicates after rewiring plus
+    // a few connecting bridges cause slight deviations).
+    double expected = static_cast<double>(g.NumEdges()) * factor;
+    EXPECT_NEAR(static_cast<double>(big.NumEdges()), expected,
+                expected * 0.02 + factor);
+  }
+}
+
+TEST(UpscaleTest, PreservesLabelFrequencies) {
+  Rng rng(43);
+  Graph g = daf::testing::RandomDataGraph(80, 240, 4, rng);
+  Rng local(44);
+  Graph big = Upscale(g, 4, local);
+  ASSERT_EQ(big.NumLabels(), g.NumLabels());
+  for (uint32_t l = 0; l < g.NumLabels(); ++l) {
+    EXPECT_EQ(big.LabelFrequency(l), g.LabelFrequency(l) * 4);
+  }
+}
+
+TEST(UpscaleTest, ResultIsConnected) {
+  Rng rng(45);
+  Graph g = daf::testing::RandomDataGraph(60, 150, 3, rng);
+  Rng local(46);
+  Graph big = Upscale(g, 8, local);
+  EXPECT_TRUE(IsConnected(big));
+}
+
+TEST(UpscaleTest, FactorOneKeepsStatistics) {
+  Rng rng(47);
+  Graph g = daf::testing::RandomDataGraph(60, 150, 3, rng);
+  Rng local(48);
+  Graph same = Upscale(g, 1, local);
+  EXPECT_EQ(same.NumVertices(), g.NumVertices());
+  EXPECT_EQ(same.NumEdges(), g.NumEdges());
+}
+
+TEST(UpscaleTest, CarriesEdgeLabels) {
+  Graph g = Graph::FromLabeledEdges({0, 1, 0}, {{0, 1}, {1, 2}}, {3, 7});
+  Rng rng(51);
+  Graph big = Upscale(g, 3, rng, /*rewire_probability=*/0.0);
+  EXPECT_TRUE(big.HasNontrivialEdgeLabels());
+  // Copy c of edge (u, v) keeps the original edge label.
+  for (uint32_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(big.EdgeLabelBetween(c * 3 + 0, c * 3 + 1), 3u);
+    EXPECT_EQ(big.EdgeLabelBetween(c * 3 + 1, c * 3 + 2), 7u);
+  }
+}
+
+TEST(UpscaleTest, PreservesAverageDegreeApproximately) {
+  Rng rng(49);
+  Graph g = daf::testing::RandomDataGraph(100, 500, 4, rng);
+  Rng local(50);
+  Graph big = Upscale(g, 16, local);
+  EXPECT_NEAR(big.AverageDegree(), g.AverageDegree(),
+              0.05 * g.AverageDegree());
+}
+
+}  // namespace
+}  // namespace daf

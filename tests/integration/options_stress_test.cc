@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/bruteforce.h"
+#include "daf/engine.h"
+#include "graph/query_extract.h"
+#include "tests/test_util.h"
+
+namespace daf {
+namespace {
+
+using daf::testing::Collector;
+using daf::testing::EmbeddingSet;
+
+// Exhaustive interaction sweep of the engine options: every combination of
+// (order, failing sets, leaf decomposition, boost, injectivity, refinement
+// passes) must produce exactly the oracle's mapping set. This is the
+// guard-rail for feature interactions (e.g. boost skipping under
+// homomorphism semantics, failing sets with zero refinement passes).
+class OptionsStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptionsStressTest, EveryOptionComboMatchesOracle) {
+  Rng rng(5000 + GetParam());
+  Graph data = daf::testing::RandomDataGraph(
+      30 + static_cast<uint32_t>(rng.UniformInt(30)),
+      70 + rng.UniformInt(120), 3, rng);
+  auto extracted =
+      ExtractRandomWalkQuery(data, 4 + rng.UniformInt(4), -1.0, rng);
+  if (!extracted) GTEST_SKIP();
+  const Graph& query = extracted->query;
+  VertexEquivalence eq = VertexEquivalence::Compute(data);
+
+  for (bool injective : {true, false}) {
+    EmbeddingSet expected;
+    baselines::MatcherOptions brute;
+    brute.injective = injective;
+    brute.callback = Collector(&expected);
+    baselines::BruteForceMatch(query, data, brute);
+
+    for (MatchOrder order :
+         {MatchOrder::kPathSize, MatchOrder::kCandidateSize}) {
+      for (bool failing : {false, true}) {
+        for (bool leaves : {false, true}) {
+          for (bool boost : {false, true}) {
+            for (int steps : {0, 3}) {
+              EmbeddingSet found;
+              MatchOptions opts;
+              opts.order = order;
+              opts.use_failing_sets = failing;
+              opts.leaf_decomposition = leaves;
+              opts.injective = injective;
+              opts.refinement_steps = steps;
+              opts.equivalence = boost ? &eq : nullptr;
+              opts.callback = Collector(&found);
+              MatchResult result = DafMatch(query, data, opts);
+              ASSERT_TRUE(result.ok);
+              EXPECT_EQ(found, expected)
+                  << "order=" << static_cast<int>(order)
+                  << " failing=" << failing << " leaves=" << leaves
+                  << " boost=" << boost << " injective=" << injective
+                  << " steps=" << steps;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OptionsStressTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace daf

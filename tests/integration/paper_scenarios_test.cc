@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cfl_match.h"
+#include "daf/engine.h"
+#include "graph/query_extract.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+#include "workload/negative.h"
+#include "workload/querygen.h"
+
+namespace daf {
+namespace {
+
+// Scenario of Figure 2(a)/(b): spanning-tree path p1 has many embeddings,
+// path p2 has many embeddings, but the non-tree edge (u3, u4) kills almost
+// every combination. A spanning-tree-based matcher that postpones the
+// non-tree edge pays the Cartesian product; DAF's CS prunes it during
+// preprocessing because the DP uses *all* edges.
+TEST(PaperScenariosTest, RedundantCartesianProductsAvoided) {
+  // Query: u1(A) - u2(B) - u4(D) - u6(F), u1 - u3(C) - u5(E), u3 - u4
+  // (the non-tree edge). Data: v1(A); 30 B-children each with a D-child
+  // and F-grandchild; 40 C-children each with an E-child; but only ONE
+  // (C, D) pair is actually connected.
+  Graph query = Graph::FromEdges(
+      {0, 1, 2, 3, 4, 5},
+      {{0, 1}, {1, 3}, {3, 5}, {0, 2}, {2, 4}, {2, 3}});
+  std::vector<Label> labels{0};  // v0 = A
+  std::vector<Edge> edges;
+  std::vector<VertexId> d_vertices;
+  std::vector<VertexId> c_vertices;
+  for (int i = 0; i < 30; ++i) {
+    VertexId b = static_cast<VertexId>(labels.size());
+    labels.push_back(1);
+    edges.emplace_back(0, b);
+    VertexId d = static_cast<VertexId>(labels.size());
+    labels.push_back(3);
+    edges.emplace_back(b, d);
+    d_vertices.push_back(d);
+    VertexId f = static_cast<VertexId>(labels.size());
+    labels.push_back(5);
+    edges.emplace_back(d, f);
+  }
+  for (int i = 0; i < 40; ++i) {
+    VertexId c = static_cast<VertexId>(labels.size());
+    labels.push_back(2);
+    edges.emplace_back(0, c);
+    c_vertices.push_back(c);
+    VertexId e = static_cast<VertexId>(labels.size());
+    labels.push_back(4);
+    edges.emplace_back(c, e);
+  }
+  edges.emplace_back(c_vertices[0], d_vertices[0]);  // the only C-D edge
+  Graph data = Graph::FromEdges(std::move(labels), edges);
+
+  MatchResult daf_result = DafMatch(query, data);
+  ASSERT_TRUE(daf_result.ok);
+  EXPECT_EQ(daf_result.embeddings, 1u);
+  // The CS keeps only the one viable (C, D) pair, so the search tree stays
+  // tiny — no 30 x 40 Cartesian product.
+  EXPECT_LT(daf_result.recursive_calls, 20u);
+  // The CS candidate count collapses: u2/u4/u6 keep 1 candidate each.
+  EXPECT_LE(daf_result.cs_candidates, 10u);
+
+  baselines::MatcherResult cfl = baselines::CflMatch(query, data, {});
+  ASSERT_TRUE(cfl.ok);
+  EXPECT_EQ(cfl.embeddings, 1u);
+}
+
+// Appendix A.3 behavior: negativity certified by an empty candidate set
+// costs zero search.
+TEST(PaperScenariosTest, NegativeQueriesOftenCertifiedByCs) {
+  Rng rng(151);
+  Graph data = workload::MakeDataset(workload::DatasetId::kYeast, 0.2, 1);
+  int negatives = 0;
+  int certified = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    auto extracted = ExtractRandomWalkQuery(data, 8, -1.0, rng);
+    if (!extracted) continue;
+    Graph perturbed = workload::PerturbLabels(extracted->query, data, 4, rng);
+    MatchOptions opts;
+    opts.limit = 1;
+    MatchResult result = DafMatch(perturbed, data, opts);
+    ASSERT_TRUE(result.ok);
+    if (result.embeddings == 0) {
+      ++negatives;
+      if (result.cs_certified_negative) {
+        ++certified;
+        EXPECT_EQ(result.recursive_calls, 0u);
+      }
+    }
+  }
+  ASSERT_GT(negatives, 0);
+  // The paper observes that most label-perturbed negatives have CS size 0.
+  EXPECT_GT(certified * 2, negatives);
+}
+
+// End-to-end pipeline: dataset synthesis -> query set -> match with the
+// paper's k = 10^5 protocol (scaled down).
+TEST(PaperScenariosTest, QuerySetPipelineRuns) {
+  Rng rng(152);
+  Graph data = workload::MakeDataset(workload::DatasetId::kYeast, 0.3, 2);
+  workload::QuerySet set = workload::MakeQuerySet(data, 8, true, 5, rng);
+  ASSERT_EQ(set.queries.size(), 5u);
+  for (const Graph& q : set.queries) {
+    MatchOptions opts;
+    opts.limit = 1000;
+    opts.time_limit_ms = 10000;
+    MatchResult result = DafMatch(q, data, opts);
+    ASSERT_TRUE(result.ok);
+    EXPECT_GE(result.embeddings, 1u);  // positive by construction
+  }
+}
+
+// The DA -> DAF relationship of Section 7.1: failing sets never lose
+// solutions and never increase the number of recursive calls.
+TEST(PaperScenariosTest, DafNeverWorseThanDaInCalls) {
+  Rng rng(153);
+  Graph data = workload::MakeDataset(workload::DatasetId::kYeast, 0.2, 3);
+  uint64_t total_da = 0;
+  uint64_t total_daf = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto extracted = ExtractRandomWalkQuery(data, 10, -1.0, rng);
+    if (!extracted) continue;
+    MatchOptions da;
+    da.use_failing_sets = false;
+    da.limit = 2000;
+    MatchOptions daf;
+    daf.use_failing_sets = true;
+    daf.limit = 2000;
+    MatchResult r_da = DafMatch(extracted->query, data, da);
+    MatchResult r_daf = DafMatch(extracted->query, data, daf);
+    ASSERT_TRUE(r_da.ok && r_daf.ok);
+    EXPECT_EQ(r_da.embeddings, r_daf.embeddings);
+    total_da += r_da.recursive_calls;
+    total_daf += r_daf.recursive_calls;
+  }
+  EXPECT_LE(total_daf, total_da);
+}
+
+}  // namespace
+}  // namespace daf

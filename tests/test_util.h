@@ -1,0 +1,71 @@
+#ifndef DAF_TESTS_TEST_UTIL_H_
+#define DAF_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graph/embedding.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace daf::testing {
+
+/// A path graph v0 - v1 - ... - v_{n-1} with the given labels.
+inline Graph MakePath(const std::vector<Label>& labels) {
+  std::vector<Edge> edges;
+  for (uint32_t i = 0; i + 1 < labels.size(); ++i) edges.emplace_back(i, i + 1);
+  return Graph::FromEdges(labels, edges);
+}
+
+/// A cycle graph over the given labels (n >= 3).
+inline Graph MakeCycle(const std::vector<Label>& labels) {
+  std::vector<Edge> edges;
+  const uint32_t n = static_cast<uint32_t>(labels.size());
+  for (uint32_t i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return Graph::FromEdges(labels, edges);
+}
+
+/// A complete graph over the given labels.
+inline Graph MakeClique(const std::vector<Label>& labels) {
+  std::vector<Edge> edges;
+  const uint32_t n = static_cast<uint32_t>(labels.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return Graph::FromEdges(labels, edges);
+}
+
+/// A star: center = vertex 0, leaves 1..n-1.
+inline Graph MakeStar(const std::vector<Label>& labels) {
+  std::vector<Edge> edges;
+  for (uint32_t i = 1; i < labels.size(); ++i) edges.emplace_back(0, i);
+  return Graph::FromEdges(labels, edges);
+}
+
+/// A connected random data graph for property tests.
+inline Graph RandomDataGraph(uint32_t n, uint64_t m, uint32_t num_labels,
+                             Rng& rng) {
+  std::vector<Edge> edges = ErdosRenyiEdges(n, m, rng);
+  ConnectComponents(n, &edges, rng);
+  std::vector<Label> labels = ZipfLabels(n, num_labels, 0.5, rng);
+  return Graph::FromEdges(std::move(labels), edges);
+}
+
+/// The set of embeddings as sorted mapping vectors, for exact comparisons
+/// between algorithms (not just counts).
+using EmbeddingSet = std::set<std::vector<VertexId>>;
+
+/// Callback that records every embedding into `out`.
+inline EmbeddingCallback Collector(EmbeddingSet* out) {
+  return [out](std::span<const VertexId> embedding) {
+    out->emplace(embedding.begin(), embedding.end());
+    return true;
+  };
+}
+
+}  // namespace daf::testing
+
+#endif  // DAF_TESTS_TEST_UTIL_H_

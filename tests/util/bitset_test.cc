@@ -1,0 +1,129 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace daf {
+namespace {
+
+TEST(BitsetTest, StartsCleared) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+  EXPECT_EQ(b.Count(), 0u);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset b(100);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(99);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(99));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_FALSE(b.Test(65));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitsetTest, ClearAllAndSetAll) {
+  Bitset b(70);
+  b.Set(5);
+  b.Set(69);
+  b.ClearAll();
+  EXPECT_TRUE(b.None());
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+  for (size_t i = 0; i < 70; ++i) EXPECT_TRUE(b.Test(i));
+}
+
+TEST(BitsetTest, SetAllDoesNotSpillPastSize) {
+  Bitset b(65);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 65u);
+}
+
+TEST(BitsetTest, UnionWith) {
+  Bitset a(128);
+  Bitset b(128);
+  a.Set(3);
+  a.Set(64);
+  b.Set(64);
+  b.Set(127);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(3));
+  EXPECT_TRUE(a.Test(64));
+  EXPECT_TRUE(a.Test(127));
+  EXPECT_EQ(a.Count(), 3u);
+  // b unchanged.
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, IntersectWith) {
+  Bitset a(80);
+  Bitset b(80);
+  a.Set(1);
+  a.Set(70);
+  b.Set(70);
+  b.Set(2);
+  a.IntersectWith(b);
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_TRUE(a.Test(70));
+}
+
+TEST(BitsetTest, IsSubsetOf) {
+  Bitset a(90);
+  Bitset b(90);
+  a.Set(10);
+  b.Set(10);
+  b.Set(20);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(BitsetTest, AssignCopiesContents) {
+  Bitset a(64);
+  Bitset b(64);
+  b.Set(13);
+  a.Assign(b);
+  EXPECT_TRUE(a.Test(13));
+  b.Set(14);
+  EXPECT_FALSE(a.Test(14));  // deep copy
+}
+
+TEST(BitsetTest, EqualityAndToString) {
+  Bitset a(5);
+  Bitset b(5);
+  a.Set(1);
+  b.Set(1);
+  EXPECT_EQ(a, b);
+  a.Set(4);
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.ToString(), "01001");
+}
+
+TEST(BitsetTest, ResizeClears) {
+  Bitset a(10);
+  a.Set(9);
+  a.Resize(20);
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_TRUE(a.None());
+}
+
+TEST(BitsetTest, ZeroSizeIsSafe) {
+  Bitset a(0);
+  EXPECT_TRUE(a.None());
+  a.SetAll();
+  EXPECT_TRUE(a.None());
+  EXPECT_EQ(a.Count(), 0u);
+}
+
+}  // namespace
+}  // namespace daf

@@ -1,0 +1,105 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace daf {
+namespace {
+
+// Builds a mutable argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagsTest, DefaultsSurviveEmptyParse) {
+  FlagSet flags;
+  int64_t& k = flags.Int64("k", 42, "");
+  std::string& name = flags.String("name", "x", "");
+  bool& flag = flags.Bool("verbose", false, "");
+  double& d = flags.Double("ratio", 0.5, "");
+  Argv argv({"prog"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(k, 42);
+  EXPECT_EQ(name, "x");
+  EXPECT_FALSE(flag);
+  EXPECT_DOUBLE_EQ(d, 0.5);
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags;
+  int64_t& k = flags.Int64("k", 0, "");
+  std::string& s = flags.String("s", "", "");
+  Argv argv({"prog", "--k=17", "--s=hello"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(k, 17);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagSet flags;
+  int64_t& k = flags.Int64("k", 0, "");
+  double& r = flags.Double("r", 0, "");
+  Argv argv({"prog", "--k", "-5", "--r", "2.25"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(k, -5);
+  EXPECT_DOUBLE_EQ(r, 2.25);
+}
+
+TEST(FlagsTest, BareBoolSetsTrue) {
+  FlagSet flags;
+  bool& v = flags.Bool("verbose", false, "");
+  Argv argv({"prog", "--verbose"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+  EXPECT_TRUE(v);
+}
+
+TEST(FlagsTest, BoolExplicitValues) {
+  FlagSet flags;
+  bool& a = flags.Bool("a", false, "");
+  bool& b = flags.Bool("b", true, "");
+  Argv argv({"prog", "--a=true", "--b=false"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagSet flags;
+  flags.Int64("k", 0, "");
+  Argv argv({"prog", "--nope=1"});
+  EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+  EXPECT_NE(flags.error().find("nope"), std::string::npos);
+}
+
+TEST(FlagsTest, MalformedIntFails) {
+  FlagSet flags;
+  flags.Int64("k", 0, "");
+  Argv argv({"prog", "--k=abc"});
+  EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  FlagSet flags;
+  flags.Int64("k", 0, "");
+  Argv argv({"prog", "--k"});
+  EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+}
+
+TEST(FlagsTest, PositionalArgumentFails) {
+  FlagSet flags;
+  Argv argv({"prog", "positional"});
+  EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
+}
+
+}  // namespace
+}  // namespace daf

@@ -1,0 +1,38 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace daf {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double elapsed = sw.ElapsedMs();
+  EXPECT_GE(elapsed, 15.0);
+  EXPECT_LT(elapsed, 5000.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedMs(), 15.0);
+}
+
+TEST(DeadlineTest, DisabledNeverExpires) {
+  Deadline d(0);
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterTimeout) {
+  Deadline d(10);
+  EXPECT_FALSE(d.Expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_TRUE(d.Expired());
+}
+
+}  // namespace
+}  // namespace daf

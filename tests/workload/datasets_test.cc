@@ -1,0 +1,105 @@
+#include "workload/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/properties.h"
+
+namespace daf::workload {
+namespace {
+
+TEST(DatasetsTest, Table2SpecsMatchThePaper) {
+  const auto& specs = Table2Specs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_STREQ(specs[0].name, "Yeast");
+  EXPECT_EQ(specs[0].num_vertices, 3112u);
+  EXPECT_EQ(specs[0].num_edges, 12519u);
+  EXPECT_EQ(specs[0].num_labels, 71u);
+  EXPECT_STREQ(specs[5].name, "YAGO");
+  EXPECT_EQ(specs[5].num_vertices, 4295825u);
+  EXPECT_EQ(specs[5].num_edges, 11413472u);
+  EXPECT_EQ(specs[5].num_labels, 49676u);
+}
+
+TEST(DatasetsTest, QuerySizesFollowThePaper) {
+  EXPECT_EQ(GetSpec(DatasetId::kYeast).query_sizes,
+            (std::array<uint32_t, 4>{50, 100, 150, 200}));
+  EXPECT_EQ(GetSpec(DatasetId::kHprd).query_sizes,
+            (std::array<uint32_t, 4>{50, 100, 150, 200}));
+  EXPECT_EQ(GetSpec(DatasetId::kHuman).query_sizes,
+            (std::array<uint32_t, 4>{10, 20, 30, 40}));
+  EXPECT_EQ(GetSpec(DatasetId::kEmail).query_sizes,
+            (std::array<uint32_t, 4>{10, 20, 30, 40}));
+}
+
+TEST(DatasetsTest, FullScaleYeastMatchesSpec) {
+  Graph yeast = MakeDataset(DatasetId::kYeast, 1.0, 1);
+  const DatasetSpec& spec = GetSpec(DatasetId::kYeast);
+  EXPECT_EQ(yeast.NumVertices(), spec.num_vertices);
+  // Connecting bridges may add a handful of edges.
+  EXPECT_NEAR(static_cast<double>(yeast.NumEdges()),
+              static_cast<double>(spec.num_edges), spec.num_edges * 0.01);
+  EXPECT_EQ(yeast.NumLabels(), spec.num_labels);
+  EXPECT_NEAR(yeast.AverageDegree(), spec.avg_degree, 0.2);
+  EXPECT_TRUE(IsConnected(yeast));
+}
+
+TEST(DatasetsTest, ScaleShrinksProportionally) {
+  Graph half = MakeDataset(DatasetId::kHuman, 0.5, 1);
+  const DatasetSpec& spec = GetSpec(DatasetId::kHuman);
+  EXPECT_NEAR(static_cast<double>(half.NumVertices()),
+              spec.num_vertices * 0.5, spec.num_vertices * 0.01);
+  EXPECT_NEAR(static_cast<double>(half.NumEdges()), spec.num_edges * 0.5,
+              spec.num_edges * 0.01);
+  EXPECT_TRUE(IsConnected(half));
+}
+
+TEST(DatasetsTest, DeterministicInSeed) {
+  Graph a = MakeDataset(DatasetId::kYeast, 0.2, 7);
+  Graph b = MakeDataset(DatasetId::kYeast, 0.2, 7);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_EQ(a.EdgeList(), b.EdgeList());
+  Graph c = MakeDataset(DatasetId::kYeast, 0.2, 8);
+  EXPECT_NE(a.EdgeList(), c.EdgeList());
+}
+
+TEST(DatasetsTest, StandInsAreClustered) {
+  // Real PPI/social graphs are strongly clustered; the paper's random-walk
+  // query extraction depends on it (non-sparse query sets would otherwise
+  // be unreachable). Validate the synthesis preserves this.
+  for (auto id : {DatasetId::kYeast, DatasetId::kHuman}) {
+    Graph g = MakeDataset(id, 0.2, 5);
+    EXPECT_GT(GlobalClusteringCoefficient(g), 0.05) << GetSpec(id).name;
+  }
+}
+
+TEST(DatasetsTest, LabelSkewIsSubstantial) {
+  // Entropy well below the uniform bound log2(|Sigma|) indicates the
+  // calibrated skew driving the paper's hardness profile.
+  Graph yeast = MakeDataset(DatasetId::kYeast, 0.5, 1);
+  double uniform_bits = std::log2(static_cast<double>(yeast.NumLabels()));
+  EXPECT_LT(LabelEntropy(yeast), 0.75 * uniform_bits);
+}
+
+TEST(DatasetsTest, TwitterSimIsHeavyTailed) {
+  Graph tw = MakeDataset(DatasetId::kTwitterSim, 0.01, 1);
+  EXPECT_GT(tw.NumVertices(), 10000u);
+  uint32_t max_degree = 0;
+  for (uint32_t v = 0; v < tw.NumVertices(); ++v) {
+    max_degree = std::max(max_degree, tw.degree(v));
+  }
+  EXPECT_GT(max_degree, 20 * tw.AverageDegree());
+  EXPECT_TRUE(IsConnected(tw));
+}
+
+TEST(DatasetsTest, EveryDatasetBuildsAtSmallScale) {
+  for (int id = 0; id <= static_cast<int>(DatasetId::kTwitterSim); ++id) {
+    Graph g = MakeDataset(static_cast<DatasetId>(id), 0.01, 3);
+    EXPECT_GT(g.NumVertices(), 0u) << GetSpec(static_cast<DatasetId>(id)).name;
+    EXPECT_TRUE(IsConnected(g));
+  }
+}
+
+}  // namespace
+}  // namespace daf::workload

@@ -1,0 +1,117 @@
+#include "workload/negative.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.h"
+#include "daf/engine.h"
+#include "graph/query_extract.h"
+#include "tests/test_util.h"
+
+namespace daf::workload {
+namespace {
+
+TEST(NegativeTest, PerturbLabelsKeepsStructure) {
+  Rng rng(141);
+  Graph data = daf::testing::RandomDataGraph(80, 240, 5, rng);
+  auto extracted = ExtractRandomWalkQuery(data, 8, -1.0, rng);
+  ASSERT_TRUE(extracted.has_value());
+  Graph perturbed = PerturbLabels(extracted->query, data, 3, rng);
+  EXPECT_EQ(perturbed.NumVertices(), extracted->query.NumVertices());
+  EXPECT_EQ(perturbed.NumEdges(), extracted->query.NumEdges());
+}
+
+TEST(NegativeTest, PerturbZeroIsIdentity) {
+  Rng rng(142);
+  Graph data = daf::testing::RandomDataGraph(50, 120, 4, rng);
+  auto extracted = ExtractRandomWalkQuery(data, 6, -1.0, rng);
+  ASSERT_TRUE(extracted.has_value());
+  Graph same = PerturbLabels(extracted->query, data, 0, rng);
+  for (uint32_t u = 0; u < same.NumVertices(); ++u) {
+    EXPECT_EQ(same.original_label(same.label(u)),
+              extracted->query.original_label(extracted->query.label(u)));
+  }
+}
+
+TEST(NegativeTest, PerturbedLabelsComeFromDataAlphabet) {
+  Rng rng(143);
+  Graph data = daf::testing::RandomDataGraph(50, 120, 4, rng);
+  auto extracted = ExtractRandomWalkQuery(data, 6, -1.0, rng);
+  ASSERT_TRUE(extracted.has_value());
+  Graph perturbed = PerturbLabels(extracted->query, data, 6, rng);
+  for (uint32_t u = 0; u < perturbed.NumVertices(); ++u) {
+    Label original = perturbed.original_label(perturbed.label(u));
+    bool in_alphabet = false;
+    for (uint32_t l = 0; l < data.NumLabels(); ++l) {
+      in_alphabet |= data.original_label(l) == original;
+    }
+    EXPECT_TRUE(in_alphabet);
+  }
+}
+
+TEST(NegativeTest, AddRandomEdgesGrowsEdgeCount) {
+  Rng rng(144);
+  Graph data = daf::testing::RandomDataGraph(80, 240, 4, rng);
+  auto extracted = ExtractRandomWalkQuery(data, 8, 2.5, rng);
+  ASSERT_TRUE(extracted.has_value());
+  uint64_t before = extracted->query.NumEdges();
+  Graph denser = AddRandomEdges(extracted->query, 5, rng);
+  EXPECT_EQ(denser.NumEdges(), before + 5);
+  EXPECT_EQ(denser.NumVertices(), extracted->query.NumVertices());
+}
+
+TEST(NegativeTest, AddingAllEdgesYieldsCompleteGraph) {
+  Rng rng(145);
+  Graph data = daf::testing::RandomDataGraph(60, 200, 3, rng);
+  auto extracted = ExtractRandomWalkQuery(data, 6, 2.5, rng);
+  ASSERT_TRUE(extracted.has_value());
+  Graph complete = AddRandomEdges(extracted->query, 10000, rng);
+  EXPECT_EQ(complete.NumEdges(), 15u);  // C(6,2)
+}
+
+TEST(NegativeTest, PerturbLabelsKeepsEdgeLabels) {
+  Graph query = Graph::FromLabeledEdges({0, 1, 2}, {{0, 1}, {1, 2}}, {4, 9});
+  Graph data = Graph::FromLabeledEdges({0, 1, 2, 3}, {{0, 1}, {1, 2}, {2, 3}},
+                                       {4, 9, 4});
+  Rng rng(147);
+  Graph perturbed = PerturbLabels(query, data, 2, rng);
+  EXPECT_EQ(perturbed.EdgeLabelBetween(0, 1), 4u);
+  EXPECT_EQ(perturbed.EdgeLabelBetween(1, 2), 9u);
+}
+
+TEST(NegativeTest, AddRandomEdgesDrawsLabelsFromExistingAlphabet) {
+  Graph query = Graph::FromLabeledEdges({0, 0, 0, 0},
+                                        {{0, 1}, {1, 2}, {2, 3}}, {5, 5, 5});
+  Rng rng(148);
+  Graph denser = AddRandomEdges(query, 3, rng);
+  EXPECT_EQ(denser.NumEdges(), 6u);
+  for (const auto& [e, label] : denser.LabeledEdgeList()) {
+    EXPECT_EQ(label, 5u) << e.first << "-" << e.second;
+  }
+}
+
+TEST(NegativeTest, DafAgreesWithBruteForceOnNegativeQueries) {
+  Rng rng(146);
+  Graph data = daf::testing::RandomDataGraph(60, 180, 5, rng);
+  int negatives_seen = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto extracted = ExtractRandomWalkQuery(data, 6, -1.0, rng);
+    if (!extracted) continue;
+    Graph perturbed = PerturbLabels(extracted->query, data, 4, rng);
+    baselines::MatcherResult brute =
+        baselines::BruteForceMatch(perturbed, data, {});
+    MatchResult daf_result = DafMatch(perturbed, data);
+    ASSERT_TRUE(daf_result.ok);
+    EXPECT_EQ(daf_result.embeddings, brute.embeddings);
+    if (brute.embeddings == 0) {
+      ++negatives_seen;
+      // A CS-certified negative must indeed be negative (soundness).
+      if (daf_result.cs_certified_negative) {
+        EXPECT_EQ(brute.embeddings, 0u);
+      }
+    }
+  }
+  EXPECT_GT(negatives_seen, 0);
+}
+
+}  // namespace
+}  // namespace daf::workload

@@ -1,0 +1,120 @@
+#include "workload/querygen.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bruteforce.h"
+#include "graph/properties.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace daf::workload {
+namespace {
+
+TEST(QueryGenTest, NamesFollowPaperConvention) {
+  QuerySet s;
+  s.size = 50;
+  s.sparse = true;
+  EXPECT_EQ(s.Name(), "Q50S");
+  s.size = 40;
+  s.sparse = false;
+  EXPECT_EQ(s.Name(), "Q40N");
+}
+
+TEST(QueryGenTest, SparseSetsRespectDegreeBound) {
+  Rng rng(131);
+  Graph data = MakeDataset(DatasetId::kHuman, 0.2, 1);  // dense data graph
+  QuerySet set = MakeQuerySet(data, 10, /*sparse=*/true, 15, rng);
+  ASSERT_EQ(set.queries.size(), 15u);
+  for (const Graph& q : set.queries) {
+    EXPECT_EQ(q.NumVertices(), 10u);
+    EXPECT_LE(q.AverageDegree(), 3.0);
+    EXPECT_TRUE(IsConnected(q));
+  }
+}
+
+TEST(QueryGenTest, NonSparseSetsExceedDegreeBound) {
+  Rng rng(132);
+  Graph data = MakeDataset(DatasetId::kHuman, 0.2, 1);
+  QuerySet set = MakeQuerySet(data, 10, /*sparse=*/false, 15, rng);
+  ASSERT_EQ(set.queries.size(), 15u);
+  for (const Graph& q : set.queries) {
+    EXPECT_GT(q.AverageDegree(), 3.0);
+    EXPECT_TRUE(IsConnected(q));
+  }
+}
+
+TEST(QueryGenTest, QueriesArePositive) {
+  // Every generated query must have at least one embedding by construction.
+  Rng rng(133);
+  Graph data = daf::testing::RandomDataGraph(120, 500, 4, rng);
+  QuerySet set = MakeQuerySet(data, 6, /*sparse=*/true, 8, rng);
+  for (const Graph& q : set.queries) {
+    baselines::MatcherOptions opts;
+    opts.limit = 1;
+    baselines::MatcherResult r = baselines::BruteForceMatch(q, data, opts);
+    EXPECT_GE(r.embeddings, 1u);
+  }
+}
+
+TEST(QueryGenTest, ConstrainedQueryHonorsBounds) {
+  Rng rng(134);
+  Graph data = MakeDataset(DatasetId::kYeast, 0.5, 1);
+  QueryConstraints c;
+  c.size = 12;
+  c.min_avg_deg = 3.0;
+  c.max_avg_deg = 5.0;
+  auto q = MakeConstrainedQuery(data, c, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->NumVertices(), 12u);
+  EXPECT_GE(q->AverageDegree(), 3.0);
+  EXPECT_LE(q->AverageDegree(), 5.0);
+}
+
+TEST(QueryGenTest, ConstrainedQueryDiameterBounds) {
+  Rng rng(135);
+  Graph data = MakeDataset(DatasetId::kYeast, 0.5, 1);
+  QueryConstraints c;
+  c.size = 10;
+  c.min_diameter = 4;
+  auto q = MakeConstrainedQuery(data, c, rng);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_GE(Diameter(*q), 4u);
+}
+
+TEST(QueryGenTest, DenseExtractorProducesDenseConnectedQueries) {
+  Rng rng(137);
+  Graph data = MakeDataset(DatasetId::kHuman, 0.2, 1);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto q = ExtractDenseQuery(data, 12, rng);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->NumVertices(), 12u);
+    EXPECT_TRUE(IsConnected(*q));
+    // Greedy densest-region growth should clearly beat random walks.
+    EXPECT_GT(q->AverageDegree(), 2.0);
+  }
+}
+
+TEST(QueryGenTest, DenseExtractorQueriesArePositive) {
+  Rng rng(138);
+  Graph data = daf::testing::RandomDataGraph(150, 700, 3, rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto q = ExtractDenseQuery(data, 8, rng);
+    ASSERT_TRUE(q.has_value());
+    baselines::MatcherOptions opts;
+    opts.limit = 1;
+    EXPECT_GE(baselines::BruteForceMatch(*q, data, opts).embeddings, 1u);
+  }
+}
+
+TEST(QueryGenTest, ImpossibleConstraintsReturnNullopt) {
+  Rng rng(136);
+  Graph data = MakeDataset(DatasetId::kYeast, 0.2, 1);
+  QueryConstraints c;
+  c.size = 10;
+  c.min_avg_deg = 8.9;  // a 10-vertex graph caps at avg-deg 9; unreachable
+  auto q = MakeConstrainedQuery(data, c, rng, /*max_attempts=*/20);
+  EXPECT_FALSE(q.has_value());
+}
+
+}  // namespace
+}  // namespace daf::workload
