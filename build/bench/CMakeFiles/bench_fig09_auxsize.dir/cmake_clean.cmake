@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_auxsize.dir/bench_fig09_auxsize.cc.o"
+  "CMakeFiles/bench_fig09_auxsize.dir/bench_fig09_auxsize.cc.o.d"
+  "bench_fig09_auxsize"
+  "bench_fig09_auxsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_auxsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

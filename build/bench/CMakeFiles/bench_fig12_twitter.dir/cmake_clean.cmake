@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_twitter.dir/bench_fig12_twitter.cc.o"
+  "CMakeFiles/bench_fig12_twitter.dir/bench_fig12_twitter.cc.o.d"
+  "bench_fig12_twitter"
+  "bench_fig12_twitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

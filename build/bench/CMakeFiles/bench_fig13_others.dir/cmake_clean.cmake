@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_others.dir/bench_fig13_others.cc.o"
+  "CMakeFiles/bench_fig13_others.dir/bench_fig13_others.cc.o.d"
+  "bench_fig13_others"
+  "bench_fig13_others.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_others.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_negative.dir/bench_fig14_negative.cc.o"
+  "CMakeFiles/bench_fig14_negative.dir/bench_fig14_negative.cc.o.d"
+  "bench_fig14_negative"
+  "bench_fig14_negative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_negative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_variants.dir/bench_fig18_variants.cc.o"
+  "CMakeFiles/bench_fig18_variants.dir/bench_fig18_variants.cc.o.d"
+  "bench_fig18_variants"
+  "bench_fig18_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

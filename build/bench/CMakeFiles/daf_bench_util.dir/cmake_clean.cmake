@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daf_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/daf_bench_util.dir/bench_util.cc.o.d"
+  "libdaf_bench_util.a"
+  "libdaf_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daf_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

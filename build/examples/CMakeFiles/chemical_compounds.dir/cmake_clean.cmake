@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chemical_compounds.dir/chemical_compounds.cpp.o"
+  "CMakeFiles/chemical_compounds.dir/chemical_compounds.cpp.o.d"
+  "chemical_compounds"
+  "chemical_compounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chemical_compounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_cli.dir/match_cli.cpp.o"
+  "CMakeFiles/match_cli.dir/match_cli.cpp.o.d"
+  "match_cli"
+  "match_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negative_queries.dir/negative_queries.cpp.o"
+  "CMakeFiles/negative_queries.dir/negative_queries.cpp.o.d"
+  "negative_queries"
+  "negative_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negative_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bruteforce.cc" "src/CMakeFiles/daf_baselines.dir/baselines/bruteforce.cc.o" "gcc" "src/CMakeFiles/daf_baselines.dir/baselines/bruteforce.cc.o.d"
+  "/root/repo/src/baselines/cfl_match.cc" "src/CMakeFiles/daf_baselines.dir/baselines/cfl_match.cc.o" "gcc" "src/CMakeFiles/daf_baselines.dir/baselines/cfl_match.cc.o.d"
+  "/root/repo/src/baselines/gaddi.cc" "src/CMakeFiles/daf_baselines.dir/baselines/gaddi.cc.o" "gcc" "src/CMakeFiles/daf_baselines.dir/baselines/gaddi.cc.o.d"
+  "/root/repo/src/baselines/graphql.cc" "src/CMakeFiles/daf_baselines.dir/baselines/graphql.cc.o" "gcc" "src/CMakeFiles/daf_baselines.dir/baselines/graphql.cc.o.d"
+  "/root/repo/src/baselines/quicksi.cc" "src/CMakeFiles/daf_baselines.dir/baselines/quicksi.cc.o" "gcc" "src/CMakeFiles/daf_baselines.dir/baselines/quicksi.cc.o.d"
+  "/root/repo/src/baselines/spath.cc" "src/CMakeFiles/daf_baselines.dir/baselines/spath.cc.o" "gcc" "src/CMakeFiles/daf_baselines.dir/baselines/spath.cc.o.d"
+  "/root/repo/src/baselines/turboiso.cc" "src/CMakeFiles/daf_baselines.dir/baselines/turboiso.cc.o" "gcc" "src/CMakeFiles/daf_baselines.dir/baselines/turboiso.cc.o.d"
+  "/root/repo/src/baselines/vf2.cc" "src/CMakeFiles/daf_baselines.dir/baselines/vf2.cc.o" "gcc" "src/CMakeFiles/daf_baselines.dir/baselines/vf2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/daf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

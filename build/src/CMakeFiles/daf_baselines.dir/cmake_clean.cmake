@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daf_baselines.dir/baselines/bruteforce.cc.o"
+  "CMakeFiles/daf_baselines.dir/baselines/bruteforce.cc.o.d"
+  "CMakeFiles/daf_baselines.dir/baselines/cfl_match.cc.o"
+  "CMakeFiles/daf_baselines.dir/baselines/cfl_match.cc.o.d"
+  "CMakeFiles/daf_baselines.dir/baselines/gaddi.cc.o"
+  "CMakeFiles/daf_baselines.dir/baselines/gaddi.cc.o.d"
+  "CMakeFiles/daf_baselines.dir/baselines/graphql.cc.o"
+  "CMakeFiles/daf_baselines.dir/baselines/graphql.cc.o.d"
+  "CMakeFiles/daf_baselines.dir/baselines/quicksi.cc.o"
+  "CMakeFiles/daf_baselines.dir/baselines/quicksi.cc.o.d"
+  "CMakeFiles/daf_baselines.dir/baselines/spath.cc.o"
+  "CMakeFiles/daf_baselines.dir/baselines/spath.cc.o.d"
+  "CMakeFiles/daf_baselines.dir/baselines/turboiso.cc.o"
+  "CMakeFiles/daf_baselines.dir/baselines/turboiso.cc.o.d"
+  "CMakeFiles/daf_baselines.dir/baselines/vf2.cc.o"
+  "CMakeFiles/daf_baselines.dir/baselines/vf2.cc.o.d"
+  "libdaf_baselines.a"
+  "libdaf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

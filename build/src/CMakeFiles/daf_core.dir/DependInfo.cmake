@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/daf/backtrack.cc" "src/CMakeFiles/daf_core.dir/daf/backtrack.cc.o" "gcc" "src/CMakeFiles/daf_core.dir/daf/backtrack.cc.o.d"
+  "/root/repo/src/daf/boost.cc" "src/CMakeFiles/daf_core.dir/daf/boost.cc.o" "gcc" "src/CMakeFiles/daf_core.dir/daf/boost.cc.o.d"
+  "/root/repo/src/daf/candidate_space.cc" "src/CMakeFiles/daf_core.dir/daf/candidate_space.cc.o" "gcc" "src/CMakeFiles/daf_core.dir/daf/candidate_space.cc.o.d"
+  "/root/repo/src/daf/cursor.cc" "src/CMakeFiles/daf_core.dir/daf/cursor.cc.o" "gcc" "src/CMakeFiles/daf_core.dir/daf/cursor.cc.o.d"
+  "/root/repo/src/daf/engine.cc" "src/CMakeFiles/daf_core.dir/daf/engine.cc.o" "gcc" "src/CMakeFiles/daf_core.dir/daf/engine.cc.o.d"
+  "/root/repo/src/daf/parallel.cc" "src/CMakeFiles/daf_core.dir/daf/parallel.cc.o" "gcc" "src/CMakeFiles/daf_core.dir/daf/parallel.cc.o.d"
+  "/root/repo/src/daf/query_dag.cc" "src/CMakeFiles/daf_core.dir/daf/query_dag.cc.o" "gcc" "src/CMakeFiles/daf_core.dir/daf/query_dag.cc.o.d"
+  "/root/repo/src/daf/weights.cc" "src/CMakeFiles/daf_core.dir/daf/weights.cc.o" "gcc" "src/CMakeFiles/daf_core.dir/daf/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/daf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

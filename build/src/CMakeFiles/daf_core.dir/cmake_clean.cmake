@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daf_core.dir/daf/backtrack.cc.o"
+  "CMakeFiles/daf_core.dir/daf/backtrack.cc.o.d"
+  "CMakeFiles/daf_core.dir/daf/boost.cc.o"
+  "CMakeFiles/daf_core.dir/daf/boost.cc.o.d"
+  "CMakeFiles/daf_core.dir/daf/candidate_space.cc.o"
+  "CMakeFiles/daf_core.dir/daf/candidate_space.cc.o.d"
+  "CMakeFiles/daf_core.dir/daf/cursor.cc.o"
+  "CMakeFiles/daf_core.dir/daf/cursor.cc.o.d"
+  "CMakeFiles/daf_core.dir/daf/engine.cc.o"
+  "CMakeFiles/daf_core.dir/daf/engine.cc.o.d"
+  "CMakeFiles/daf_core.dir/daf/parallel.cc.o"
+  "CMakeFiles/daf_core.dir/daf/parallel.cc.o.d"
+  "CMakeFiles/daf_core.dir/daf/query_dag.cc.o"
+  "CMakeFiles/daf_core.dir/daf/query_dag.cc.o.d"
+  "CMakeFiles/daf_core.dir/daf/weights.cc.o"
+  "CMakeFiles/daf_core.dir/daf/weights.cc.o.d"
+  "libdaf_core.a"
+  "libdaf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

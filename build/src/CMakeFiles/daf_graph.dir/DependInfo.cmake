@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/daf_graph.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/daf_graph.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/daf_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/daf_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/daf_graph.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/daf_graph.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/properties.cc" "src/CMakeFiles/daf_graph.dir/graph/properties.cc.o" "gcc" "src/CMakeFiles/daf_graph.dir/graph/properties.cc.o.d"
+  "/root/repo/src/graph/query_extract.cc" "src/CMakeFiles/daf_graph.dir/graph/query_extract.cc.o" "gcc" "src/CMakeFiles/daf_graph.dir/graph/query_extract.cc.o.d"
+  "/root/repo/src/graph/upscale.cc" "src/CMakeFiles/daf_graph.dir/graph/upscale.cc.o" "gcc" "src/CMakeFiles/daf_graph.dir/graph/upscale.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/daf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daf_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/daf_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/daf_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/daf_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/daf_graph.dir/graph/io.cc.o"
+  "CMakeFiles/daf_graph.dir/graph/io.cc.o.d"
+  "CMakeFiles/daf_graph.dir/graph/properties.cc.o"
+  "CMakeFiles/daf_graph.dir/graph/properties.cc.o.d"
+  "CMakeFiles/daf_graph.dir/graph/query_extract.cc.o"
+  "CMakeFiles/daf_graph.dir/graph/query_extract.cc.o.d"
+  "CMakeFiles/daf_graph.dir/graph/upscale.cc.o"
+  "CMakeFiles/daf_graph.dir/graph/upscale.cc.o.d"
+  "libdaf_graph.a"
+  "libdaf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

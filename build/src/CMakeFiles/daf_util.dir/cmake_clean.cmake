@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daf_util.dir/util/bitset.cc.o"
+  "CMakeFiles/daf_util.dir/util/bitset.cc.o.d"
+  "CMakeFiles/daf_util.dir/util/flags.cc.o"
+  "CMakeFiles/daf_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/daf_util.dir/util/rng.cc.o"
+  "CMakeFiles/daf_util.dir/util/rng.cc.o.d"
+  "libdaf_util.a"
+  "libdaf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdaf_util.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/datasets.cc" "src/CMakeFiles/daf_workload.dir/workload/datasets.cc.o" "gcc" "src/CMakeFiles/daf_workload.dir/workload/datasets.cc.o.d"
+  "/root/repo/src/workload/negative.cc" "src/CMakeFiles/daf_workload.dir/workload/negative.cc.o" "gcc" "src/CMakeFiles/daf_workload.dir/workload/negative.cc.o.d"
+  "/root/repo/src/workload/querygen.cc" "src/CMakeFiles/daf_workload.dir/workload/querygen.cc.o" "gcc" "src/CMakeFiles/daf_workload.dir/workload/querygen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/daf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

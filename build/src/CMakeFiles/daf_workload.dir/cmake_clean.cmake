@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daf_workload.dir/workload/datasets.cc.o"
+  "CMakeFiles/daf_workload.dir/workload/datasets.cc.o.d"
+  "CMakeFiles/daf_workload.dir/workload/negative.cc.o"
+  "CMakeFiles/daf_workload.dir/workload/negative.cc.o.d"
+  "CMakeFiles/daf_workload.dir/workload/querygen.cc.o"
+  "CMakeFiles/daf_workload.dir/workload/querygen.cc.o.d"
+  "libdaf_workload.a"
+  "libdaf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bench/bench_util_test.cc" "tests/CMakeFiles/bench_util_test.dir/bench/bench_util_test.cc.o" "gcc" "tests/CMakeFiles/bench_util_test.dir/bench/bench_util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/daf_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/daf/backtrack_test.cc" "tests/CMakeFiles/daf_core_test.dir/daf/backtrack_test.cc.o" "gcc" "tests/CMakeFiles/daf_core_test.dir/daf/backtrack_test.cc.o.d"
+  "/root/repo/tests/daf/boost_test.cc" "tests/CMakeFiles/daf_core_test.dir/daf/boost_test.cc.o" "gcc" "tests/CMakeFiles/daf_core_test.dir/daf/boost_test.cc.o.d"
+  "/root/repo/tests/daf/candidate_space_test.cc" "tests/CMakeFiles/daf_core_test.dir/daf/candidate_space_test.cc.o" "gcc" "tests/CMakeFiles/daf_core_test.dir/daf/candidate_space_test.cc.o.d"
+  "/root/repo/tests/daf/cursor_test.cc" "tests/CMakeFiles/daf_core_test.dir/daf/cursor_test.cc.o" "gcc" "tests/CMakeFiles/daf_core_test.dir/daf/cursor_test.cc.o.d"
+  "/root/repo/tests/daf/engine_test.cc" "tests/CMakeFiles/daf_core_test.dir/daf/engine_test.cc.o" "gcc" "tests/CMakeFiles/daf_core_test.dir/daf/engine_test.cc.o.d"
+  "/root/repo/tests/daf/failing_set_test.cc" "tests/CMakeFiles/daf_core_test.dir/daf/failing_set_test.cc.o" "gcc" "tests/CMakeFiles/daf_core_test.dir/daf/failing_set_test.cc.o.d"
+  "/root/repo/tests/daf/parallel_test.cc" "tests/CMakeFiles/daf_core_test.dir/daf/parallel_test.cc.o" "gcc" "tests/CMakeFiles/daf_core_test.dir/daf/parallel_test.cc.o.d"
+  "/root/repo/tests/daf/query_dag_test.cc" "tests/CMakeFiles/daf_core_test.dir/daf/query_dag_test.cc.o" "gcc" "tests/CMakeFiles/daf_core_test.dir/daf/query_dag_test.cc.o.d"
+  "/root/repo/tests/daf/weights_test.cc" "tests/CMakeFiles/daf_core_test.dir/daf/weights_test.cc.o" "gcc" "tests/CMakeFiles/daf_core_test.dir/daf/weights_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/daf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

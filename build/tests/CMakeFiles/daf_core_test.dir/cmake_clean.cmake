@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daf_core_test.dir/daf/backtrack_test.cc.o"
+  "CMakeFiles/daf_core_test.dir/daf/backtrack_test.cc.o.d"
+  "CMakeFiles/daf_core_test.dir/daf/boost_test.cc.o"
+  "CMakeFiles/daf_core_test.dir/daf/boost_test.cc.o.d"
+  "CMakeFiles/daf_core_test.dir/daf/candidate_space_test.cc.o"
+  "CMakeFiles/daf_core_test.dir/daf/candidate_space_test.cc.o.d"
+  "CMakeFiles/daf_core_test.dir/daf/cursor_test.cc.o"
+  "CMakeFiles/daf_core_test.dir/daf/cursor_test.cc.o.d"
+  "CMakeFiles/daf_core_test.dir/daf/engine_test.cc.o"
+  "CMakeFiles/daf_core_test.dir/daf/engine_test.cc.o.d"
+  "CMakeFiles/daf_core_test.dir/daf/failing_set_test.cc.o"
+  "CMakeFiles/daf_core_test.dir/daf/failing_set_test.cc.o.d"
+  "CMakeFiles/daf_core_test.dir/daf/parallel_test.cc.o"
+  "CMakeFiles/daf_core_test.dir/daf/parallel_test.cc.o.d"
+  "CMakeFiles/daf_core_test.dir/daf/query_dag_test.cc.o"
+  "CMakeFiles/daf_core_test.dir/daf/query_dag_test.cc.o.d"
+  "CMakeFiles/daf_core_test.dir/daf/weights_test.cc.o"
+  "CMakeFiles/daf_core_test.dir/daf/weights_test.cc.o.d"
+  "daf_core_test"
+  "daf_core_test.pdb"
+  "daf_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daf_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

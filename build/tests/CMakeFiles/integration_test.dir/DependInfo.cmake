@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/edge_labels_test.cc" "tests/CMakeFiles/integration_test.dir/integration/edge_labels_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/edge_labels_test.cc.o.d"
+  "/root/repo/tests/integration/equivalence_test.cc" "tests/CMakeFiles/integration_test.dir/integration/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/equivalence_test.cc.o.d"
+  "/root/repo/tests/integration/options_stress_test.cc" "tests/CMakeFiles/integration_test.dir/integration/options_stress_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/options_stress_test.cc.o.d"
+  "/root/repo/tests/integration/paper_scenarios_test.cc" "tests/CMakeFiles/integration_test.dir/integration/paper_scenarios_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/paper_scenarios_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/daf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

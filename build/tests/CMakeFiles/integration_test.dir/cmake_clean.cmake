@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/edge_labels_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/edge_labels_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/equivalence_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/equivalence_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/options_stress_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/options_stress_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/paper_scenarios_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/paper_scenarios_test.cc.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

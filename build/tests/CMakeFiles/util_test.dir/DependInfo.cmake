@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/bitset_test.cc" "tests/CMakeFiles/util_test.dir/util/bitset_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/bitset_test.cc.o.d"
+  "/root/repo/tests/util/flags_test.cc" "tests/CMakeFiles/util_test.dir/util/flags_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/flags_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/timer_test.cc" "tests/CMakeFiles/util_test.dir/util/timer_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/timer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/daf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

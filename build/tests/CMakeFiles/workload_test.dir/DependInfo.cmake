@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/datasets_test.cc" "tests/CMakeFiles/workload_test.dir/workload/datasets_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/datasets_test.cc.o.d"
+  "/root/repo/tests/workload/negative_test.cc" "tests/CMakeFiles/workload_test.dir/workload/negative_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/negative_test.cc.o.d"
+  "/root/repo/tests/workload/querygen_test.cc" "tests/CMakeFiles/workload_test.dir/workload/querygen_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/querygen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/daf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/daf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
