@@ -20,13 +20,13 @@ struct Config {
 
 void RunConfigs(const std::vector<Graph>& queries, const Graph& data,
                 const std::vector<Config>& configs,
-                const CommonFlags& common) {
+                const CommonFlags& common, const std::string& label) {
   std::vector<Algorithm> algos;
   for (const Config& config : configs) {
     algos.push_back(MakeDafAlgorithm(config.name, data, config.options,
                                      common));
   }
-  for (const Summary& s : EvaluateQuerySet(queries, algos)) {
+  for (const Summary& s : EvaluateQuerySet(queries, algos, label)) {
     std::printf("%-22s%12.0f%12.2f%12.2f%16.0f%10.1f\n", s.algorithm.c_str(),
                 s.avg_aux, s.avg_preprocess_ms, s.avg_ms, s.avg_calls,
                 s.solved_pct);
@@ -61,7 +61,7 @@ int Run(int argc, char** argv) {
       c.options.refinement_steps = steps;
       configs.push_back(c);
     }
-    RunConfigs(set.queries, data, configs, common);
+    RunConfigs(set.queries, data, configs, common, "refinement");
   }
   std::printf("\n");
   // 2. Local filters.
@@ -75,7 +75,7 @@ int Run(int argc, char** argv) {
                " mnd=" + (c.options.use_mnd_filter ? "on" : "off");
       configs.push_back(c);
     }
-    RunConfigs(set.queries, data, configs, common);
+    RunConfigs(set.queries, data, configs, common, "local_filters");
   }
   std::printf("\n");
   // 3. Leaf decomposition.
@@ -87,7 +87,7 @@ int Run(int argc, char** argv) {
       c.name = std::string("leaf_decomp=") + (leaves ? "on" : "off");
       configs.push_back(c);
     }
-    RunConfigs(set.queries, data, configs, common);
+    RunConfigs(set.queries, data, configs, common, "leaf_decomposition");
   }
   return 0;
 }

@@ -35,7 +35,8 @@ int Run(int argc, char** argv) {
             MakeBaselineAlgorithm("CFL-Match", data, common),
             MakeDafAlgorithm("DAF", data, MatchOptions{}, common),
         };
-        std::vector<Summary> summaries = EvaluateQuerySet(set.queries, algos);
+        std::vector<Summary> summaries = EvaluateQuerySet(
+            set.queries, algos, std::string(spec.name) + "/" + set.Name());
         double cpi = summaries[0].avg_aux;
         double cs = summaries[1].avg_aux;
         std::printf("%-8s%-10s%14.0f%14.0f%10.3f\n", spec.name,

@@ -73,7 +73,8 @@ void RunPoint(const std::string& sweep, const std::string& value,
       MakeDafAlgorithm("DA", data, da, common),
       MakeDafAlgorithm("DAF", data, MatchOptions{}, common),
   };
-  for (const Summary& s : EvaluateQuerySet(queries, algos)) {
+  for (const Summary& s : EvaluateQuerySet(queries, algos,
+                                           sweep + "/" + value)) {
     std::printf("%-10s%-12s%-11s%12.2f%16.0f%10.1f\n", sweep.c_str(),
                 value.c_str(), s.algorithm.c_str(), s.avg_ms, s.avg_calls,
                 s.solved_pct);

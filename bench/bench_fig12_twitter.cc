@@ -40,7 +40,9 @@ int Run(int argc, char** argv) {
           MakeDafAlgorithm("DA", data, da, common),
           MakeDafAlgorithm("DAF", data, MatchOptions{}, common),
       };
-      for (const Summary& s : EvaluateQuerySet(set.queries, algos)) {
+      for (const Summary& s : EvaluateQuerySet(
+               set.queries, algos,
+               std::string(spec.name) + "/" + set.Name())) {
         std::printf("%-8s%-11s%12.1f%14.1f%12.1f%14.0f%10.1f\n",
                     set.Name().c_str(), s.algorithm.c_str(),
                     s.avg_preprocess_ms, s.avg_ms - s.avg_preprocess_ms,

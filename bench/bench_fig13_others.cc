@@ -50,7 +50,9 @@ int Run(int argc, char** argv) {
         }
         algos.push_back(MakeDafAlgorithm("DAF", data, MatchOptions{},
                                          common));
-        for (const Summary& s : EvaluateQuerySet(set.queries, algos)) {
+        for (const Summary& s : EvaluateQuerySet(
+                 set.queries, algos,
+                 std::string(spec.name) + "/" + set.Name())) {
           std::printf("%-8s%-8s%-11s%12.2f%16.0f%10.1f\n", spec.name,
                       set.Name().c_str(), s.algorithm.c_str(), s.avg_ms,
                       s.avg_calls, s.solved_pct);

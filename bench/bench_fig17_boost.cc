@@ -44,7 +44,9 @@ int Run(int argc, char** argv) {
             MakeDafAlgorithm("DAF", data, MatchOptions{}, common),
             MakeDafAlgorithm("DAF-Boost", data, boosted, common),
         };
-        for (const Summary& s : EvaluateQuerySet(set.queries, algos)) {
+        for (const Summary& s : EvaluateQuerySet(
+                 set.queries, algos,
+                 std::string(spec.name) + "/" + set.Name())) {
           std::printf("%-8s%-10s%-11s%12.2f%16.0f%10.1f\n", spec.name,
                       set.Name().c_str(), s.algorithm.c_str(), s.avg_ms,
                       s.avg_calls, s.solved_pct);

@@ -1,7 +1,9 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 #include "baselines/cfl_match.h"
 #include "baselines/gaddi.h"
@@ -10,9 +12,101 @@
 #include "baselines/spath.h"
 #include "baselines/turboiso.h"
 #include "baselines/vf2.h"
+#include "obs/json.h"
 #include "util/timer.h"
 
 namespace daf::bench {
+
+namespace {
+
+// --- Machine-readable result recording (BENCH_<figure>.json) -------------
+
+struct ReportRow {
+  std::string label;
+  Summary summary;
+};
+
+std::vector<ReportRow>& ReportRows() {
+  static std::vector<ReportRow> rows;
+  return rows;
+}
+
+// Points at the live CommonFlags' --report value while a harness runs.
+const std::string* g_report_flag = nullptr;
+
+// The harness binary's figure name: basename without a "bench_" prefix.
+std::string FigureName() {
+#if defined(__GLIBC__)
+  const char* name = program_invocation_short_name;
+#else
+  const char* name = "bench";
+#endif
+  std::string figure = name != nullptr ? name : "bench";
+  if (figure.rfind("bench_", 0) == 0) figure = figure.substr(6);
+  return figure;
+}
+
+void FlushBenchReport(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;  // report is best-effort; never fail a run
+  std::string json = BenchReportJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+CommonFlags::CommonFlags(FlagSet& flags)
+    : scale(flags.Double("scale", 0.0,
+                         "dataset scale in (0,1]; 0 = per-dataset default")),
+      queries(flags.Int64("queries", 10, "queries per query set")),
+      k(flags.Int64("k", 100000, "embeddings to find per query (paper: "
+                                 "1e5); 0 = all")),
+      timeout_ms(flags.Int64("timeout_ms", 2000,
+                             "per-query time limit (paper: 600000)")),
+      seed(flags.Int64("seed", 1, "workload RNG seed")),
+      report(flags.String("report", "",
+                          "JSON result file; empty = BENCH_<figure>.json, "
+                          "'-' disables")) {
+  g_report_flag = &report;
+}
+
+CommonFlags::~CommonFlags() {
+  if (g_report_flag == &report) g_report_flag = nullptr;
+}
+
+std::string BenchReportPath() {
+  if (g_report_flag != nullptr && *g_report_flag == "-") return "";
+  if (g_report_flag != nullptr && !g_report_flag->empty()) {
+    return *g_report_flag;
+  }
+  return "BENCH_" + FigureName() + ".json";
+}
+
+std::string BenchReportJson() {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("figure").String(FigureName());
+  w.Key("rows").BeginArray();
+  for (const ReportRow& row : ReportRows()) {
+    const Summary& s = row.summary;
+    w.BeginObject();
+    w.Key("label").String(row.label);
+    w.Key("algorithm").String(s.algorithm);
+    w.Key("avg_ms").Double(s.avg_ms);
+    w.Key("avg_preprocess_ms").Double(s.avg_preprocess_ms);
+    w.Key("avg_calls").Double(s.avg_calls);
+    w.Key("avg_aux").Double(s.avg_aux);
+    w.Key("solved_pct").Double(s.solved_pct);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+void ResetBenchReport() { ReportRows().clear(); }
 
 double DefaultScale(workload::DatasetId id) {
   switch (id) {
@@ -48,7 +142,8 @@ Graph BuildDataset(workload::DatasetId id, const CommonFlags& flags) {
 }
 
 std::vector<Summary> EvaluateQuerySet(const std::vector<Graph>& queries,
-                                      const std::vector<Algorithm>& algos) {
+                                      const std::vector<Algorithm>& algos,
+                                      const std::string& label) {
   struct PerAlgorithm {
     std::vector<Outcome> solved;
     uint32_t solved_count = 0;
@@ -94,6 +189,11 @@ std::vector<Summary> EvaluateQuerySet(const std::vector<Graph>& queries,
       s.avg_aux /= count;
     }
     summaries.push_back(s);
+  }
+  const std::string report_path = BenchReportPath();
+  if (!report_path.empty()) {
+    for (const Summary& s : summaries) ReportRows().push_back({label, s});
+    FlushBenchReport(report_path);
   }
   return summaries;
 }

@@ -24,16 +24,15 @@ struct CommonFlags {
   int64_t& k;
   int64_t& timeout_ms;
   int64_t& seed;
+  /// JSON report destination: empty = BENCH_<figure>.json in the working
+  /// directory, "-" = disable recording, anything else = explicit path.
+  std::string& report;
 
-  explicit CommonFlags(FlagSet& flags)
-      : scale(flags.Double("scale", 0.0,
-                           "dataset scale in (0,1]; 0 = per-dataset default")),
-        queries(flags.Int64("queries", 10, "queries per query set")),
-        k(flags.Int64("k", 100000, "embeddings to find per query (paper: "
-                                   "1e5); 0 = all")),
-        timeout_ms(flags.Int64("timeout_ms", 2000,
-                               "per-query time limit (paper: 600000)")),
-        seed(flags.Int64("seed", 1, "workload RNG seed")) {}
+  explicit CommonFlags(FlagSet& flags);
+  ~CommonFlags();
+
+  CommonFlags(const CommonFlags&) = delete;
+  CommonFlags& operator=(const CommonFlags&) = delete;
 };
 
 /// The default shrink factor applied to each dataset so the harnesses run
@@ -73,8 +72,29 @@ struct Summary {
 };
 
 /// Runs every algorithm on every query and aggregates per the protocol.
+///
+/// Every call also appends its summaries — tagged with `label`, e.g.
+/// "yeast/Q4S" — to an in-process report that is rewritten after each call
+/// to the machine-readable result file `BENCH_<figure>.json` (see
+/// BenchReportPath), so the perf trajectory of every harness run is
+/// recorded without extra plumbing in the harnesses.
 std::vector<Summary> EvaluateQuerySet(const std::vector<Graph>& queries,
-                                      const std::vector<Algorithm>& algos);
+                                      const std::vector<Algorithm>& algos,
+                                      const std::string& label = "");
+
+/// Destination of the JSON report: `--report` when a CommonFlags is live
+/// and the flag was set ("-" disables recording and yields ""), otherwise
+/// `BENCH_<figure>.json` where <figure> is the binary name without a
+/// leading "bench_" prefix.
+std::string BenchReportPath();
+
+/// Serializes every row recorded so far (obs JSON writer schema:
+/// {"figure": ..., "rows": [{"label", "algorithm", "avg_ms",
+/// "avg_preprocess_ms", "avg_calls", "avg_aux", "solved_pct"}]}).
+std::string BenchReportJson();
+
+/// Drops all recorded rows (tests).
+void ResetBenchReport();
 
 /// Standard adapters. `base` carries the variant switches; limit/time are
 /// taken from flags.

@@ -2,9 +2,15 @@
 // files (the standard `t/v/e` text format, see graph/io.h) and enumerate
 // embeddings with any algorithm in the library.
 //
-//   $ ./examples/match_cli --data g.txt --query q.txt \
-//         [--algo daf|da|cfl|turboiso|vf2|quicksi|graphql|spath|gaddi] \
+//   $ ./examples/match_cli --data g.txt --query q.txt
+//         [--algo daf|da|cfl|turboiso|vf2|quicksi|graphql|spath|gaddi]
 //         [--k 100000] [--timeout_ms 60000] [--threads 1] [--print 5]
+//         [--profile[=FILE]]
+//
+// --profile (daf/da only) attaches an obs::SearchProfile to the run and
+// emits it as JSON together with the MatchResult: bare --profile prints to
+// stdout, --profile=FILE writes the document to FILE. The schema is
+// documented in docs/OBSERVABILITY.md.
 #include <cstdio>
 #include <string>
 
@@ -17,6 +23,7 @@
 #include "baselines/vf2.h"
 #include "daf/parallel.h"
 #include "graph/io.h"
+#include "obs/json.h"
 #include "util/flags.h"
 
 namespace {
@@ -36,6 +43,23 @@ bool PrintEmbedding(std::span<const daf::VertexId> embedding) {
   return true;
 }
 
+// Writes the JSON document to stdout ("-") or to `destination`.
+bool EmitProfile(const std::string& destination, const std::string& json) {
+  if (destination == "-") {
+    std::printf("%s\n", json.c_str());
+    return true;
+  }
+  std::FILE* f = std::fopen(destination.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write profile to %s\n", destination.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+  std::fprintf(stderr, "profile written to %s\n", destination.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -48,6 +72,9 @@ int main(int argc, char** argv) {
   int64_t& threads = flags.Int64("threads", 1, "threads (daf only)");
   int64_t& print_limit =
       flags.Int64("print", 0, "print the first N embeddings");
+  std::string& profile_out = flags.OptionalString(
+      "profile", "", "-",
+      "emit the JSON search profile (daf/da): bare = stdout, =FILE = file");
   if (!flags.Parse(argc, argv) || data_path.empty() || query_path.empty()) {
     if (!flags.error().empty()) {
       std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -79,28 +106,29 @@ int main(int argc, char** argv) {
   bool timed_out = false;
   bool ok = true;
   if (algo == "daf" || algo == "da") {
+    daf::obs::SearchProfile profile;
     daf::MatchOptions options;
     options.limit = static_cast<uint64_t>(k);
     options.time_limit_ms = static_cast<uint64_t>(timeout_ms);
     options.use_failing_sets = algo == "daf";
+    if (!profile_out.empty()) options.profile = &profile;
     if (g_print_limit > 0) options.callback = &PrintEmbedding;
+    daf::MatchResult r;
     if (threads > 1) {
-      daf::ParallelMatchResult r = daf::ParallelDafMatch(
-          *query, *data, options, static_cast<uint32_t>(threads));
-      ok = r.ok;
-      if (!ok) std::fprintf(stderr, "%s\n", r.error.c_str());
-      embeddings = r.embeddings;
-      calls = r.recursive_calls;
-      ms = r.preprocess_ms + r.search_ms;
-      timed_out = r.timed_out;
+      r = daf::ParallelDafMatch(*query, *data, options,
+                                static_cast<uint32_t>(threads));
     } else {
-      daf::MatchResult r = daf::DafMatch(*query, *data, options);
-      ok = r.ok;
-      if (!ok) std::fprintf(stderr, "%s\n", r.error.c_str());
-      embeddings = r.embeddings;
-      calls = r.recursive_calls;
-      ms = r.preprocess_ms + r.search_ms;
-      timed_out = r.timed_out;
+      r = daf::DafMatch(*query, *data, options);
+    }
+    ok = r.ok;
+    if (!ok) std::fprintf(stderr, "%s\n", r.error.c_str());
+    embeddings = r.embeddings;
+    calls = r.recursive_calls;
+    ms = r.preprocess_ms + r.search_ms;
+    timed_out = r.timed_out;
+    if (ok && !profile_out.empty()) {
+      std::string json = daf::obs::MatchResultToJson(r, &profile);
+      if (!EmitProfile(profile_out, json)) return 1;
     }
   } else {
     using Fn = daf::baselines::MatcherResult (*)(
@@ -117,6 +145,10 @@ int main(int argc, char** argv) {
     if (fn == nullptr) {
       std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
       return 1;
+    }
+    if (!profile_out.empty()) {
+      std::fprintf(stderr,
+                   "--profile is only supported for --algo daf|da; ignored\n");
     }
     daf::baselines::MatcherOptions options;
     options.limit = static_cast<uint64_t>(k);

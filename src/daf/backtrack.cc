@@ -34,6 +34,16 @@ BacktrackStats Backtracker::Run(const BacktrackOptions& options) {
   stats_ = BacktrackStats{};
   stop_ = false;
   deadline_check_countdown_ = 0;
+  profile_ = options.profile;
+  if (profile_ != nullptr) {
+    profile_->Reset();
+    // Depths 0..n_ inclusive: depth n_ holds the embedding-class leaves.
+    profile_->depth_histogram.assign(n_ + 1, 0);
+  }
+  if (options_.progress) {
+    run_timer_.Restart();
+    next_progress_ms_ = options_.progress_interval_ms;
+  }
   std::fill(mapped_cand_idx_.begin(), mapped_cand_idx_.end(), kNotMapped);
   std::fill(num_mapped_parents_.begin(), num_mapped_parents_.end(), 0u);
   extendable_list_.clear();
@@ -67,15 +77,33 @@ BacktrackStats Backtracker::Run(const BacktrackOptions& options) {
 
 bool Backtracker::ShouldStop() {
   if (stop_) return true;
-  if (options_.deadline != nullptr && deadline_check_countdown_-- == 0) {
+  const bool sampled =
+      options_.deadline != nullptr || static_cast<bool>(options_.progress);
+  if (sampled && deadline_check_countdown_-- == 0) {
     deadline_check_countdown_ = 4096;
-    if (options_.deadline->Expired()) {
+    if (options_.deadline != nullptr && options_.deadline->Expired()) {
       stats_.timed_out = true;
       stop_ = true;
       return true;
     }
+    if (options_.progress) ReportProgress();
   }
   return false;
+}
+
+void Backtracker::ReportProgress() {
+  const double elapsed = run_timer_.ElapsedMs();
+  if (elapsed < next_progress_ms_) return;
+  next_progress_ms_ = elapsed + options_.progress_interval_ms;
+  obs::ProgressSnapshot snapshot;
+  snapshot.embeddings = stats_.embeddings;
+  snapshot.recursive_calls = stats_.recursive_calls;
+  snapshot.elapsed_ms = elapsed;
+  snapshot.embeddings_per_sec =
+      elapsed > 0 ? 1000.0 * static_cast<double>(stats_.embeddings) / elapsed
+                  : 0;
+  snapshot.thread = options_.thread_id;
+  options_.progress(snapshot);
 }
 
 void Backtracker::ReportEmbedding() {
@@ -184,6 +212,7 @@ void Backtracker::Unmap(VertexId u) {
 
 void Backtracker::Recurse(uint32_t depth) {
   ++stats_.recursive_calls;
+  if (profile_ != nullptr) CountNode(depth);
   if (depth == n_) {
     ReportEmbedding();
     fs_empty_[depth] = true;  // embedding-class leaf: F = ∅
@@ -200,6 +229,7 @@ void Backtracker::Recurse(uint32_t depth) {
 
   if (cands.empty()) {
     // Emptyset-class leaf: F = anc(u).
+    if (profile_ != nullptr) ++profile_->empty_candidate_prunes;
     if (failing) {
       fs_stack_[depth].Assign(dag_.Ancestors(u));
       fs_empty_[depth] = false;
@@ -236,6 +266,12 @@ void Backtracker::Recurse(uint32_t depth) {
     if (options_.injective && mapped_by_[v] != kInvalidVertex) {
       // Conflict-class leaf: F = anc(u) ∪ anc(u') where u' holds v.
       ++stats_.recursive_calls;
+      if (profile_ != nullptr) {
+        // The conflict counts as a search-tree node one level down, so the
+        // depth histogram keeps summing to recursive_calls.
+        CountNode(depth + 1);
+        ++profile_->conflict_prunes;
+      }
       if (failing) {
         union_fs.UnionWith(dag_.Ancestors(u));
         union_fs.UnionWith(dag_.Ancestors(mapped_by_[v]));
@@ -256,7 +292,10 @@ void Backtracker::Recurse(uint32_t depth) {
           break;
         }
       }
-      if (skipped) continue;
+      if (skipped) {
+        if (profile_ != nullptr) ++profile_->boost_skips;
+        continue;
+      }
     }
 
     const uint64_t embeddings_before = stats_.embeddings;
@@ -275,6 +314,9 @@ void Backtracker::Recurse(uint32_t depth) {
         any_child_empty = true;  // Case 1: F_M = ∅
       } else if (!fs_stack_[depth + 1].Test(u)) {
         // Case 2.1 and Lemma 6.1: every remaining sibling is redundant.
+        if (profile_ != nullptr) {
+          profile_->failing_set_skips += cands.size() - (list_index + 1);
+        }
         fs_stack_[depth].Assign(fs_stack_[depth + 1]);
         fs_empty_[depth] = false;
         return;

@@ -12,6 +12,7 @@
 #include "daf/query_dag.h"
 #include "daf/weights.h"
 #include "graph/embedding.h"
+#include "obs/metrics.h"
 #include "util/bitset.h"
 #include "util/timer.h"
 
@@ -52,6 +53,16 @@ struct BacktrackOptions {
   const VertexEquivalence* equivalence = nullptr;
   /// Optional per-embedding callback.
   EmbeddingCallback callback;
+  /// Optional per-cause prune counters and depth histogram (not owned).
+  /// Reset by Run; null disables all profile instrumentation.
+  obs::BacktrackProfile* profile = nullptr;
+  /// Optional sampled progress hook: invoked at most once per
+  /// `progress_interval_ms`, checked on the same 4096-call countdown as the
+  /// deadline, so the disabled path costs nothing extra.
+  obs::ProgressFn progress;
+  double progress_interval_ms = 1000;
+  /// Worker index stamped into ProgressSnapshot::thread.
+  uint32_t thread_id = 0;
 };
 
 /// Outcome counters of one backtracking run.
@@ -99,6 +110,12 @@ class Backtracker {
   void Unmap(VertexId u);
   bool ShouldStop();
   void ReportEmbedding();
+  void ReportProgress();
+  /// Records one examined search-tree node at `depth` (profiling only).
+  void CountNode(uint32_t depth) {
+    ++profile_->depth_histogram[depth];
+    if (depth > profile_->peak_depth) profile_->peak_depth = depth;
+  }
 
   static constexpr uint32_t kNotMapped = static_cast<uint32_t>(-1);
 
@@ -133,6 +150,10 @@ class Backtracker {
   std::vector<uint32_t> scratch_;
   std::vector<VertexId> embedding_buffer_;
   uint64_t deadline_check_countdown_ = 0;
+  // Observability (all inert when options_.profile / .progress are unset).
+  obs::BacktrackProfile* profile_ = nullptr;
+  Stopwatch run_timer_;
+  double next_progress_ms_ = 0;
 };
 
 }  // namespace daf

@@ -4,6 +4,7 @@
 
 #include "graph/query_extract.h"
 #include "util/bitset.h"
+#include "util/timer.h"
 
 namespace daf {
 
@@ -41,6 +42,9 @@ CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
                                      const Graph& data,
                                      const Options& options) {
   const int refinement_steps = options.refinement_steps;
+  obs::CsProfile* prof = options.profile;
+  if (prof != nullptr) prof->Reset();
+  Stopwatch stage_timer;
   CandidateSpace cs;
   const uint32_t n = query.NumVertices();
   const uint32_t data_n = data.NumVertices();
@@ -65,9 +69,14 @@ CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
       max_nbr_deg = std::max(max_nbr_deg, query.degree(w));
     }
     for (VertexId v : data.VerticesWithLabel(dl)) {
-      if (options.injective && data.degree(v) < query.degree(u)) continue;
+      if (prof != nullptr) ++prof->seed_considered;
+      if (options.injective && data.degree(v) < query.degree(u)) {
+        if (prof != nullptr) ++prof->degree_rejected;
+        continue;
+      }
       if (options.injective && options.use_mnd_filter &&
           data.MaxNeighborDegree(v) < max_nbr_deg) {
+        if (prof != nullptr) ++prof->mnd_rejected;
         continue;
       }
       bool nlf_ok = true;
@@ -78,10 +87,18 @@ CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
           break;
         }
       }
-      if (!nlf_ok) continue;
+      if (!nlf_ok) {
+        if (prof != nullptr) ++prof->nlf_rejected;
+        continue;
+      }
       cs.candidates_[u].push_back(v);
       valid[u].Set(v);
     }
+  }
+  if (prof != nullptr) {
+    for (const auto& c : cs.candidates_) prof->initial_candidates += c.size();
+    prof->seed_ms = stage_timer.ElapsedMs();
+    stage_timer.Restart();
   }
 
   // --- DAG-graph DP refinement, Recurrence (1), alternating q_D^{-1}/q_D.
@@ -94,7 +111,8 @@ CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
   const std::vector<VertexId>& topo = dag.TopologicalOrder();
   for (int step = 0; step < refinement_steps; ++step) {
     const bool use_reversed_dag = (step % 2 == 0);
-    bool changed = false;
+    Stopwatch pass_timer;
+    uint64_t removed = 0;
     for (uint32_t pos = 0; pos < n; ++pos) {
       VertexId u = use_reversed_dag ? topo[pos] : topo[n - 1 - pos];
       const std::vector<VertexId>& dp_children =
@@ -144,12 +162,22 @@ CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
           cand[kept++] = v;
         } else {
           valid[u].Clear(v);
-          changed = true;
+          ++removed;
         }
       }
       cand.resize(kept);
     }
-    if (changed) ++cs.effective_refinements_;
+    if (removed > 0) ++cs.effective_refinements_;
+    if (prof != nullptr) {
+      prof->passes.push_back(obs::CsPassStats{static_cast<uint32_t>(step),
+                                              use_reversed_dag, removed,
+                                              pass_timer.ElapsedMs()});
+    }
+  }
+  if (prof != nullptr) {
+    for (const auto& c : cs.candidates_) prof->final_candidates += c.size();
+    prof->refine_ms = stage_timer.ElapsedMs();
+    stage_timer.Restart();
   }
 
   // --- Materialize the CS edges N^u_{uc}(v) as candidate-index CSR arrays.
@@ -194,6 +222,10 @@ CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
         offsets[ip + 1] = targets.size();
       }
     }
+  }
+  if (prof != nullptr) {
+    prof->edges_materialized = cs.TotalEdges();
+    prof->edges_ms = stage_timer.ElapsedMs();
   }
   return cs;
 }

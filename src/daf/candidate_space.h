@@ -7,6 +7,7 @@
 
 #include "daf/query_dag.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 
 namespace daf {
 
@@ -46,6 +47,10 @@ class CandidateSpace {
     /// vertex). The DAG-graph DP recurrence itself is already sound for
     /// homomorphisms — a weak embedding is one (Definition 4.5).
     bool injective = true;
+    /// Optional prune-count/stage-timer sink (not owned). Reset and filled
+    /// by Build; null disables all instrumentation (the construction is
+    /// then bit-identical to an uninstrumented build).
+    obs::CsProfile* profile = nullptr;
   };
 
   /// Builds the CS for (query, dag, data).

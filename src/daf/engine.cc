@@ -16,15 +16,25 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
     return result;
   }
 
+  obs::SearchProfile* profile = options.profile;
+  if (profile != nullptr) profile->Reset();
+
   Deadline deadline(options.time_limit_ms);
   Stopwatch preprocess_timer;
+  Stopwatch stage_timer;
   QueryDag dag = QueryDag::Build(query, data);
+  if (profile != nullptr) {
+    profile->dag_build_ms = stage_timer.ElapsedMs();
+    stage_timer.Restart();
+  }
   CandidateSpace::Options cs_options;
   cs_options.refinement_steps = options.refinement_steps;
   cs_options.use_nlf_filter = options.use_nlf_filter;
   cs_options.use_mnd_filter = options.use_mnd_filter;
   cs_options.injective = options.injective;
+  cs_options.profile = profile != nullptr ? &profile->cs : nullptr;
   CandidateSpace cs = CandidateSpace::Build(query, dag, data, cs_options);
+  if (profile != nullptr) profile->cs_build_ms = stage_timer.ElapsedMs();
   result.cs_candidates = cs.TotalCandidates();
   result.cs_edges = cs.TotalEdges();
 
@@ -37,9 +47,19 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
     }
   }
 
+  if (deadline.Expired()) {
+    // The time budget was consumed by preprocessing; report the timeout
+    // with populated timers instead of entering a doomed search.
+    result.timed_out = true;
+    result.preprocess_ms = preprocess_timer.ElapsedMs();
+    return result;
+  }
+
   WeightArray weights;
   if (options.order == MatchOrder::kPathSize) {
+    stage_timer.Restart();
     weights = WeightArray::Compute(dag, cs);
+    if (profile != nullptr) profile->weights_ms = stage_timer.ElapsedMs();
   }
   result.preprocess_ms = preprocess_timer.ElapsedMs();
 
@@ -57,8 +77,12 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
   bt.deadline = options.time_limit_ms > 0 ? &deadline : nullptr;
   bt.equivalence = options.equivalence;
   bt.callback = options.callback;
+  bt.profile = profile != nullptr ? &profile->backtrack : nullptr;
+  bt.progress = options.progress;
+  bt.progress_interval_ms = options.progress_interval_ms;
   BacktrackStats stats = backtracker.Run(bt);
   result.search_ms = search_timer.ElapsedMs();
+  if (profile != nullptr) profile->search_ms = result.search_ms;
 
   result.embeddings = stats.embeddings;
   result.recursive_calls = stats.recursive_calls;

@@ -6,6 +6,7 @@
 
 #include "daf/backtrack.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 
 namespace daf {
 
@@ -35,6 +36,17 @@ struct MatchOptions {
   const VertexEquivalence* equivalence = nullptr;
   /// Optional per-embedding callback.
   EmbeddingCallback callback;
+  /// Opt-in search profile (not owned): stage timers, CS prune counts,
+  /// backtrack prune breakdowns, depth histogram. Reset by the run it is
+  /// attached to. Null (the default) disables all instrumentation; results
+  /// are then bit-identical to an unprofiled run. See obs/metrics.h and
+  /// docs/OBSERVABILITY.md.
+  obs::SearchProfile* profile = nullptr;
+  /// Optional sampled progress hook for long searches (embeddings/sec
+  /// snapshots at most once per `progress_interval_ms`; piggybacks on the
+  /// deadline-check cadence, so it is safe on hot paths).
+  obs::ProgressFn progress;
+  double progress_interval_ms = 1000;
 };
 
 /// Result of a full DAF match.
@@ -48,6 +60,9 @@ struct MatchResult {
   /// True when some candidate set was empty after CS construction, so the
   /// query was proven negative without any backtracking (Appendix A.3).
   bool cs_certified_negative = false;
+  /// Stage wall times. Both are populated on *every* path, including
+  /// early exits (cs_certified_negative, a timeout during preprocessing,
+  /// or an input error): search_ms is 0 when the search never ran.
   double preprocess_ms = 0;  // BuildDAG + BuildCS + weight array
   double search_ms = 0;      // backtracking
   uint64_t cs_candidates = 0;  // Σ_u |C(u)| (Figure 9 metric)

@@ -24,15 +24,28 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
     return result;
   }
 
+  obs::SearchProfile* profile = options.profile;
+  if (profile != nullptr) {
+    profile->Reset();
+    profile->threads = num_threads;
+  }
+
   Deadline deadline(options.time_limit_ms);
   Stopwatch preprocess_timer;
+  Stopwatch stage_timer;
   QueryDag dag = QueryDag::Build(query, data);
+  if (profile != nullptr) {
+    profile->dag_build_ms = stage_timer.ElapsedMs();
+    stage_timer.Restart();
+  }
   CandidateSpace::Options cs_options;
   cs_options.refinement_steps = options.refinement_steps;
   cs_options.use_nlf_filter = options.use_nlf_filter;
   cs_options.use_mnd_filter = options.use_mnd_filter;
   cs_options.injective = options.injective;
+  cs_options.profile = profile != nullptr ? &profile->cs : nullptr;
   CandidateSpace cs = CandidateSpace::Build(query, dag, data, cs_options);
+  if (profile != nullptr) profile->cs_build_ms = stage_timer.ElapsedMs();
   result.cs_candidates = cs.TotalCandidates();
   result.cs_edges = cs.TotalEdges();
   for (uint32_t u = 0; u < query.NumVertices(); ++u) {
@@ -42,9 +55,18 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
       return result;
     }
   }
+  if (deadline.Expired()) {
+    result.timed_out = true;
+    result.preprocess_ms = preprocess_timer.ElapsedMs();
+    return result;
+  }
   WeightArray weights;
   const bool path_order = options.order == MatchOrder::kPathSize;
-  if (path_order) weights = WeightArray::Compute(dag, cs);
+  if (path_order) {
+    stage_timer.Restart();
+    weights = WeightArray::Compute(dag, cs);
+    if (profile != nullptr) profile->weights_ms = stage_timer.ElapsedMs();
+  }
   result.preprocess_ms = preprocess_timer.ElapsedMs();
 
   Stopwatch search_timer;
@@ -59,7 +81,18 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
       return options.callback(embedding);
     };
   }
+  obs::ProgressFn guarded_progress;
+  if (options.progress) {
+    guarded_progress = [&](const obs::ProgressSnapshot& snapshot) {
+      std::lock_guard<std::mutex> lock(callback_mutex);
+      options.progress(snapshot);
+    };
+  }
 
+  // One profile per worker; merged below so parallel runs report both the
+  // aggregate and the per-thread breakdown.
+  std::vector<obs::BacktrackProfile> thread_profiles(
+      profile != nullptr ? num_threads : 0);
   std::vector<BacktrackStats> stats(num_threads);
   std::vector<std::thread> workers;
   workers.reserve(num_threads);
@@ -78,6 +111,10 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
       bt.root_cursor = &root_cursor;
       bt.equivalence = options.equivalence;
       bt.callback = guarded_callback;
+      bt.profile = profile != nullptr ? &thread_profiles[t] : nullptr;
+      bt.progress = guarded_progress;
+      bt.progress_interval_ms = options.progress_interval_ms;
+      bt.thread_id = t;
       stats[t] = backtracker.Run(bt);
     });
   }
@@ -93,6 +130,13 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
     result.limit_reached |= stats[t].limit_reached ||
                             stats[t].callback_stopped;
     result.timed_out |= stats[t].timed_out;
+  }
+  if (profile != nullptr) {
+    profile->search_ms = result.search_ms;
+    for (const obs::BacktrackProfile& tp : thread_profiles) {
+      profile->backtrack.MergeFrom(tp);
+    }
+    profile->thread_profiles = std::move(thread_profiles);
   }
   return result;
 }

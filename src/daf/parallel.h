@@ -24,7 +24,12 @@ struct ParallelMatchResult : MatchResult {
 /// limit by at most `num_threads - 1`, matching the paper's termination
 /// rule), while without a limit the full embedding set is always produced.
 ///
-/// `options.callback` is invoked under a mutex when set.
+/// `options.callback` and `options.progress` are invoked under a mutex when
+/// set. When `options.profile` is set, each worker fills its own
+/// obs::BacktrackProfile; the merged aggregate lands in `profile->backtrack`
+/// and the per-worker breakdowns in `profile->thread_profiles` (the merge
+/// equals the element-wise sum of the per-thread profiles, with peak depth
+/// taken as the max).
 ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
                                      const MatchOptions& options,
                                      uint32_t num_threads);

@@ -1,0 +1,78 @@
+#ifndef DAF_OBS_JSON_H_
+#define DAF_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace daf {
+struct MatchResult;  // daf/engine.h
+}
+
+namespace daf::obs {
+
+/// A dependency-free streaming JSON writer: pretty-printed, UTF-8
+/// passthrough with standard escaping, comma/indent bookkeeping handled by
+/// a container stack. Misuse (e.g. a value with no pending key inside an
+/// object) is a programming error and is tolerated rather than checked —
+/// the writer always produces *something*, callers are expected to drive
+/// it correctly. Typical use:
+///
+///   JsonWriter w;
+///   w.BeginObject().Key("embeddings").Uint(42).EndObject();
+///   puts(w.str().c_str());
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 = compact single-line output.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);  // non-finite values serialize as null
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The document produced so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+  void NewlineIndent();
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  int indent_;
+  // One entry per open container: the number of elements emitted so far.
+  std::vector<uint64_t> counts_;
+  bool pending_key_ = false;
+};
+
+/// Serializes a SearchProfile as a standalone JSON document.
+std::string ProfileToJson(const SearchProfile& profile, int indent = 2);
+
+/// Serializes a MatchResult (and, when non-null, its SearchProfile under a
+/// "profile" key) as a standalone JSON document.
+std::string MatchResultToJson(const MatchResult& result,
+                              const SearchProfile* profile = nullptr,
+                              int indent = 2);
+
+/// Emits `profile` as an object value at the writer's current position
+/// (after a Key() inside an object, or as an array element).
+void WriteProfile(JsonWriter& w, const SearchProfile& profile);
+
+/// Emits `result` as an object value at the writer's current position.
+void WriteMatchResult(JsonWriter& w, const MatchResult& result);
+
+}  // namespace daf::obs
+
+#endif  // DAF_OBS_JSON_H_

@@ -34,6 +34,18 @@ std::string& FlagSet::String(const std::string& name,
   return f.string_value;
 }
 
+std::string& FlagSet::OptionalString(const std::string& name,
+                                     const std::string& default_value,
+                                     const std::string& bare_value,
+                                     const std::string& help) {
+  Flag& f = flags_[name];
+  f.type = Type::kOptionalString;
+  f.help = help;
+  f.string_value = default_value;
+  f.bare_value = bare_value;
+  return f.string_value;
+}
+
 bool& FlagSet::Bool(const std::string& name, bool default_value,
                     const std::string& help) {
   Flag& f = flags_[name];
@@ -53,6 +65,7 @@ bool FlagSet::SetValue(Flag& flag, const std::string& text) {
       flag.double_value = std::strtod(text.c_str(), &end);
       return end != nullptr && *end == '\0' && !text.empty();
     case Type::kString:
+    case Type::kOptionalString:
       flag.string_value = text;
       return true;
     case Type::kBool:
@@ -99,6 +112,10 @@ bool FlagSet::Parse(int argc, char** argv) {
         flag.bool_value = true;
         continue;
       }
+      if (flag.type == Type::kOptionalString) {
+        flag.string_value = flag.bare_value;
+        continue;
+      }
       if (i + 1 >= argc) {
         error_ = "missing value for flag --" + name;
         return false;
@@ -129,6 +146,10 @@ void FlagSet::PrintUsage(const char* program) const {
         break;
       case Type::kString:
         type = "string";
+        def = flag.string_value;
+        break;
+      case Type::kOptionalString:
+        type = "string?";
         def = flag.string_value;
         break;
       case Type::kBool:

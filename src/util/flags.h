@@ -30,6 +30,14 @@ class FlagSet {
                       const std::string& default_value,
                       const std::string& help);
 
+  /// Registers a string flag whose value is optional: bare `--name` sets it
+  /// to `bare_value` (the following argv entry is NOT consumed), and
+  /// `--name=v` sets `v`. Useful for `--profile[=FILE]`-style flags.
+  std::string& OptionalString(const std::string& name,
+                              const std::string& default_value,
+                              const std::string& bare_value,
+                              const std::string& help);
+
   /// Registers a boolean flag (`--name` sets it true, `--name=false` false).
   bool& Bool(const std::string& name, bool default_value,
              const std::string& help);
@@ -44,7 +52,7 @@ class FlagSet {
   void PrintUsage(const char* program) const;
 
  private:
-  enum class Type { kInt64, kDouble, kString, kBool };
+  enum class Type { kInt64, kDouble, kString, kOptionalString, kBool };
   struct Flag {
     Type type;
     std::string help;
@@ -53,6 +61,7 @@ class FlagSet {
     double double_value = 0;
     std::string string_value;
     bool bool_value = false;
+    std::string bare_value;  // kOptionalString: value taken by bare --name
   };
 
   bool SetValue(Flag& flag, const std::string& text);

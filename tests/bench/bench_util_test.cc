@@ -81,6 +81,31 @@ TEST(EvaluateQuerySetTest, EmptyQuerySet) {
   EXPECT_DOUBLE_EQ(s[0].solved_pct, 0.0);
 }
 
+TEST(BenchReportTest, RecordsLabeledRowsAsJson) {
+  ResetBenchReport();
+  std::vector<Algorithm> algos;
+  algos.push_back(Scripted("DAF", {Solved(2, 20)}));
+  EvaluateQuerySet(DummyQueries(2), algos, "yeast/Q4S");
+  EvaluateQuerySet(DummyQueries(2), algos, "yeast/Q4D");
+  std::string json = BenchReportJson();
+  EXPECT_NE(json.find("\"figure\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"yeast/Q4S\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"yeast/Q4D\""), std::string::npos);
+  EXPECT_NE(json.find("\"algorithm\": \"DAF\""), std::string::npos);
+  EXPECT_NE(json.find("\"avg_ms\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"solved_pct\": 100"), std::string::npos);
+  ResetBenchReport();
+  EXPECT_EQ(BenchReportJson().find("\"label\""), std::string::npos);
+}
+
+TEST(BenchReportTest, DefaultPathUsesBinaryName) {
+  // The test binary is not named bench_*, so the prefix is kept as-is.
+  std::string path = BenchReportPath();
+  EXPECT_NE(path.find("BENCH_"), std::string::npos);
+  EXPECT_NE(path.find(".json"), std::string::npos);
+}
+
 TEST(DefaultScaleTest, CoversEveryDataset) {
   for (int id = 0;
        id <= static_cast<int>(workload::DatasetId::kTwitterSim); ++id) {

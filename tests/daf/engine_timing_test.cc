@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "daf/engine.h"
+#include "tests/test_util.h"
+
+namespace daf {
+namespace {
+
+// Regression tests for MatchResult timing on early-exit paths: preprocess_ms
+// and search_ms must be populated (and consistent) even when the run never
+// reaches the backtracking search.
+
+TEST(EngineTimingTest, CertifiedNegativePopulatesPreprocessTime) {
+  // Query label 9 does not occur in the data graph, so the CS certifies
+  // negativity and the search never runs.
+  Graph query = daf::testing::MakePath({0, 9});
+  Graph data = daf::testing::MakePath({0, 0, 0});
+  MatchResult r = DafMatch(query, data);
+  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(r.cs_certified_negative);
+  EXPECT_GT(r.preprocess_ms, 0.0);
+  EXPECT_EQ(r.search_ms, 0.0);
+  EXPECT_EQ(r.recursive_calls, 0u);
+}
+
+TEST(EngineTimingTest, TimeoutDuringPreprocessingPopulatesTimers) {
+  // A data graph large enough that CS construction takes longer than the
+  // 1 ms budget on any realistic machine. If the machine is somehow fast
+  // enough to finish preprocessing in time, the run must complete normally
+  // with consistent timers — either way, no path may leave them at zero.
+  Rng rng(123);
+  Graph data = daf::testing::RandomDataGraph(4000, 60000, 2, rng);
+  Graph query = daf::testing::MakeCycle({0, 1, 0, 1, 0, 1});
+  MatchOptions options;
+  options.time_limit_ms = 1;
+  MatchResult r = DafMatch(query, data, options);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.preprocess_ms, 0.0);
+  if (r.timed_out && r.recursive_calls == 0) {
+    // Timed out before the search started.
+    EXPECT_EQ(r.search_ms, 0.0);
+  } else if (r.timed_out) {
+    // Timed out inside the search.
+    EXPECT_GT(r.search_ms, 0.0);
+  }
+}
+
+TEST(EngineTimingTest, CompletedRunPopulatesBothTimers) {
+  Rng rng(9);
+  Graph data = daf::testing::RandomDataGraph(50, 150, 2, rng);
+  Graph query = daf::testing::MakePath({0, 1, 0});
+  MatchResult r = DafMatch(query, data);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.preprocess_ms, 0.0);
+  EXPECT_GT(r.search_ms, 0.0);
+  EXPECT_GT(r.recursive_calls, 0u);
+}
+
+TEST(EngineTimingTest, ProfileStageTimersSumIntoPreprocess) {
+  Rng rng(21);
+  Graph data = daf::testing::RandomDataGraph(60, 200, 2, rng);
+  Graph query = daf::testing::MakePath({0, 1, 0, 1});
+  obs::SearchProfile profile;
+  MatchOptions options;
+  options.profile = &profile;
+  MatchResult r = DafMatch(query, data, options);
+  ASSERT_TRUE(r.ok);
+  // Stage timers are sub-spans of the preprocess timer.
+  EXPECT_GE(profile.dag_build_ms, 0.0);
+  EXPECT_GT(profile.cs_build_ms, 0.0);
+  EXPECT_LE(profile.dag_build_ms + profile.cs_build_ms + profile.weights_ms,
+            r.preprocess_ms + 1.0);
+  EXPECT_EQ(profile.search_ms, r.search_ms);
+  // CS sub-stage timers are sub-spans of cs_build_ms.
+  EXPECT_LE(profile.cs.seed_ms + profile.cs.refine_ms + profile.cs.edges_ms,
+            profile.cs_build_ms + 1.0);
+}
+
+}  // namespace
+}  // namespace daf

@@ -1,0 +1,132 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "daf/engine.h"
+
+namespace daf::obs {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  JsonWriter o;
+  o.BeginObject().EndObject();
+  EXPECT_EQ(o.str(), "{}");
+  JsonWriter a;
+  a.BeginArray().EndArray();
+  EXPECT_EQ(a.str(), "[]");
+}
+
+TEST(JsonWriterTest, CompactScalars) {
+  JsonWriter w(/*indent=*/0);
+  w.BeginObject();
+  w.Key("u").Uint(42);
+  w.Key("i").Int(-7);
+  w.Key("d").Double(1.5);
+  w.Key("b").Bool(true);
+  w.Key("s").String("hi");
+  w.Key("n").Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"u\":42,\"i\":-7,\"d\":1.5,\"b\":true,\"s\":\"hi\",\"n\":null}");
+}
+
+TEST(JsonWriterTest, CommasBetweenArrayElements) {
+  JsonWriter w(0);
+  w.BeginArray().Uint(1).Uint(2).Uint(3).EndArray();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter w(0);
+  w.BeginObject();
+  w.Key("rows").BeginArray();
+  w.BeginObject().Key("x").Uint(1).EndObject();
+  w.BeginObject().Key("x").Uint(2).EndObject();
+  w.EndArray();
+  w.Key("done").Bool(false);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"rows\":[{\"x\":1},{\"x\":2}],\"done\":false}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w(0);
+  w.String("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w(0);
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, IndentedOutputIsStable) {
+  JsonWriter w(2);
+  w.BeginObject().Key("a").BeginArray().Uint(1).EndArray().EndObject();
+  EXPECT_EQ(w.str(), "{\n  \"a\": [\n    1\n  ]\n}");
+}
+
+TEST(ProfileToJsonTest, ContainsEverySection) {
+  SearchProfile profile;
+  profile.dag_build_ms = 0.25;
+  profile.cs.passes.push_back({0, true, 5, 0.1});
+  profile.backtrack.depth_histogram = {1, 2, 3};
+  profile.backtrack.conflict_prunes = 9;
+  std::string json = ProfileToJson(profile);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"dag_build_ms\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"cs\""), std::string::npos);
+  EXPECT_NE(json.find("\"reversed_dag\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"backtrack\""), std::string::npos);
+  EXPECT_NE(json.find("\"conflict_prunes\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"depth_histogram\""), std::string::npos);
+  // No per-thread section for a single-threaded profile.
+  EXPECT_EQ(json.find("thread_profiles"), std::string::npos);
+}
+
+TEST(MatchResultToJsonTest, EmbedsResultAndProfile) {
+  MatchResult result;
+  result.embeddings = 12;
+  result.recursive_calls = 99;
+  SearchProfile profile;
+  std::string json = MatchResultToJson(result, &profile);
+  EXPECT_NE(json.find("\"result\""), std::string::npos);
+  EXPECT_NE(json.find("\"embeddings\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"recursive_calls\": 99"), std::string::npos);
+  EXPECT_NE(json.find("\"profile\""), std::string::npos);
+  // Without a profile the "profile" key is absent.
+  EXPECT_EQ(MatchResultToJson(result).find("\"profile\""), std::string::npos);
+}
+
+TEST(BacktrackProfileTest, MergeSumsCountersAndHistograms) {
+  BacktrackProfile a;
+  a.empty_candidate_prunes = 1;
+  a.conflict_prunes = 2;
+  a.failing_set_skips = 3;
+  a.boost_skips = 4;
+  a.peak_depth = 2;
+  a.depth_histogram = {5, 6};
+  BacktrackProfile b;
+  b.empty_candidate_prunes = 10;
+  b.conflict_prunes = 20;
+  b.failing_set_skips = 30;
+  b.boost_skips = 40;
+  b.peak_depth = 5;
+  b.depth_histogram = {1, 1, 1};
+  a.MergeFrom(b);
+  EXPECT_EQ(a.empty_candidate_prunes, 11u);
+  EXPECT_EQ(a.conflict_prunes, 22u);
+  EXPECT_EQ(a.failing_set_skips, 33u);
+  EXPECT_EQ(a.boost_skips, 44u);
+  EXPECT_EQ(a.peak_depth, 5u);
+  EXPECT_EQ(a.depth_histogram, (std::vector<uint64_t>{6, 7, 1}));
+  EXPECT_EQ(a.HistogramTotal(), 14u);
+}
+
+}  // namespace
+}  // namespace daf::obs

@@ -101,5 +101,39 @@ TEST(FlagsTest, PositionalArgumentFails) {
   EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()));
 }
 
+TEST(FlagsTest, OptionalStringDefault) {
+  FlagSet flags;
+  std::string& p = flags.OptionalString("profile", "", "-", "");
+  Argv argv({"prog"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(p, "");
+}
+
+TEST(FlagsTest, OptionalStringBareTakesBareValue) {
+  FlagSet flags;
+  std::string& p = flags.OptionalString("profile", "", "-", "");
+  Argv argv({"prog", "--profile"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(p, "-");
+}
+
+TEST(FlagsTest, OptionalStringEqualsSyntax) {
+  FlagSet flags;
+  std::string& p = flags.OptionalString("profile", "", "-", "");
+  Argv argv({"prog", "--profile=out.json"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(p, "out.json");
+}
+
+TEST(FlagsTest, OptionalStringBareDoesNotConsumeNextFlag) {
+  FlagSet flags;
+  std::string& p = flags.OptionalString("profile", "", "-", "");
+  int64_t& k = flags.Int64("k", 0, "");
+  Argv argv({"prog", "--profile", "--k", "9"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(p, "-");
+  EXPECT_EQ(k, 9);
+}
+
 }  // namespace
 }  // namespace daf
