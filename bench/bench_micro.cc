@@ -1,15 +1,22 @@
 // Micro-benchmarks (google-benchmark) of the core primitives: graph
 // accessors, DAG construction, CS construction (DAG-graph DP), weight-array
 // DP, vertex-equivalence computation, and the backtracking throughput.
+// The *Warm variants run through a reused MatchContext (arena + scratch),
+// measuring the steady-state path long-lived callers hit; the plain
+// variants pay cold per-call allocation. `--smoke` runs every benchmark for
+// a token duration (CI: "does every benchmark still run?").
 #include <benchmark/benchmark.h>
 
 #include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "daf/boost.h"
 #include "graph/io.h"
 #include "daf/candidate_space.h"
 #include "daf/engine.h"
+#include "daf/match_context.h"
 #include "daf/query_dag.h"
 #include "daf/weights.h"
 #include "graph/query_extract.h"
@@ -89,6 +96,22 @@ void BM_BuildCandidateSpace(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildCandidateSpace)->Arg(20)->Arg(50)->Arg(100);
 
+void BM_BuildCandidateSpaceWarm(benchmark::State& state) {
+  const Graph& data = YeastData();
+  const Graph& query = YeastQuery(static_cast<uint32_t>(state.range(0)));
+  QueryDag dag = QueryDag::Build(query, data);
+  MatchContext context;
+  for (auto _ : state) {
+    context.arena().Reset();
+    CandidateSpace cs = CandidateSpace::Build(
+        query, dag, data, {}, &context.arena(), &context.cs_scratch());
+    benchmark::DoNotOptimize(cs.TotalCandidates());
+  }
+  state.counters["arena_kb"] = benchmark::Counter(
+      static_cast<double>(context.arena_stats().capacity_bytes) / 1024.0);
+}
+BENCHMARK(BM_BuildCandidateSpaceWarm)->Arg(20)->Arg(50)->Arg(100);
+
 void BM_WeightArray(benchmark::State& state) {
   const Graph& data = YeastData();
   const Graph& query = YeastQuery(static_cast<uint32_t>(state.range(0)));
@@ -100,6 +123,20 @@ void BM_WeightArray(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WeightArray)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_WeightArrayWarm(benchmark::State& state) {
+  const Graph& data = YeastData();
+  const Graph& query = YeastQuery(static_cast<uint32_t>(state.range(0)));
+  QueryDag dag = QueryDag::Build(query, data);
+  CandidateSpace cs = CandidateSpace::Build(query, dag, data);
+  Arena arena;  // reset per iteration: the weight array alone cycles in it
+  for (auto _ : state) {
+    arena.Reset();
+    WeightArray w = WeightArray::Compute(dag, cs, &arena);
+    benchmark::DoNotOptimize(w.Weight(dag.root(), 0));
+  }
+}
+BENCHMARK(BM_WeightArrayWarm)->Arg(20)->Arg(50)->Arg(100);
 
 void BM_DafMatchFirst1000(benchmark::State& state) {
   const Graph& data = YeastData();
@@ -117,6 +154,26 @@ void BM_DafMatchFirst1000(benchmark::State& state) {
                          benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_DafMatchFirst1000)->Arg(20)->Arg(50);
+
+void BM_DafMatchFirst1000Warm(benchmark::State& state) {
+  const Graph& data = YeastData();
+  const Graph& query = YeastQuery(static_cast<uint32_t>(state.range(0)));
+  MatchOptions opts;
+  opts.limit = 1000;
+  MatchContext context;
+  uint64_t embeddings = 0;
+  for (auto _ : state) {
+    MatchResult r = DafMatch(query, data, opts, &context);
+    embeddings += r.embeddings;
+    benchmark::DoNotOptimize(r.recursive_calls);
+  }
+  state.counters["embeddings/iter"] =
+      benchmark::Counter(static_cast<double>(embeddings),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["arena_kb"] = benchmark::Counter(
+      static_cast<double>(context.arena_stats().capacity_bytes) / 1024.0);
+}
+BENCHMARK(BM_DafMatchFirst1000Warm)->Arg(20)->Arg(50);
 
 void BM_VertexEquivalence(benchmark::State& state) {
   const Graph& data = YeastData();
@@ -154,4 +211,28 @@ BENCHMARK(BM_LoadGraphBinary);
 }  // namespace
 }  // namespace daf::bench
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), plus a `--smoke` flag: run every benchmark for a
+// token duration so CI can verify the whole suite still executes without
+// paying for stable timings.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool smoke = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::string_view(*it) == "--smoke") {
+      smoke = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  static char min_time_flag[] = "--benchmark_min_time=0.001";
+  if (smoke) args.push_back(min_time_flag);
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,25 +8,29 @@ namespace daf {
 
 Backtracker::Backtracker(const Graph& query, const QueryDag& dag,
                          const CandidateSpace& cs, const WeightArray* weights,
-                         uint32_t data_num_vertices)
+                         uint32_t data_num_vertices, BacktrackScratch* scratch)
     : query_(query),
       dag_(dag),
       cs_(cs),
       weights_(weights),
-      n_(query.NumVertices()) {
-  mapped_cand_idx_.assign(n_, kNotMapped);
-  mapped_vertex_.assign(n_, kInvalidVertex);
-  num_mapped_parents_.assign(n_, 0);
-  extendable_cands_.assign(n_, {});
-  extendable_weight_.assign(n_, 0);
-  is_leaf_.assign(n_, false);
+      n_(query.NumVertices()),
+      s_(scratch != nullptr ? scratch : &inline_scratch_),
+      mapped_cand_idx_(s_->mapped_cand_idx),
+      mapped_vertex_(s_->mapped_vertex),
+      num_mapped_parents_(s_->num_mapped_parents),
+      extendable_cands_(s_->extendable_cands),
+      extendable_weight_(s_->extendable_weight),
+      is_leaf_(s_->is_leaf),
+      mapped_by_(s_->mapped_by),
+      extendable_list_(s_->extendable_list),
+      fs_stack_(s_->fs_stack),
+      fs_empty_(s_->fs_empty),
+      fs_union_(s_->fs_union),
+      failed_classes_(s_->failed_classes),
+      scratch_(s_->intersection_scratch),
+      embedding_buffer_(s_->embedding_buffer) {
+  s_->ResizeForQuery(n_, data_num_vertices);
   for (uint32_t u = 0; u < n_; ++u) is_leaf_[u] = query.degree(u) <= 1;
-  mapped_by_.assign(data_num_vertices, kInvalidVertex);
-  fs_stack_.assign(n_ + 1, Bitset(n_));
-  fs_empty_.assign(n_ + 1, false);
-  fs_union_.assign(n_ + 1, Bitset(n_));
-  failed_classes_.assign(n_ + 1, {});
-  embedding_buffer_.assign(n_, kInvalidVertex);
 }
 
 BacktrackStats Backtracker::Run(const BacktrackOptions& options) {

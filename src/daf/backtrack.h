@@ -9,6 +9,7 @@
 
 #include "daf/boost.h"
 #include "daf/candidate_space.h"
+#include "daf/match_context.h"
 #include "daf/query_dag.h"
 #include "daf/weights.h"
 #include "graph/embedding.h"
@@ -81,15 +82,20 @@ struct BacktrackStats {
 ///
 /// A Backtracker holds per-run scratch state sized to (query, data); it is
 /// single-threaded, but independent instances may run concurrently over a
-/// shared CandidateSpace (see parallel.h).
+/// shared CandidateSpace (see parallel.h). The scratch may be external
+/// (BacktrackScratch, usually handed out by a MatchContext) so that
+/// repeated searches reuse its buffers instead of reallocating.
 class Backtracker {
  public:
   /// `weights` may be null iff the run uses MatchOrder::kCandidateSize.
-  /// `data_num_vertices` sizes the visited table. All referenced objects
-  /// must outlive the Backtracker.
+  /// `data_num_vertices` sizes the visited table. `scratch` (optional, not
+  /// owned) provides the per-run buffers; one scratch serves one
+  /// Backtracker at a time. All referenced objects must outlive the
+  /// Backtracker.
   Backtracker(const Graph& query, const QueryDag& dag,
               const CandidateSpace& cs, const WeightArray* weights,
-              uint32_t data_num_vertices);
+              uint32_t data_num_vertices,
+              BacktrackScratch* scratch = nullptr);
 
   Backtracker(const Backtracker&) = delete;
   Backtracker& operator=(const Backtracker&) = delete;
@@ -98,11 +104,6 @@ class Backtracker {
   BacktrackStats Run(const BacktrackOptions& options);
 
  private:
-  struct FailedClass {
-    uint32_t class_id;
-    Bitset failing_set;  // only meaningful when failing sets are enabled
-  };
-
   void Recurse(uint32_t depth);
   VertexId SelectExtendable() const;
   void ComputeExtendableCandidates(VertexId u);
@@ -129,26 +130,31 @@ class Backtracker {
   BacktrackStats stats_;
   bool stop_ = false;
 
+  // Per-run buffers live in *s_ (external when provided, else the inline
+  // fallback); the references below alias its fields so the search code
+  // reads like the algorithm.
+  BacktrackScratch inline_scratch_;
+  BacktrackScratch* const s_;
   // Per query vertex.
-  std::vector<uint32_t> mapped_cand_idx_;
-  std::vector<VertexId> mapped_vertex_;
-  std::vector<uint32_t> num_mapped_parents_;
-  std::vector<std::vector<uint32_t>> extendable_cands_;
-  std::vector<uint64_t> extendable_weight_;
-  std::vector<bool> is_leaf_;
+  std::vector<uint32_t>& mapped_cand_idx_;
+  std::vector<VertexId>& mapped_vertex_;
+  std::vector<uint32_t>& num_mapped_parents_;
+  std::vector<std::vector<uint32_t>>& extendable_cands_;
+  std::vector<uint64_t>& extendable_weight_;
+  std::vector<bool>& is_leaf_;
   // Per data vertex: query vertex currently mapped to it, or kInvalidVertex.
-  std::vector<VertexId> mapped_by_;
+  std::vector<VertexId>& mapped_by_;
   // LIFO list of vertices that are (or were, while mapped) extendable.
-  std::vector<VertexId> extendable_list_;
+  std::vector<VertexId>& extendable_list_;
   // Failing-set machinery, one slot per recursion depth.
-  std::vector<Bitset> fs_stack_;
-  std::vector<bool> fs_empty_;
-  std::vector<Bitset> fs_union_;
+  std::vector<Bitset>& fs_stack_;
+  std::vector<bool>& fs_empty_;
+  std::vector<Bitset>& fs_union_;
   // DAF-Boost: per-depth record of candidate classes that failed.
-  std::vector<std::vector<FailedClass>> failed_classes_;
+  std::vector<std::vector<FailedClass>>& failed_classes_;
   // Scratch for candidate-set intersections.
-  std::vector<uint32_t> scratch_;
-  std::vector<VertexId> embedding_buffer_;
+  std::vector<uint32_t>& scratch_;
+  std::vector<VertexId>& embedding_buffer_;
   uint64_t deadline_check_countdown_ = 0;
   // Observability (all inert when options_.profile / .progress are unset).
   obs::BacktrackProfile* profile_ = nullptr;

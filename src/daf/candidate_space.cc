@@ -13,27 +13,39 @@ namespace {
 // The neighborhood label frequency profile of a query vertex, in the data
 // graph's label space: (label, count) pairs. Returns false if some neighbor
 // label does not occur in the data graph (no candidate can then match).
+// Both vectors are caller-provided scratch.
 bool QueryNlfProfile(const Graph& query, const QueryDag& dag, VertexId u,
+                     std::vector<Label>* neighbor_labels,
                      std::vector<std::pair<Label, uint32_t>>* profile) {
   profile->clear();
-  std::vector<Label> neighbor_labels;
-  neighbor_labels.reserve(query.degree(u));
+  neighbor_labels->clear();
   for (VertexId w : query.Neighbors(u)) {
     Label l = dag.DataLabel(w);
     if (l == kNoSuchLabel) return false;
-    neighbor_labels.push_back(l);
+    neighbor_labels->push_back(l);
   }
-  std::sort(neighbor_labels.begin(), neighbor_labels.end());
-  for (size_t i = 0; i < neighbor_labels.size();) {
+  std::sort(neighbor_labels->begin(), neighbor_labels->end());
+  for (size_t i = 0; i < neighbor_labels->size();) {
     size_t j = i;
-    while (j < neighbor_labels.size() && neighbor_labels[j] ==
-                                             neighbor_labels[i]) {
+    while (j < neighbor_labels->size() &&
+           (*neighbor_labels)[j] == (*neighbor_labels)[i]) {
       ++j;
     }
-    profile->emplace_back(neighbor_labels[i], static_cast<uint32_t>(j - i));
+    profile->emplace_back((*neighbor_labels)[i],
+                          static_cast<uint32_t>(j - i));
     i = j;
   }
   return true;
+}
+
+// Final-array storage: an arena allocation when `arena` is set, otherwise
+// the CandidateSpace-owned vector (whose heap buffer is stable across
+// moves of the owning object).
+template <typename T>
+T* AllocateFinal(size_t count, Arena* arena, std::vector<T>* own) {
+  if (arena != nullptr) return arena->AllocateArray<T>(count);
+  own->resize(count);
+  return own->data();
 }
 
 }  // namespace
@@ -41,6 +53,21 @@ bool QueryNlfProfile(const Graph& query, const QueryDag& dag, VertexId u,
 CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
                                      const Graph& data,
                                      const Options& options) {
+  CsBuildScratch scratch;
+  return BuildImpl(query, dag, data, options, nullptr, &scratch);
+}
+
+CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
+                                     const Graph& data, const Options& options,
+                                     Arena* arena, CsBuildScratch* scratch) {
+  return BuildImpl(query, dag, data, options, arena, scratch);
+}
+
+CandidateSpace CandidateSpace::BuildImpl(const Graph& query,
+                                         const QueryDag& dag,
+                                         const Graph& data,
+                                         const Options& options, Arena* arena,
+                                         CsBuildScratch* scratch) {
   const int refinement_steps = options.refinement_steps;
   obs::CsProfile* prof = options.profile;
   if (prof != nullptr) prof->Reset();
@@ -48,20 +75,45 @@ CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
   CandidateSpace cs;
   const uint32_t n = query.NumVertices();
   const uint32_t data_n = data.NumVertices();
-  cs.candidates_.assign(n, {});
+  cs.num_vertices_ = n;
 
-  // Candidate membership bitmaps, kept in sync with cs.candidates_.
-  std::vector<Bitset> valid(n, Bitset(data_n));
+  // Candidate membership bitmaps, kept in sync with the candidate segments.
+  if (scratch->valid.size() < n) scratch->valid.resize(n);
+  for (uint32_t u = 0; u < n; ++u) scratch->valid[u].Resize(data_n);
+  std::vector<Bitset>& valid = scratch->valid;
 
-  // --- Initial candidate sets: label + degree + MND + NLF local filters.
+  // --- Initial candidate sets: label + degree + MND + NLF local filters,
+  // staged as per-u segments of one flat buffer.
   // (The paper applies the local filters during the first q_D^{-1} pass;
   // applying them while seeding C_ini is equivalent and cheaper.)
-  std::vector<std::pair<Label, uint32_t>> profile;
+  std::vector<VertexId>& cand_data = scratch->cand_data;
+  std::vector<uint64_t>& cand_offsets = scratch->cand_offsets;
+  cand_data.clear();
+  cand_offsets.assign(n + 1, 0);
+  std::vector<std::pair<Label, uint32_t>>& profile = scratch->nlf_profile;
+  // Lazy per-data-vertex neighbor-label runs. Adjacency lists are sorted by
+  // (label, id), so one O(deg) scan yields the (label, count) runs; every
+  // later NLF check of the same vertex is then a two-pointer merge over two
+  // short sorted arrays instead of per-label binary searches into the
+  // adjacency array.
+  constexpr uint32_t kNoRuns = static_cast<uint32_t>(-1);
+  std::vector<uint32_t>& run_start = scratch->nlf_run_start;
+  std::vector<uint32_t>& run_len = scratch->nlf_run_len;
+  std::vector<Label>& run_labels = scratch->nlf_run_labels;
+  std::vector<uint32_t>& run_counts = scratch->nlf_run_counts;
+  if (options.use_nlf_filter) {
+    run_start.assign(data_n, kNoRuns);
+    run_len.resize(data_n);
+    run_labels.clear();
+    run_counts.clear();
+  }
   for (uint32_t u = 0; u < n; ++u) {
+    cand_offsets[u] = cand_data.size();
     Label dl = dag.DataLabel(u);
     if (dl == kNoSuchLabel) continue;
     profile.clear();
-    if (options.use_nlf_filter && !QueryNlfProfile(query, dag, u, &profile)) {
+    if (options.use_nlf_filter &&
+        !QueryNlfProfile(query, dag, u, &scratch->neighbor_labels, &profile)) {
       continue;  // some neighbor label cannot exist in the data graph
     }
     uint32_t max_nbr_deg = 0;
@@ -80,23 +132,52 @@ CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
         continue;
       }
       bool nlf_ok = true;
-      for (const auto& [label, count] : profile) {
-        uint32_t needed = options.injective ? count : 1;
-        if (data.NeighborLabelCount(v, label) < needed) {
-          nlf_ok = false;
-          break;
+      if (!profile.empty()) {
+        uint32_t rs = run_start[v];
+        if (rs == kNoRuns) {
+          rs = static_cast<uint32_t>(run_labels.size());
+          run_start[v] = rs;
+          for (VertexId w : data.Neighbors(v)) {
+            Label lw = data.label(w);
+            if (run_labels.size() > rs && run_labels.back() == lw) {
+              ++run_counts.back();
+            } else {
+              run_labels.push_back(lw);
+              run_counts.push_back(1);
+            }
+          }
+          run_len[v] = static_cast<uint32_t>(run_labels.size()) - rs;
+        }
+        const Label* rl = run_labels.data() + rs;
+        const uint32_t* rc = run_counts.data() + rs;
+        const uint32_t nruns = run_len[v];
+        uint32_t ri = 0;
+        for (const auto& [label, count] : profile) {
+          while (ri < nruns && rl[ri] < label) ++ri;
+          if (ri == nruns || rl[ri] != label ||
+              rc[ri] < (options.injective ? count : 1)) {
+            nlf_ok = false;
+            break;
+          }
         }
       }
       if (!nlf_ok) {
         if (prof != nullptr) ++prof->nlf_rejected;
         continue;
       }
-      cs.candidates_[u].push_back(v);
+      cand_data.push_back(v);
       valid[u].Set(v);
     }
   }
+  cand_offsets[n] = cand_data.size();
+  std::vector<uint32_t>& cand_size = scratch->cand_size;
+  cand_size.assign(n, 0);
+  for (uint32_t u = 0; u < n; ++u) {
+    cand_size[u] = static_cast<uint32_t>(cand_offsets[u + 1] -
+                                         cand_offsets[u]);
+  }
   if (prof != nullptr) {
-    for (const auto& c : cs.candidates_) prof->initial_candidates += c.size();
+    prof->initial_candidates = cand_data.size();
     prof->seed_ms = stage_timer.ElapsedMs();
     stage_timer.Restart();
   }
@@ -106,9 +187,12 @@ CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
   // topological order of q' is the forward topological order of q_D.
   // Edge labels participate whenever either graph carries them: an
   // unlabeled query edge (label 0) then only matches label-0 data edges.
+  // Removal compacts each vertex's segment in place (the segment start
+  // never moves, only cand_size[u] shrinks).
   const bool check_edge_labels =
       dag.HasEdgeLabels() || data.HasNontrivialEdgeLabels();
   const std::vector<VertexId>& topo = dag.TopologicalOrder();
+  std::vector<Label>& required_edge_label = scratch->required_edge_label;
   for (int step = 0; step < refinement_steps; ++step) {
     const bool use_reversed_dag = (step % 2 == 0);
     Stopwatch pass_timer;
@@ -119,16 +203,15 @@ CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
           use_reversed_dag ? dag.Parents(u) : dag.Children(u);
       if (dp_children.empty()) continue;
       // Query edge labels toward each DP child (all zero when unlabeled).
-      std::vector<Label> required_edge_label(dp_children.size(), 0);
+      required_edge_label.assign(dp_children.size(), 0);
       if (dag.HasEdgeLabels()) {
         for (size_t c = 0; c < dp_children.size(); ++c) {
-          required_edge_label[c] =
-              query.EdgeLabelBetween(u, dp_children[c]);
+          required_edge_label[c] = query.EdgeLabelBetween(u, dp_children[c]);
         }
       }
-      auto& cand = cs.candidates_[u];
-      size_t kept = 0;
-      for (size_t i = 0; i < cand.size(); ++i) {
+      VertexId* cand = cand_data.data() + cand_offsets[u];
+      uint32_t kept = 0;
+      for (uint32_t i = 0; i < cand_size[u]; ++i) {
         VertexId v = cand[i];
         bool survives = true;
         for (size_t c = 0; c < dp_children.size(); ++c) {
@@ -165,7 +248,7 @@ CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
           ++removed;
         }
       }
-      cand.resize(kept);
+      cand_size[u] = kept;
     }
     if (removed > 0) ++cs.effective_refinements_;
     if (prof != nullptr) {
@@ -174,19 +257,43 @@ CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
                                               pass_timer.ElapsedMs()});
     }
   }
+
+  // --- Commit the surviving candidates to their final flat arrays.
+  uint64_t total_candidates = 0;
+  for (uint32_t u = 0; u < n; ++u) total_candidates += cand_size[u];
+  uint64_t* final_offsets =
+      AllocateFinal<uint64_t>(n + 1, arena, &cs.own_cand_offsets_);
+  VertexId* final_cand = AllocateFinal<VertexId>(
+      static_cast<size_t>(total_candidates), arena, &cs.own_cand_data_);
+  uint64_t write = 0;
+  for (uint32_t u = 0; u < n; ++u) {
+    final_offsets[u] = write;
+    const VertexId* seg = cand_data.data() + cand_offsets[u];
+    std::copy(seg, seg + cand_size[u], final_cand + write);
+    write += cand_size[u];
+  }
+  final_offsets[n] = write;
+  cs.cand_offsets_ = final_offsets;
+  cs.cand_data_ = final_cand;
   if (prof != nullptr) {
-    for (const auto& c : cs.candidates_) prof->final_candidates += c.size();
+    prof->final_candidates = total_candidates;
     prof->refine_ms = stage_timer.ElapsedMs();
     stage_timer.Restart();
   }
 
-  // --- Materialize the CS edges N^u_{uc}(v) as candidate-index CSR arrays.
-  cs.edge_offsets_.assign(dag.NumEdges(), {});
-  cs.edge_targets_.assign(dag.NumEdges(), {});
-  std::vector<uint32_t> cand_index(data_n, 0);
+  // --- Materialize the CS edges N^u_{uc}(v), staged as one flat target
+  // buffer plus absolute offsets, then committed like the candidates.
+  std::vector<uint64_t>& edge_seg_base = scratch->edge_seg_base;
+  std::vector<uint64_t>& edge_offsets = scratch->edge_offsets;
+  std::vector<uint32_t>& edge_targets = scratch->edge_targets;
+  edge_seg_base.assign(dag.NumEdges(), 0);
+  edge_offsets.clear();
+  edge_targets.clear();
+  std::vector<uint32_t>& cand_index = scratch->cand_index;
+  cand_index.assign(data_n, 0);
   for (VertexId u : topo) {
     // Index map: data vertex -> candidate index within C(u).
-    const auto& child_cand = cs.candidates_[u];
+    std::span<const VertexId> child_cand = cs.Candidates(u);
     for (uint32_t i = 0; i < child_cand.size(); ++i) {
       cand_index[child_cand[i]] = i;
     }
@@ -196,50 +303,50 @@ CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
     for (size_t pi = 0; pi < parents.size(); ++pi) {
       VertexId p = parents[pi];
       uint32_t edge_id = edge_ids[pi];
-      auto& offsets = cs.edge_offsets_[edge_id];
-      auto& targets = cs.edge_targets_[edge_id];
-      const auto& parent_cand = cs.candidates_[p];
+      edge_seg_base[edge_id] = edge_offsets.size();
+      std::span<const VertexId> parent_cand = cs.Candidates(p);
       const Label required = dag.EdgeLabelOf(edge_id);
-      offsets.assign(parent_cand.size() + 1, 0);
       for (uint32_t ip = 0; ip < parent_cand.size(); ++ip) {
+        edge_offsets.push_back(edge_targets.size());
         if (check_edge_labels) {
           Graph::NeighborSlice slice =
               data.NeighborsWithLabelAndEdges(parent_cand[ip], child_label);
           for (size_t j = 0; j < slice.vertices.size(); ++j) {
             if (slice.edge_labels[j] == required &&
                 valid[u].Test(slice.vertices[j])) {
-              targets.push_back(cand_index[slice.vertices[j]]);
+              edge_targets.push_back(cand_index[slice.vertices[j]]);
             }
           }
         } else {
           for (VertexId vc :
                data.NeighborsWithLabel(parent_cand[ip], child_label)) {
             if (valid[u].Test(vc)) {
-              targets.push_back(cand_index[vc]);
+              edge_targets.push_back(cand_index[vc]);
             }
           }
         }
-        offsets[ip + 1] = targets.size();
       }
+      edge_offsets.push_back(edge_targets.size());
     }
   }
+  uint64_t* final_seg_base = AllocateFinal<uint64_t>(
+      edge_seg_base.size(), arena, &cs.own_edge_seg_base_);
+  std::copy(edge_seg_base.begin(), edge_seg_base.end(), final_seg_base);
+  uint64_t* final_edge_offsets = AllocateFinal<uint64_t>(
+      edge_offsets.size(), arena, &cs.own_edge_offsets_);
+  std::copy(edge_offsets.begin(), edge_offsets.end(), final_edge_offsets);
+  uint32_t* final_targets = AllocateFinal<uint32_t>(
+      edge_targets.size(), arena, &cs.own_edge_targets_);
+  std::copy(edge_targets.begin(), edge_targets.end(), final_targets);
+  cs.edge_seg_base_ = final_seg_base;
+  cs.edge_offsets_ = final_edge_offsets;
+  cs.edge_targets_ = final_targets;
+  cs.num_edge_targets_ = edge_targets.size();
   if (prof != nullptr) {
     prof->edges_materialized = cs.TotalEdges();
     prof->edges_ms = stage_timer.ElapsedMs();
   }
   return cs;
-}
-
-uint64_t CandidateSpace::TotalCandidates() const {
-  uint64_t total = 0;
-  for (const auto& c : candidates_) total += c.size();
-  return total;
-}
-
-uint64_t CandidateSpace::TotalEdges() const {
-  uint64_t total = 0;
-  for (const auto& t : edge_targets_) total += t.size();
-  return total;
 }
 
 }  // namespace daf

@@ -5,9 +5,11 @@
 #include <span>
 #include <vector>
 
+#include "daf/match_context.h"
 #include "daf/query_dag.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
+#include "util/arena.h"
 
 namespace daf {
 
@@ -28,6 +30,14 @@ namespace daf {
 /// lists store candidate indices of the child, sorted ascending, so the
 /// extendable-candidate intersection of Definition 5.2 is a sorted-list
 /// intersection.
+///
+/// Storage is fully flat: one candidate array + one offset array over all
+/// query vertices, and one target array + one absolute offset array over
+/// all CS edges (a two-level CSR, mirroring Graph's own layout). The final
+/// arrays either live in a caller-provided bump arena (the MatchContext
+/// path — allocation-free once warm) or in vectors owned by this object
+/// (the standalone Build overloads). An arena-backed CandidateSpace is
+/// valid only until the arena's next Reset.
 class CandidateSpace {
  public:
   /// Knobs for CS construction, exposed mainly for the ablation studies:
@@ -53,9 +63,19 @@ class CandidateSpace {
     obs::CsProfile* profile = nullptr;
   };
 
-  /// Builds the CS for (query, dag, data).
+  /// Builds the CS for (query, dag, data) with self-owned storage.
   static CandidateSpace Build(const Graph& query, const QueryDag& dag,
                               const Graph& data, const Options& options);
+
+  /// Builds the CS into `arena` using `scratch` as staging buffers (both
+  /// must be non-null). The returned object only *views* the arena memory:
+  /// it is valid until the arena's next Reset, and moving it is cheap.
+  /// Reusing one scratch across queries makes construction allocation-free
+  /// once the buffers are warm. DafMatch drives this overload through its
+  /// MatchContext.
+  static CandidateSpace Build(const Graph& query, const QueryDag& dag,
+                              const Graph& data, const Options& options,
+                              Arena* arena, CsBuildScratch* scratch);
 
   /// Convenience overload: paper defaults with a custom pass count.
   static CandidateSpace Build(const Graph& query, const QueryDag& dag,
@@ -65,19 +85,32 @@ class CandidateSpace {
     return Build(query, dag, data, options);
   }
 
+  CandidateSpace(CandidateSpace&&) = default;
+  CandidateSpace& operator=(CandidateSpace&&) = default;
+  CandidateSpace(const CandidateSpace&) = delete;
+  CandidateSpace& operator=(const CandidateSpace&) = delete;
+
   /// Number of candidates in C(u).
   uint32_t NumCandidates(VertexId u) const {
-    return static_cast<uint32_t>(candidates_[u].size());
+    return static_cast<uint32_t>(cand_offsets_[u + 1] - cand_offsets_[u]);
   }
 
   /// The data vertex of candidate `idx` of query vertex u.
   VertexId CandidateVertex(VertexId u, uint32_t idx) const {
-    return candidates_[u][idx];
+    return cand_data_[cand_offsets_[u] + idx];
   }
 
   /// All candidates of u (data vertices, ascending).
   std::span<const VertexId> Candidates(VertexId u) const {
-    return candidates_[u];
+    return {cand_data_ + cand_offsets_[u],
+            static_cast<size_t>(cand_offsets_[u + 1] - cand_offsets_[u])};
+  }
+
+  /// Segment starts of the per-vertex candidate segments within the flat
+  /// candidate array; n+1 entries. Shared with WeightArray, whose flat
+  /// weight array is indexed by the same offsets.
+  std::span<const uint64_t> CandidateOffsets() const {
+    return {cand_offsets_, static_cast<size_t>(num_vertices_) + 1};
   }
 
   /// N^u_{u_c}(v): candidate *indices* into C(u_c) adjacent (in G) to
@@ -85,27 +118,45 @@ class CandidateSpace {
   /// (see QueryDag::ChildEdgeId). Sorted ascending.
   std::span<const uint32_t> EdgeNeighbors(uint32_t edge_id,
                                           uint32_t parent_idx) const {
-    const auto& offsets = edge_offsets_[edge_id];
-    return {edge_targets_[edge_id].data() + offsets[parent_idx],
-            offsets[parent_idx + 1] - offsets[parent_idx]};
+    const uint64_t* offsets =
+        edge_offsets_ + edge_seg_base_[edge_id] + parent_idx;
+    return {edge_targets_ + offsets[0],
+            static_cast<size_t>(offsets[1] - offsets[0])};
   }
 
   /// Σ_u |C(u)| — the auxiliary-structure size metric of Figure 9.
-  uint64_t TotalCandidates() const;
+  uint64_t TotalCandidates() const { return cand_offsets_[num_vertices_]; }
 
   /// Total number of CS edges (pairs counted once per DAG edge direction).
-  uint64_t TotalEdges() const;
+  uint64_t TotalEdges() const { return num_edge_targets_; }
 
   /// Number of DP passes that removed at least one candidate (diagnostics).
   uint32_t effective_refinements() const { return effective_refinements_; }
 
  private:
-  std::vector<std::vector<VertexId>> candidates_;
-  // Per DAG edge: CSR over parent candidate indices -> child candidate
-  // indices.
-  std::vector<std::vector<uint64_t>> edge_offsets_;
-  std::vector<std::vector<uint32_t>> edge_targets_;
+  CandidateSpace() = default;
+
+  static CandidateSpace BuildImpl(const Graph& query, const QueryDag& dag,
+                                  const Graph& data, const Options& options,
+                                  Arena* arena, CsBuildScratch* scratch);
+
+  // Views over the final flat arrays. When built standalone they point into
+  // the own_* vectors below (stable across moves); when arena-built the
+  // own_* vectors stay empty.
+  const VertexId* cand_data_ = nullptr;
+  const uint64_t* cand_offsets_ = nullptr;   // n+1 entries
+  const uint64_t* edge_seg_base_ = nullptr;  // per edge: base into offsets
+  const uint64_t* edge_offsets_ = nullptr;   // absolute starts into targets
+  const uint32_t* edge_targets_ = nullptr;
+  uint32_t num_vertices_ = 0;
+  uint64_t num_edge_targets_ = 0;
   uint32_t effective_refinements_ = 0;
+
+  std::vector<VertexId> own_cand_data_;
+  std::vector<uint64_t> own_cand_offsets_;
+  std::vector<uint64_t> own_edge_seg_base_;
+  std::vector<uint64_t> own_edge_offsets_;
+  std::vector<uint32_t> own_edge_targets_;
 };
 
 }  // namespace daf

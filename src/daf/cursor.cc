@@ -6,7 +6,8 @@
 namespace daf {
 
 EmbeddingCursor::EmbeddingCursor(const Graph& query, const Graph& data,
-                                 const MatchOptions& options)
+                                 const MatchOptions& options,
+                                 MatchContext* context)
     : channel_(std::make_shared<Channel>()) {
   assert(!options.callback && "the cursor owns the embedding callback");
   std::shared_ptr<Channel> channel = channel_;
@@ -22,9 +23,13 @@ EmbeddingCursor::EmbeddingCursor(const Graph& query, const Graph& data,
     return true;
   };
   // The producer captures `query`/`data` by reference: the cursor's
-  // contract (like Backtracker's) is that both outlive it.
-  producer_ = std::thread([this, &query, &data, producer_options, channel] {
-    MatchResult result = DafMatch(query, data, producer_options);
+  // contract (like Backtracker's) is that both, and any `context`, outlive
+  // it.
+  producer_ = std::thread([this, &query, &data, producer_options, channel,
+                           context] {
+    MatchResult result =
+        context != nullptr ? DafMatch(query, data, producer_options, context)
+                           : DafMatch(query, data, producer_options);
     {
       std::lock_guard<std::mutex> lock(channel->mutex);
       channel->finished = true;

@@ -35,8 +35,15 @@ class EmbeddingCursor {
   /// Starts the search. `options.callback` must be empty (the cursor owns
   /// the delivery channel); all other options (limit, order, failing sets,
   /// time limit, injective, ...) apply as in DafMatch.
+  ///
+  /// `context` (optional) is the MatchContext the producer's search runs
+  /// in; it must outlive the cursor and — since the producer thread uses
+  /// it for the cursor's whole lifetime — must not be shared with any
+  /// concurrent match run or live cursor. Reusing one context across
+  /// *sequential* cursors keeps enumeration allocation-free once warm.
   EmbeddingCursor(const Graph& query, const Graph& data,
-                  const MatchOptions& options = {});
+                  const MatchOptions& options = {},
+                  MatchContext* context = nullptr);
 
   /// Stops the underlying search if still running.
   ~EmbeddingCursor();

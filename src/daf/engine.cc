@@ -1,14 +1,36 @@
 #include "daf/engine.h"
 
 #include "daf/candidate_space.h"
+#include "daf/match_context.h"
 #include "daf/query_dag.h"
 #include "daf/weights.h"
 #include "util/timer.h"
 
 namespace daf {
 
+namespace {
+
+// Copies the context arena's counters into the profile's memory section.
+void FillMemoryProfile(obs::SearchProfile* profile,
+                       const MatchContext& context) {
+  if (profile == nullptr) return;
+  const ArenaStats& stats = context.arena_stats();
+  profile->memory.arena_bytes = stats.bytes_used;
+  profile->memory.arena_peak_bytes = stats.peak_bytes;
+  profile->memory.arena_blocks_acquired = stats.blocks_acquired;
+  profile->memory.arena_capacity_bytes = stats.capacity_bytes;
+}
+
+}  // namespace
+
 MatchResult DafMatch(const Graph& query, const Graph& data,
                      const MatchOptions& options) {
+  MatchContext context;
+  return DafMatch(query, data, options, &context);
+}
+
+MatchResult DafMatch(const Graph& query, const Graph& data,
+                     const MatchOptions& options, MatchContext* context) {
   MatchResult result;
   if (query.NumVertices() == 0) {
     result.ok = false;
@@ -18,6 +40,8 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
 
   obs::SearchProfile* profile = options.profile;
   if (profile != nullptr) profile->Reset();
+  // The arena epoch of this run: invalidates the previous run's CS/weights.
+  context->arena().Reset();
 
   Deadline deadline(options.time_limit_ms);
   Stopwatch preprocess_timer;
@@ -33,7 +57,8 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
   cs_options.use_mnd_filter = options.use_mnd_filter;
   cs_options.injective = options.injective;
   cs_options.profile = profile != nullptr ? &profile->cs : nullptr;
-  CandidateSpace cs = CandidateSpace::Build(query, dag, data, cs_options);
+  CandidateSpace cs = CandidateSpace::Build(
+      query, dag, data, cs_options, &context->arena(), &context->cs_scratch());
   if (profile != nullptr) profile->cs_build_ms = stage_timer.ElapsedMs();
   result.cs_candidates = cs.TotalCandidates();
   result.cs_edges = cs.TotalEdges();
@@ -43,6 +68,7 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
       // The CS certifies negativity: no search needed (Appendix A.3).
       result.cs_certified_negative = true;
       result.preprocess_ms = preprocess_timer.ElapsedMs();
+      FillMemoryProfile(profile, *context);
       return result;
     }
   }
@@ -52,13 +78,14 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
     // with populated timers instead of entering a doomed search.
     result.timed_out = true;
     result.preprocess_ms = preprocess_timer.ElapsedMs();
+    FillMemoryProfile(profile, *context);
     return result;
   }
 
   WeightArray weights;
   if (options.order == MatchOrder::kPathSize) {
     stage_timer.Restart();
-    weights = WeightArray::Compute(dag, cs);
+    weights = WeightArray::Compute(dag, cs, &context->arena());
     if (profile != nullptr) profile->weights_ms = stage_timer.ElapsedMs();
   }
   result.preprocess_ms = preprocess_timer.ElapsedMs();
@@ -67,7 +94,7 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
   Backtracker backtracker(query, dag, cs,
                           options.order == MatchOrder::kPathSize ? &weights
                                                                  : nullptr,
-                          data.NumVertices());
+                          data.NumVertices(), &context->backtrack_scratch(0));
   BacktrackOptions bt;
   bt.order = options.order;
   bt.use_failing_sets = options.use_failing_sets;
@@ -83,6 +110,7 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
   BacktrackStats stats = backtracker.Run(bt);
   result.search_ms = search_timer.ElapsedMs();
   if (profile != nullptr) profile->search_ms = result.search_ms;
+  FillMemoryProfile(profile, *context);
 
   result.embeddings = stats.embeddings;
   result.recursive_calls = stats.recursive_calls;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "daf/backtrack.h"
+#include "daf/match_context.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
 
@@ -72,9 +73,20 @@ struct MatchResult {
   bool Complete() const { return ok && !limit_reached && !timed_out; }
 };
 
-/// Runs DAF end-to-end on (query, data). The query must be non-empty;
+/// Runs DAF end-to-end on (query, data) using `context` for all per-query
+/// memory: the flat CS and weight arrays come out of its bump arena, and
+/// the backtracker's tables out of its reusable scratch. Repeated calls
+/// with the same context reuse that memory — the second and every later
+/// call on a warmed context performs zero arena block allocations (see
+/// MatchContext and SearchProfile::memory). `context` must be non-null and
+/// must not serve two concurrent calls. The query must be non-empty;
 /// disconnected queries are supported via per-component query DAGs (an
 /// extension over the paper, which assumes connected graphs).
+MatchResult DafMatch(const Graph& query, const Graph& data,
+                     const MatchOptions& options, MatchContext* context);
+
+/// Convenience overload creating a fresh context per call (one-shot
+/// matching; long-lived callers should hold a MatchContext instead).
 MatchResult DafMatch(const Graph& query, const Graph& data,
                      const MatchOptions& options = {});
 

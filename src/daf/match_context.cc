@@ -1,0 +1,49 @@
+#include "daf/match_context.h"
+
+namespace daf {
+
+namespace {
+
+// Re-dimensions `bitsets` to `count` bitsets of `bits` bits each, keeping
+// the capacity of both the outer vector and each bitset's word storage.
+void ResizeBitsets(std::vector<Bitset>* bitsets, size_t count, size_t bits) {
+  if (bitsets->size() < count) bitsets->resize(count);
+  for (size_t i = 0; i < count; ++i) (*bitsets)[i].Resize(bits);
+}
+
+}  // namespace
+
+void BacktrackScratch::ResizeForQuery(uint32_t n, uint32_t data_n) {
+  mapped_cand_idx.assign(n, static_cast<uint32_t>(-1));
+  mapped_vertex.assign(n, kInvalidVertex);
+  num_mapped_parents.assign(n, 0);
+  if (extendable_cands.size() < n) extendable_cands.resize(n);
+  extendable_weight.assign(n, 0);
+  is_leaf.assign(n, false);
+  mapped_by.assign(data_n, kInvalidVertex);
+  extendable_list.clear();
+  ResizeBitsets(&fs_stack, n + 1, n);
+  fs_empty.assign(n + 1, false);
+  ResizeBitsets(&fs_union, n + 1, n);
+  if (failed_classes.size() < n + 1) failed_classes.resize(n + 1);
+  embedding_buffer.assign(n, kInvalidVertex);
+}
+
+BacktrackScratch& MatchContext::backtrack_scratch(uint32_t thread) {
+  if (backtrack_scratch_.size() <= thread) {
+    backtrack_scratch_.resize(thread + 1);
+  }
+  return backtrack_scratch_[thread];
+}
+
+void MatchContext::EnsureThreads(uint32_t count) {
+  if (backtrack_scratch_.size() < count) backtrack_scratch_.resize(count);
+}
+
+void MatchContext::Trim() {
+  arena_.Release();
+  cs_scratch_ = CsBuildScratch{};
+  backtrack_scratch_.clear();
+}
+
+}  // namespace daf

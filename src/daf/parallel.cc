@@ -13,9 +13,25 @@
 
 namespace daf {
 
+namespace {
+
+// Copies the context arena's counters into the profile's memory section.
+void FillMemoryProfile(obs::SearchProfile* profile,
+                       const MatchContext& context) {
+  if (profile == nullptr) return;
+  const ArenaStats& stats = context.arena_stats();
+  profile->memory.arena_bytes = stats.bytes_used;
+  profile->memory.arena_peak_bytes = stats.peak_bytes;
+  profile->memory.arena_blocks_acquired = stats.blocks_acquired;
+  profile->memory.arena_capacity_bytes = stats.capacity_bytes;
+}
+
+}  // namespace
+
 ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
                                      const MatchOptions& options,
-                                     uint32_t num_threads) {
+                                     uint32_t num_threads,
+                                     MatchContext* context) {
   ParallelMatchResult result;
   if (num_threads == 0) num_threads = 1;
   if (query.NumVertices() == 0) {
@@ -23,6 +39,9 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
     result.error = "empty query graph";
     return result;
   }
+  MatchContext local_context;
+  if (context == nullptr) context = &local_context;
+  context->arena().Reset();
 
   obs::SearchProfile* profile = options.profile;
   if (profile != nullptr) {
@@ -44,7 +63,8 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
   cs_options.use_mnd_filter = options.use_mnd_filter;
   cs_options.injective = options.injective;
   cs_options.profile = profile != nullptr ? &profile->cs : nullptr;
-  CandidateSpace cs = CandidateSpace::Build(query, dag, data, cs_options);
+  CandidateSpace cs = CandidateSpace::Build(
+      query, dag, data, cs_options, &context->arena(), &context->cs_scratch());
   if (profile != nullptr) profile->cs_build_ms = stage_timer.ElapsedMs();
   result.cs_candidates = cs.TotalCandidates();
   result.cs_edges = cs.TotalEdges();
@@ -52,19 +72,21 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
     if (cs.NumCandidates(u) == 0) {
       result.cs_certified_negative = true;
       result.preprocess_ms = preprocess_timer.ElapsedMs();
+      FillMemoryProfile(profile, *context);
       return result;
     }
   }
   if (deadline.Expired()) {
     result.timed_out = true;
     result.preprocess_ms = preprocess_timer.ElapsedMs();
+    FillMemoryProfile(profile, *context);
     return result;
   }
   WeightArray weights;
   const bool path_order = options.order == MatchOrder::kPathSize;
   if (path_order) {
     stage_timer.Restart();
-    weights = WeightArray::Compute(dag, cs);
+    weights = WeightArray::Compute(dag, cs, &context->arena());
     if (profile != nullptr) profile->weights_ms = stage_timer.ElapsedMs();
   }
   result.preprocess_ms = preprocess_timer.ElapsedMs();
@@ -96,10 +118,14 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
   std::vector<BacktrackStats> stats(num_threads);
   std::vector<std::thread> workers;
   workers.reserve(num_threads);
+  // Pre-create every worker's scratch: the vector must not reallocate
+  // while workers hold references into it.
+  context->EnsureThreads(num_threads);
   for (uint32_t t = 0; t < num_threads; ++t) {
     workers.emplace_back([&, t]() {
       Backtracker backtracker(query, dag, cs, path_order ? &weights : nullptr,
-                              data.NumVertices());
+                              data.NumVertices(),
+                              &context->backtrack_scratch(t));
       BacktrackOptions bt;
       bt.order = options.order;
       bt.use_failing_sets = options.use_failing_sets;
@@ -138,6 +164,7 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
     }
     profile->thread_profiles = std::move(thread_profiles);
   }
+  FillMemoryProfile(profile, *context);
   return result;
 }
 

@@ -30,9 +30,15 @@ struct ParallelMatchResult : MatchResult {
 /// and the per-worker breakdowns in `profile->thread_profiles` (the merge
 /// equals the element-wise sum of the per-thread profiles, with peak depth
 /// taken as the max).
+///
+/// `context` (optional) carries the arena for the shared flat CS/weight
+/// arrays and one BacktrackScratch per worker; reusing it across calls
+/// gives the same zero-steady-state-allocation behavior as DafMatch with a
+/// warm context. Null runs in a private context.
 ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
                                      const MatchOptions& options,
-                                     uint32_t num_threads);
+                                     uint32_t num_threads,
+                                     MatchContext* context = nullptr);
 
 }  // namespace daf
 

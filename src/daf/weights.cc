@@ -18,27 +18,38 @@ uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
 }  // namespace
 
 WeightArray WeightArray::Compute(const QueryDag& dag,
-                                 const CandidateSpace& cs) {
+                                 const CandidateSpace& cs, Arena* arena) {
   WeightArray w;
   const uint32_t n = dag.NumVertices();
-  w.weights_.assign(n, {});
+  const std::span<const uint64_t> offsets = cs.CandidateOffsets();
+  w.offsets_ = offsets.data();
+  const size_t total = cs.TotalCandidates();
+  uint64_t* flat;
+  if (arena != nullptr) {
+    flat = arena->AllocateArray<uint64_t>(total);
+  } else {
+    w.own_flat_.resize(total);
+    flat = w.own_flat_.data();
+  }
+  w.flat_ = flat;
   const std::vector<VertexId>& topo = dag.TopologicalOrder();
   // Bottom-up: children before parents.
   for (uint32_t pos = n; pos-- > 0;) {
     VertexId u = topo[pos];
     const uint32_t num_cand = cs.NumCandidates(u);
-    auto& wu = w.weights_[u];
-    wu.assign(num_cand, 1);
+    uint64_t* wu = flat + offsets[u];
+    std::fill(wu, wu + num_cand, uint64_t{1});
     bool first_child = true;
     const std::vector<VertexId>& children = dag.Children(u);
     for (uint32_t cpos = 0; cpos < children.size(); ++cpos) {
       VertexId c = children[cpos];
       if (dag.Parents(c).size() != 1) continue;  // not a tree-like child
+      const uint64_t* wc = flat + offsets[c];
       uint32_t edge_id = dag.ChildEdgeId(u, cpos);
       for (uint32_t iv = 0; iv < num_cand; ++iv) {
         uint64_t sum = 0;
         for (uint32_t ic : cs.EdgeNeighbors(edge_id, iv)) {
-          sum = SaturatingAdd(sum, w.weights_[c][ic]);
+          sum = SaturatingAdd(sum, wc[ic]);
         }
         wu[iv] = first_child ? sum : std::min(wu[iv], sum);
       }

@@ -6,6 +6,7 @@
 
 #include "daf/candidate_space.h"
 #include "daf/query_dag.h"
+#include "util/arena.h"
 
 namespace daf {
 
@@ -20,18 +21,36 @@ namespace daf {
 ///   W_u(v)       = min_i W_{u,c_i}(v),
 /// and W_u(v) = 1 when u has no single-parent child. Sums saturate at
 /// UINT64_MAX (the values are only compared, never reported).
+///
+/// Storage is one flat array indexed by the CS's candidate offsets
+/// (CandidateSpace::CandidateOffsets), optionally living in the same bump
+/// arena as the CS itself; an arena-backed WeightArray shares the CS's
+/// lifetime (valid until the arena's next Reset).
 class WeightArray {
  public:
-  /// Computes W over the given CS.
-  static WeightArray Compute(const QueryDag& dag, const CandidateSpace& cs);
+  WeightArray() = default;
+
+  /// Computes W over the given CS. With a non-null `arena` the flat array
+  /// is arena-allocated (the MatchContext path); otherwise it is owned by
+  /// the returned object. The CS must outlive the WeightArray either way
+  /// (the candidate offsets are shared, not copied).
+  static WeightArray Compute(const QueryDag& dag, const CandidateSpace& cs,
+                             Arena* arena = nullptr);
+
+  WeightArray(WeightArray&&) = default;
+  WeightArray& operator=(WeightArray&&) = default;
+  WeightArray(const WeightArray&) = delete;
+  WeightArray& operator=(const WeightArray&) = delete;
 
   /// W_u(v) for candidate index `idx` of query vertex u.
   uint64_t Weight(VertexId u, uint32_t idx) const {
-    return weights_[u][idx];
+    return flat_[offsets_[u] + idx];
   }
 
  private:
-  std::vector<std::vector<uint64_t>> weights_;
+  const uint64_t* flat_ = nullptr;     // one weight per CS candidate
+  const uint64_t* offsets_ = nullptr;  // the CS's candidate offsets
+  std::vector<uint64_t> own_flat_;     // backing store when no arena given
 };
 
 }  // namespace daf

@@ -197,6 +197,12 @@ void WriteProfile(JsonWriter& w, const SearchProfile& profile) {
   w.EndObject();
   w.Key("cs");
   WriteCsProfile(w, profile.cs);
+  w.Key("memory").BeginObject();
+  w.Key("arena_bytes").Uint(profile.memory.arena_bytes);
+  w.Key("arena_peak_bytes").Uint(profile.memory.arena_peak_bytes);
+  w.Key("arena_blocks_acquired").Uint(profile.memory.arena_blocks_acquired);
+  w.Key("arena_capacity_bytes").Uint(profile.memory.arena_capacity_bytes);
+  w.EndObject();
   w.Key("backtrack");
   WriteBacktrackProfile(w, profile.backtrack);
   w.Key("threads").Uint(profile.threads);

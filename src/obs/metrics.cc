@@ -30,6 +30,7 @@ void SearchProfile::Reset() {
   weights_ms = 0;
   search_ms = 0;
   cs.Reset();
+  memory.Reset();
   backtrack.Reset();
   thread_profiles.clear();
   threads = 1;

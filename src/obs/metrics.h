@@ -84,6 +84,20 @@ struct BacktrackProfile {
   void Reset() { *this = BacktrackProfile{}; }
 };
 
+/// Arena/allocation counters of the MatchContext a run executed in
+/// (mirrored from daf::ArenaStats after the run). `arena_blocks_acquired`
+/// is the number of system allocations the context's arena performed for
+/// this run — 0 on the second and every later run with a warm context (the
+/// zero-steady-state-allocation contract of MatchContext reuse).
+struct MemoryProfile {
+  uint64_t arena_bytes = 0;            // bytes of flat CS/weight arrays
+  uint64_t arena_peak_bytes = 0;       // high-water over the context's life
+  uint64_t arena_blocks_acquired = 0;  // system allocations this run
+  uint64_t arena_capacity_bytes = 0;   // capacity retained by the context
+
+  void Reset() { *this = MemoryProfile{}; }
+};
+
 /// A sampled point-in-time view of a running search, delivered through the
 /// low-overhead progress hook (see ProgressFn in MatchOptions /
 /// BacktrackOptions). Sampling piggybacks on the deadline-check countdown
@@ -110,6 +124,9 @@ struct SearchProfile {
   double search_ms = 0;     // backtracking (all workers, wall time)
 
   CsProfile cs;
+  /// Arena counters of the run's MatchContext (always filled — one-shot
+  /// DafMatch calls run in a private context).
+  MemoryProfile memory;
   /// Backtracking counters; in parallel runs this is the merge of every
   /// worker's profile.
   BacktrackProfile backtrack;

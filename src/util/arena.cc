@@ -1,0 +1,45 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace daf {
+
+void Arena::NextBlock(size_t bytes) {
+  // Prefer a retained block that can hold the request; swap it adjacent to
+  // the current one so a replayed allocation sequence walks the same blocks.
+  size_t start = blocks_.empty() ? 0 : current_ + 1;
+  for (size_t i = start; i < blocks_.size(); ++i) {
+    if (blocks_[i].capacity >= bytes) {
+      if (i != start) std::swap(blocks_[i], blocks_[start]);
+      current_ = start;
+      offset_ = 0;
+      return;
+    }
+  }
+  size_t capacity = std::max(bytes, next_block_bytes_);
+  next_block_bytes_ = capacity * 2;
+  Block block;
+  block.data = std::unique_ptr<char[]>(new char[capacity]);
+  block.capacity = capacity;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  offset_ = 0;
+  ++stats_.blocks_acquired;
+  stats_.capacity_bytes += capacity;
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  stats_.bytes_used = 0;
+  stats_.blocks_acquired = 0;
+}
+
+void Arena::Release() {
+  Reset();
+  blocks_.clear();
+  stats_.capacity_bytes = 0;
+}
+
+}  // namespace daf

@@ -1,0 +1,111 @@
+#ifndef DAF_UTIL_ARENA_H_
+#define DAF_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace daf {
+
+/// Allocation counters of an Arena. `bytes_used` and `blocks_acquired`
+/// describe the current epoch (since the last Reset); the rest describe the
+/// arena's whole lifetime. A warmed-up arena serving a workload it has seen
+/// before reports blocks_acquired == 0 — the "zero steady-state
+/// allocations" property the match engine relies on (see
+/// docs/PERFORMANCE.md).
+struct ArenaStats {
+  uint64_t bytes_used = 0;       // bytes handed out since the last Reset
+  uint64_t blocks_acquired = 0;  // system blocks acquired since the last Reset
+  uint64_t peak_bytes = 0;       // max bytes_used over any epoch so far
+  uint64_t capacity_bytes = 0;   // total block capacity currently retained
+};
+
+/// A bump (monotonic) arena: allocations advance a pointer within
+/// geometrically growing blocks; `Reset` recycles all blocks at once without
+/// returning them to the system. There is no per-object deallocation, so
+/// only trivially destructible types may live in it.
+///
+/// The match engine uses one arena per MatchContext to hold the flat
+/// candidate-space arrays and the weight array of a query: construction
+/// writes each array exactly once, the whole structure dies at the next
+/// Reset, and after the first few queries the retained blocks absorb every
+/// request — steady state performs no heap allocation at all.
+class Arena {
+ public:
+  /// `first_block_bytes` sizes the first block acquired (later blocks grow
+  /// geometrically). No memory is acquired until the first allocation.
+  explicit Arena(size_t first_block_bytes = kDefaultFirstBlockBytes)
+      : next_block_bytes_(first_block_bytes < kMinBlockBytes
+                              ? kMinBlockBytes
+                              : first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// An uninitialized array of `count` Ts, aligned for T, valid until the
+  /// next Reset. `count == 0` returns a non-null aligned pointer.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destructed");
+    return static_cast<T*>(AllocateBytes(count * sizeof(T), alignof(T)));
+  }
+
+  /// Raw uninitialized storage; `align` must be a power of two <= 16.
+  void* AllocateBytes(size_t bytes, size_t align);
+
+  /// Invalidates every allocation and makes the retained blocks available
+  /// again; epoch counters (bytes_used, blocks_acquired) restart at zero.
+  void Reset();
+
+  /// Frees all blocks back to the system (Reset plus releasing capacity).
+  void Release();
+
+  const ArenaStats& stats() const { return stats_; }
+
+ private:
+  static constexpr size_t kDefaultFirstBlockBytes = size_t{1} << 16;
+  static constexpr size_t kMinBlockBytes = 256;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t capacity = 0;
+  };
+
+  // Acquires (or reuses) a block able to hold `bytes` and makes it current.
+  void NextBlock(size_t bytes);
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  // index of the active block (blocks_ may be empty)
+  size_t offset_ = 0;   // bump position within the active block
+  size_t next_block_bytes_;
+  ArenaStats stats_;
+};
+
+inline void* Arena::AllocateBytes(size_t bytes, size_t align) {
+  if (!blocks_.empty()) {
+    size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+    if (aligned + bytes <= blocks_[current_].capacity) {
+      offset_ = aligned + bytes;
+      stats_.bytes_used += bytes;
+      if (stats_.bytes_used > stats_.peak_bytes) {
+        stats_.peak_bytes = stats_.bytes_used;
+      }
+      return blocks_[current_].data.get() + aligned;
+    }
+  }
+  NextBlock(bytes + align);
+  size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+  offset_ = aligned + bytes;
+  stats_.bytes_used += bytes;
+  if (stats_.bytes_used > stats_.peak_bytes) {
+    stats_.peak_bytes = stats_.bytes_used;
+  }
+  return blocks_[current_].data.get() + aligned;
+}
+
+}  // namespace daf
+
+#endif  // DAF_UTIL_ARENA_H_

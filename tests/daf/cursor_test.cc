@@ -26,6 +26,7 @@ TEST(CursorTest, EnumeratesExactlyTheEmbeddingSet) {
   EmbeddingCursor cursor(query, data);
   EmbeddingSet found;
   while (auto embedding = cursor.Next()) {
+    EXPECT_TRUE(daf::testing::IsValidEmbedding(query, data, *embedding));
     found.insert(*embedding);
   }
   EXPECT_EQ(found, expected);
@@ -95,7 +96,11 @@ TEST(CursorTest, AgreesWithBruteForceOnRandomInstances) {
     baselines::BruteForceMatch(extracted->query, data, brute);
     EmbeddingCursor cursor(extracted->query, data);
     EmbeddingSet found;
-    while (auto embedding = cursor.Next()) found.insert(*embedding);
+    while (auto embedding = cursor.Next()) {
+      EXPECT_TRUE(
+          daf::testing::IsValidEmbedding(extracted->query, data, *embedding));
+      found.insert(*embedding);
+    }
     EXPECT_EQ(found, expected);
   }
 }
@@ -106,6 +111,117 @@ TEST(CursorTest, NegativeQueryYieldsNothing) {
   EmbeddingCursor cursor(query, data);
   EXPECT_FALSE(cursor.Next().has_value());
   EXPECT_TRUE(cursor.Finish().cs_certified_negative);
+}
+
+// Resume semantics: pulling past the limit must not block or produce
+// extras — the enumeration is exhausted at `limit` and every later Next()
+// (including after Finish()) keeps returning nullopt.
+TEST(CursorTest, PullingPastLimitKeepsReturningNullopt) {
+  Graph data = MakeClique({0, 0, 0, 0, 0, 0});
+  Graph query = MakeCycle({0, 0, 0});  // 120 embeddings
+  MatchOptions options;
+  options.limit = 4;
+  EmbeddingCursor limited(query, data, options);
+  int produced = 0;
+  for (int pull = 0; pull < 12; ++pull) {
+    auto embedding = limited.Next();
+    if (embedding) {
+      EXPECT_TRUE(daf::testing::IsValidEmbedding(query, data, *embedding));
+      ++produced;
+    } else {
+      EXPECT_GE(pull, 4);
+    }
+  }
+  EXPECT_EQ(produced, 4);
+  EXPECT_TRUE(limited.Finish().limit_reached);
+  EXPECT_FALSE(limited.Next().has_value());  // resume after Finish: still dry
+}
+
+// Two cursors enumerating the same (query, data) pair concurrently must
+// not interfere: each one's pull sequence is an independent, complete
+// enumeration even when the pulls interleave arbitrarily.
+TEST(CursorTest, InterleavedCursorsEnumerateIndependently) {
+  Graph data = MakeClique({0, 0, 0, 0, 0});
+  Graph query = MakeCycle({0, 0, 0});
+  EmbeddingSet expected;
+  MatchOptions collect;
+  collect.callback = Collector(&expected);
+  DafMatch(query, data, collect);
+  ASSERT_FALSE(expected.empty());
+
+  EmbeddingCursor a(query, data);
+  EmbeddingCursor b(query, data);
+  EmbeddingSet found_a;
+  EmbeddingSet found_b;
+  // Unbalanced interleaving: a advances twice per b step.
+  bool a_done = false;
+  bool b_done = false;
+  while (!a_done || !b_done) {
+    for (int k = 0; k < 2 && !a_done; ++k) {
+      if (auto e = a.Next()) {
+        found_a.insert(*e);
+      } else {
+        a_done = true;
+      }
+    }
+    if (!b_done) {
+      if (auto e = b.Next()) {
+        found_b.insert(*e);
+      } else {
+        b_done = true;
+      }
+    }
+  }
+  EXPECT_EQ(found_a, expected);
+  EXPECT_EQ(found_b, expected);
+  EXPECT_TRUE(a.Finish().Complete());
+  EXPECT_TRUE(b.Finish().Complete());
+}
+
+// A timeout that fires mid-enumeration ends the stream cleanly: the pulls
+// up to the cutoff are valid embeddings, the cursor then drains to nullopt
+// (no hang), and the final result reports timed_out.
+TEST(CursorTest, TimeoutMidEnumerationEndsStreamCleanly) {
+  // ~40^7 embeddings: cannot complete within the time limit.
+  Graph data = MakeClique(std::vector<Label>(40, 0));
+  Graph query = MakeClique(std::vector<Label>(7, 0));
+  MatchOptions options;
+  options.time_limit_ms = 50;
+  EmbeddingCursor cursor(query, data, options);
+  uint64_t produced = 0;
+  while (auto embedding = cursor.Next()) {
+    if (produced < 16) {  // spot-check validity, don't drown in asserts
+      EXPECT_TRUE(daf::testing::IsValidEmbedding(query, data, *embedding));
+    }
+    ++produced;
+  }
+  const MatchResult& result = cursor.Finish();
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_FALSE(result.Complete());
+  EXPECT_FALSE(cursor.Next().has_value());  // stream stays dry after timeout
+}
+
+// Sequential cursors may share one MatchContext (the warm-engine path);
+// each enumeration is complete and correct.
+TEST(CursorTest, SequentialCursorsShareAMatchContext) {
+  Graph data = MakeClique({0, 0, 0, 0, 0});
+  Graph query = MakeCycle({0, 0, 0});
+  EmbeddingSet expected;
+  MatchOptions collect;
+  collect.callback = Collector(&expected);
+  DafMatch(query, data, collect);
+
+  MatchContext context;
+  for (int round = 0; round < 3; ++round) {
+    EmbeddingCursor cursor(query, data, {}, &context);
+    EmbeddingSet found;
+    while (auto embedding = cursor.Next()) found.insert(*embedding);
+    EXPECT_EQ(found, expected) << "round " << round;
+    EXPECT_TRUE(cursor.Finish().Complete());
+  }
+  // The later rounds ran entirely out of retained memory.
+  EXPECT_EQ(context.arena_stats().blocks_acquired, 0u);
 }
 
 }  // namespace

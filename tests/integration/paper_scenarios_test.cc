@@ -52,9 +52,13 @@ TEST(PaperScenariosTest, RedundantCartesianProductsAvoided) {
   edges.emplace_back(c_vertices[0], d_vertices[0]);  // the only C-D edge
   Graph data = Graph::FromEdges(std::move(labels), edges);
 
-  MatchResult daf_result = DafMatch(query, data);
+  daf::testing::EmbeddingSet found;
+  MatchOptions verify_opts;
+  verify_opts.callback = daf::testing::VerifyingCollector(query, data, &found);
+  MatchResult daf_result = DafMatch(query, data, verify_opts);
   ASSERT_TRUE(daf_result.ok);
   EXPECT_EQ(daf_result.embeddings, 1u);
+  EXPECT_EQ(found.size(), 1u);
   // The CS keeps only the one viable (C, D) pair, so the search tree stays
   // tiny — no 30 x 40 Cartesian product.
   EXPECT_LT(daf_result.recursive_calls, 20u);
@@ -102,12 +106,17 @@ TEST(PaperScenariosTest, QuerySetPipelineRuns) {
   workload::QuerySet set = workload::MakeQuerySet(data, 8, true, 5, rng);
   ASSERT_EQ(set.queries.size(), 5u);
   for (const Graph& q : set.queries) {
+    daf::testing::EmbeddingSet found;
     MatchOptions opts;
     opts.limit = 1000;
     opts.time_limit_ms = 10000;
+    // Every enumerated embedding is verified against the graphs, not just
+    // counted.
+    opts.callback = daf::testing::VerifyingCollector(q, data, &found);
     MatchResult result = DafMatch(q, data, opts);
     ASSERT_TRUE(result.ok);
     EXPECT_GE(result.embeddings, 1u);  // positive by construction
+    EXPECT_EQ(found.size(), result.embeddings);
   }
 }
 

@@ -1,9 +1,12 @@
 #ifndef DAF_TESTS_TEST_UTIL_H_
 #define DAF_TESTS_TEST_UTIL_H_
 
+#include <gtest/gtest.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "graph/embedding.h"
@@ -61,6 +64,80 @@ using EmbeddingSet = std::set<std::vector<VertexId>>;
 /// Callback that records every embedding into `out`.
 inline EmbeddingCallback Collector(EmbeddingSet* out) {
   return [out](std::span<const VertexId> embedding) {
+    out->emplace(embedding.begin(), embedding.end());
+    return true;
+  };
+}
+
+/// Verifies that `mapping` is a genuine embedding of `query` in `data`:
+/// one data vertex per query vertex, injective (unless `injective` is
+/// false — homomorphism mode), label-preserving, and with every query edge
+/// realized by a data edge carrying the same edge label. Labels are
+/// compared through `original_label`, since the two graphs remap their
+/// dense label spaces independently.
+inline ::testing::AssertionResult IsValidEmbedding(
+    const Graph& query, const Graph& data, std::span<const VertexId> mapping,
+    bool injective = true) {
+  if (mapping.size() != query.NumVertices()) {
+    return ::testing::AssertionFailure()
+           << "mapping has " << mapping.size() << " entries for a "
+           << query.NumVertices() << "-vertex query";
+  }
+  for (VertexId u = 0; u < query.NumVertices(); ++u) {
+    if (mapping[u] >= data.NumVertices()) {
+      return ::testing::AssertionFailure()
+             << "M(" << u << ") = " << mapping[u] << " is not a data vertex";
+    }
+    if (query.original_label(query.label(u)) !=
+        data.original_label(data.label(mapping[u]))) {
+      return ::testing::AssertionFailure()
+             << "label mismatch at u=" << u << ": query label "
+             << query.original_label(query.label(u)) << ", data vertex "
+             << mapping[u] << " has label "
+             << data.original_label(data.label(mapping[u]));
+    }
+  }
+  if (injective) {
+    std::vector<VertexId> sorted(mapping.begin(), mapping.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return ::testing::AssertionFailure()
+             << "mapping is not injective: some data vertex is used twice";
+    }
+  }
+  const bool check_edge_labels = query.HasNontrivialEdgeLabels() ||
+                                 data.HasNontrivialEdgeLabels();
+  for (VertexId u = 0; u < query.NumVertices(); ++u) {
+    for (VertexId w : query.Neighbors(u)) {
+      if (w < u) continue;  // each undirected edge once
+      if (check_edge_labels) {
+        Label l = query.EdgeLabelBetween(u, w);
+        if (!data.HasEdgeWithLabel(mapping[u], mapping[w], l)) {
+          return ::testing::AssertionFailure()
+                 << "query edge (" << u << ", " << w << ") with label " << l
+                 << " has no matching data edge (" << mapping[u] << ", "
+                 << mapping[w] << ")";
+        }
+      } else if (!data.HasEdge(mapping[u], mapping[w])) {
+        return ::testing::AssertionFailure()
+               << "query edge (" << u << ", " << w
+               << ") is not realized: no data edge (" << mapping[u] << ", "
+               << mapping[w] << ")";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Callback that verifies every embedding against the graphs (reporting
+/// gtest failures for invalid ones) and records it into `out`.
+inline EmbeddingCallback VerifyingCollector(const Graph& query,
+                                            const Graph& data,
+                                            EmbeddingSet* out,
+                                            bool injective = true) {
+  return [&query, &data, out,
+          injective](std::span<const VertexId> embedding) {
+    EXPECT_TRUE(IsValidEmbedding(query, data, embedding, injective));
     out->emplace(embedding.begin(), embedding.end());
     return true;
   };

@@ -1,0 +1,128 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace daf {
+namespace {
+
+TEST(ArenaTest, FirstAllocationAcquiresABlock) {
+  Arena arena;
+  EXPECT_EQ(arena.stats().capacity_bytes, 0u);  // lazy: nothing until used
+  uint32_t* p = arena.AllocateArray<uint32_t>(10);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 10 * sizeof(uint32_t));  // must be writable
+  EXPECT_EQ(arena.stats().blocks_acquired, 1u);
+  EXPECT_EQ(arena.stats().bytes_used, 10 * sizeof(uint32_t));
+  EXPECT_GT(arena.stats().capacity_bytes, 0u);
+}
+
+TEST(ArenaTest, ZeroCountAllocationReturnsNonNull) {
+  Arena arena;
+  EXPECT_NE(arena.AllocateArray<uint64_t>(0), nullptr);
+}
+
+TEST(ArenaTest, AllocationsAreAlignedForTheirType) {
+  Arena arena;
+  arena.AllocateArray<char>(1);  // misalign the bump pointer
+  uint64_t* p64 = arena.AllocateArray<uint64_t>(3);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p64) % alignof(uint64_t), 0u);
+  arena.AllocateArray<char>(3);
+  uint32_t* p32 = arena.AllocateArray<uint32_t>(5);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p32) % alignof(uint32_t), 0u);
+}
+
+TEST(ArenaTest, AllocationsDoNotOverlap) {
+  Arena arena(256);  // small first block: the sequence spans several blocks
+  std::vector<uint32_t*> arrays;
+  for (uint32_t i = 0; i < 32; ++i) {
+    uint32_t* a = arena.AllocateArray<uint32_t>(100);
+    for (uint32_t j = 0; j < 100; ++j) a[j] = i;
+    arrays.push_back(a);
+  }
+  for (uint32_t i = 0; i < 32; ++i) {
+    for (uint32_t j = 0; j < 100; ++j) {
+      ASSERT_EQ(arrays[i][j], i) << "array " << i << " was clobbered";
+    }
+  }
+  EXPECT_GE(arena.stats().blocks_acquired, 2u);
+}
+
+TEST(ArenaTest, GrowthIsGeometricNotLinear) {
+  Arena arena(256);
+  for (int i = 0; i < 1000; ++i) arena.AllocateArray<uint64_t>(16);
+  // 128 KB served from a 256-byte start: geometric growth needs ~10 blocks,
+  // linear growth would need ~500.
+  EXPECT_LE(arena.stats().blocks_acquired, 16u);
+}
+
+TEST(ArenaTest, ResetMakesAReplayAllocationFree) {
+  Arena arena(256);
+  auto run_epoch = [&arena] {
+    for (int i = 0; i < 50; ++i) {
+      arena.AllocateArray<uint64_t>(64);
+      arena.AllocateArray<uint32_t>(37);
+      arena.AllocateArray<char>(5);
+    }
+  };
+  run_epoch();
+  ASSERT_GT(arena.stats().blocks_acquired, 0u);
+  const uint64_t capacity = arena.stats().capacity_bytes;
+
+  arena.Reset();
+  EXPECT_EQ(arena.stats().bytes_used, 0u);
+  EXPECT_EQ(arena.stats().blocks_acquired, 0u);
+  EXPECT_EQ(arena.stats().capacity_bytes, capacity);  // blocks retained
+
+  run_epoch();  // identical sequence: served entirely from retained blocks
+  EXPECT_EQ(arena.stats().blocks_acquired, 0u);
+  EXPECT_EQ(arena.stats().capacity_bytes, capacity);
+}
+
+TEST(ArenaTest, SmallerEpochAfterResetAcquiresNothing) {
+  Arena arena(256);
+  for (int i = 0; i < 100; ++i) arena.AllocateArray<uint64_t>(32);
+  arena.Reset();
+  for (int i = 0; i < 10; ++i) arena.AllocateArray<uint64_t>(32);
+  EXPECT_EQ(arena.stats().blocks_acquired, 0u);
+}
+
+TEST(ArenaTest, PeakBytesIsTheEpochHighWaterMark) {
+  Arena arena;
+  arena.AllocateArray<char>(10000);
+  EXPECT_EQ(arena.stats().peak_bytes, 10000u);
+  arena.Reset();
+  arena.AllocateArray<char>(500);
+  EXPECT_EQ(arena.stats().bytes_used, 500u);
+  EXPECT_EQ(arena.stats().peak_bytes, 10000u);  // lifetime, not epoch
+  arena.AllocateArray<char>(12000);
+  EXPECT_EQ(arena.stats().peak_bytes, 12500u);
+}
+
+TEST(ArenaTest, OversizedRequestGetsADedicatedBlock) {
+  Arena arena(256);
+  char* big = arena.AllocateArray<char>(1 << 20);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5a, 1 << 20);
+  EXPECT_GE(arena.stats().capacity_bytes, uint64_t{1} << 20);
+}
+
+TEST(ArenaTest, ReleaseReturnsAllMemoryToTheSystem) {
+  Arena arena;
+  arena.AllocateArray<uint64_t>(1000);
+  ASSERT_GT(arena.stats().capacity_bytes, 0u);
+  arena.Release();
+  EXPECT_EQ(arena.stats().capacity_bytes, 0u);
+  EXPECT_EQ(arena.stats().bytes_used, 0u);
+  // Usable again after a Release: re-warms from scratch.
+  uint32_t* p = arena.AllocateArray<uint32_t>(8);
+  ASSERT_NE(p, nullptr);
+  p[7] = 42;
+  EXPECT_EQ(arena.stats().blocks_acquired, 1u);
+}
+
+}  // namespace
+}  // namespace daf
