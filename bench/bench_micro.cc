@@ -20,6 +20,8 @@
 #include "daf/query_dag.h"
 #include "daf/weights.h"
 #include "graph/query_extract.h"
+#include "util/stop.h"
+#include "util/timer.h"
 #include "workload/datasets.h"
 #include "workload/querygen.h"
 
@@ -174,6 +176,43 @@ void BM_DafMatchFirst1000Warm(benchmark::State& state) {
       static_cast<double>(context.arena_stats().capacity_bytes) / 1024.0);
 }
 BENCHMARK(BM_DafMatchFirst1000Warm)->Arg(20)->Arg(50);
+
+void BM_DafMatchStopConditionArmed(benchmark::State& state) {
+  // Same workload as BM_DafMatchFirst1000Warm but with an armed (never
+  // firing) CancelToken + deadline: compares against the Warm variant to
+  // put a number on the StopCondition poll folded into the search loop's
+  // every-4096-calls cadence. Expected to be within noise.
+  const Graph& data = YeastData();
+  const Graph& query = YeastQuery(static_cast<uint32_t>(state.range(0)));
+  CancelToken cancel;
+  MatchOptions opts;
+  opts.limit = 1000;
+  opts.time_limit_ms = 600000;
+  opts.cancel = &cancel;
+  MatchContext context;
+  uint64_t embeddings = 0;
+  for (auto _ : state) {
+    MatchResult r = DafMatch(query, data, opts, &context);
+    embeddings += r.embeddings;
+    benchmark::DoNotOptimize(r.recursive_calls);
+  }
+  state.counters["embeddings/iter"] =
+      benchmark::Counter(static_cast<double>(embeddings),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_DafMatchStopConditionArmed)->Arg(20)->Arg(50);
+
+void BM_StopConditionCheck(benchmark::State& state) {
+  // The raw cost of one StopCondition::Check (atomic load + clock read),
+  // i.e. what each 4096-call poll window pays.
+  CancelToken cancel;
+  Deadline deadline(600000);
+  StopCondition stop(&deadline, &cancel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stop.Check());
+  }
+}
+BENCHMARK(BM_StopConditionCheck);
 
 void BM_VertexEquivalence(benchmark::State& state) {
   const Graph& data = YeastData();

@@ -1,0 +1,335 @@
+// daf_server: a line-protocol front-end over service::MatchService — load a
+// data graph once, then submit/poll/cancel subgraph-match jobs against it.
+//
+//   $ ./examples/daf_server                       # serve stdin/stdout
+//   $ ./examples/daf_server --port 7878           # serve one TCP client
+//   $ ./examples/daf_server --data g.txt --workers 8
+//
+// Protocol (one command per line; every response is one or more lines, the
+// last always starting with "ok" or "err"):
+//
+//   load <path>                         load the data graph from a t/v/e file
+//   dataset <name> [scale] [seed]       synthesize a paper dataset stand-in
+//                                       (yeast|human|hprd|email|dblp|yago)
+//   start [workers] [queue_capacity]    start the service on the loaded graph
+//   submit <query-path> [interactive|normal|batch] [deadline_ms] [limit]
+//                                       -> "ok job <id> queued"
+//   poll <id>                           -> "ok job <id> <status>"
+//   wait <id>                           block until terminal; reports result
+//   cancel <id>                         request cooperative cancellation
+//   stats                               service metrics as one JSON document
+//   quit                                drain and exit
+//
+// The server is intentionally transport-thin: all scheduling, queueing,
+// deadline, and cancellation behavior lives in MatchService (see
+// docs/SERVICE.md).
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef __unix__
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <ext/stdio_filebuf.h>  // libstdc++: iostream over an accepted fd
+#endif
+
+#include "graph/io.h"
+#include "obs/service_metrics.h"
+#include "service/match_service.h"
+#include "util/flags.h"
+#include "workload/datasets.h"
+
+namespace {
+
+using daf::Graph;
+using daf::service::JobHandle;
+using daf::service::JobStatus;
+using daf::service::MatchService;
+using daf::service::ParsePriority;
+using daf::service::Priority;
+using daf::service::QueryJob;
+using daf::service::ServiceOptions;
+
+std::optional<daf::workload::DatasetId> DatasetByName(const std::string& s) {
+  auto lower = [](std::string t) {
+    for (char& c : t) c = static_cast<char>(std::tolower(c));
+    return t;
+  };
+  const std::string wanted = lower(s);
+  for (const auto& spec : daf::workload::Table2Specs()) {
+    if (wanted == lower(spec.name)) return spec.id;
+  }
+  return std::nullopt;
+}
+
+// One protocol session: reads commands from `in`, answers on `out`.
+class Session {
+ public:
+  Session(std::istream& in, std::ostream& out, ServiceOptions defaults)
+      : in_(in), out_(out), defaults_(defaults) {}
+
+  void SetData(Graph data) { data_ = std::move(data); has_data_ = true; }
+  void StartService() {
+    service_ = std::make_unique<MatchService>(data_, defaults_);
+    out_ << "ok service started workers=" << defaults_.num_workers
+         << " queue=" << defaults_.queue_capacity << "\n";
+  }
+
+  void Run() {
+    std::string line;
+    while (std::getline(in_, line)) {
+      if (!Dispatch(line)) break;
+      out_.flush();
+    }
+    if (service_ != nullptr) service_->Shutdown();
+  }
+
+ private:
+  bool Dispatch(const std::string& line) {
+    std::istringstream ss(line);
+    std::string cmd;
+    if (!(ss >> cmd) || cmd[0] == '#') return true;  // blank / comment
+    if (cmd == "quit" || cmd == "exit") {
+      out_ << "ok bye\n";
+      return false;
+    }
+    if (cmd == "load") return CmdLoad(ss);
+    if (cmd == "dataset") return CmdDataset(ss);
+    if (cmd == "start") return CmdStart(ss);
+    if (cmd == "submit") return CmdSubmit(ss);
+    if (cmd == "poll") return CmdPoll(ss);
+    if (cmd == "wait") return CmdWait(ss);
+    if (cmd == "cancel") return CmdCancel(ss);
+    if (cmd == "stats") return CmdStats();
+    out_ << "err unknown command '" << cmd << "'\n";
+    return true;
+  }
+
+  bool CmdLoad(std::istringstream& ss) {
+    std::string path;
+    if (!(ss >> path)) return Err("load needs a path");
+    std::string error;
+    std::optional<Graph> g = daf::LoadGraph(path, &error);
+    if (!g.has_value()) return Err(error);
+    out_ << "ok graph vertices=" << g->NumVertices()
+         << " edges=" << g->NumEdges() << "\n";
+    SetData(std::move(*g));
+    return true;
+  }
+
+  bool CmdDataset(std::istringstream& ss) {
+    std::string name;
+    double scale = 0.1;
+    uint64_t seed = 1;
+    if (!(ss >> name)) return Err("dataset needs a name");
+    ss >> scale >> seed;
+    std::optional<daf::workload::DatasetId> id = DatasetByName(name);
+    if (!id.has_value()) return Err("unknown dataset '" + name + "'");
+    Graph g = daf::workload::MakeDataset(*id, scale, seed);
+    out_ << "ok graph vertices=" << g.NumVertices()
+         << " edges=" << g.NumEdges() << "\n";
+    SetData(std::move(g));
+    return true;
+  }
+
+  bool CmdStart(std::istringstream& ss) {
+    if (!has_data_) return Err("no data graph (use load/dataset first)");
+    if (service_ != nullptr) return Err("service already started");
+    int64_t workers = 0, queue = 0;
+    if (ss >> workers) defaults_.num_workers = static_cast<uint32_t>(workers);
+    if (ss >> queue) defaults_.queue_capacity = static_cast<size_t>(queue);
+    StartService();
+    return true;
+  }
+
+  bool CmdSubmit(std::istringstream& ss) {
+    if (service_ == nullptr) return Err("service not started");
+    std::string path, priority_text;
+    if (!(ss >> path)) return Err("submit needs a query path");
+    QueryJob job;
+    if (ss >> priority_text &&
+        !ParsePriority(priority_text.c_str(), &job.priority)) {
+      return Err("unknown priority '" + priority_text + "'");
+    }
+    ss >> job.deadline_ms >> job.limit;
+    std::string error;
+    std::optional<Graph> q = daf::LoadGraph(path, &error);
+    if (!q.has_value()) return Err(error);
+    job.query = std::move(*q);
+    JobHandle handle = service_->Submit(std::move(job));
+    jobs_.emplace(handle.id(), handle);
+    out_ << "ok job " << handle.id() << " " << ToString(handle.Status())
+         << "\n";
+    return true;
+  }
+
+  JobHandle* FindJob(std::istringstream& ss) {
+    uint64_t id = 0;
+    if (!(ss >> id)) {
+      Err("expected a job id");
+      return nullptr;
+    }
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      Err("no such job");
+      return nullptr;
+    }
+    return &it->second;
+  }
+
+  bool CmdPoll(std::istringstream& ss) {
+    if (JobHandle* job = FindJob(ss)) {
+      out_ << "ok job " << job->id() << " " << ToString(job->Status())
+           << "\n";
+    }
+    return true;
+  }
+
+  bool CmdWait(std::istringstream& ss) {
+    JobHandle* job = FindJob(ss);
+    if (job == nullptr) return true;
+    JobStatus status = job->Wait();
+    const daf::MatchResult& r = job->Result();
+    out_ << "ok job " << job->id() << " " << ToString(status)
+         << " embeddings=" << r.embeddings << " calls=" << r.recursive_calls
+         << " wait_ms=" << job->wait_ms() << " run_ms=" << job->run_ms();
+    if (!r.ok) out_ << " error=\"" << r.error << "\"";
+    out_ << "\n";
+    return true;
+  }
+
+  bool CmdCancel(std::istringstream& ss) {
+    if (JobHandle* job = FindJob(ss)) {
+      job->Cancel();
+      out_ << "ok job " << job->id() << " cancel requested\n";
+    }
+    return true;
+  }
+
+  bool CmdStats() {
+    if (service_ == nullptr) return Err("service not started");
+    out_ << daf::obs::ServiceMetricsToJson(service_->Metrics()) << "\n"
+         << "ok\n";
+    return true;
+  }
+
+  bool Err(const std::string& message) {
+    out_ << "err " << message << "\n";
+    return true;
+  }
+
+  std::istream& in_;
+  std::ostream& out_;
+  ServiceOptions defaults_;
+  Graph data_;
+  bool has_data_ = false;
+  std::unique_ptr<MatchService> service_;
+  std::map<uint64_t, JobHandle> jobs_;
+};
+
+#ifdef __unix__
+// Serves protocol sessions to TCP clients on 127.0.0.1:`port`, one client
+// at a time (the service itself is concurrent; the control channel is not).
+int ServeTcp(uint16_t port, const ServiceOptions& defaults,
+             const std::optional<Graph>& preloaded) {
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listener, 1) < 0) {
+    std::perror("bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "daf_server listening on 127.0.0.1:%u\n", port);
+  for (;;) {
+    int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) break;
+    {
+      __gnu_cxx::stdio_filebuf<char> inbuf(client, std::ios::in);
+      __gnu_cxx::stdio_filebuf<char> outbuf(::dup(client), std::ios::out);
+      std::istream in(&inbuf);
+      std::ostream out(&outbuf);
+      Session session(in, out, defaults);
+      if (preloaded.has_value()) session.SetData(*preloaded);
+      session.Run();
+    }
+    ::close(client);
+  }
+  ::close(listener);
+  return 0;
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  daf::FlagSet flags;
+  std::string& data_path =
+      flags.String("data", "", "data graph to preload (t/v/e format)");
+  std::string& dataset =
+      flags.String("dataset", "", "paper dataset stand-in to preload");
+  double& scale = flags.Double("scale", 0.1, "dataset synthesis scale");
+  int64_t& workers = flags.Int64("workers", 4, "worker threads");
+  int64_t& queue = flags.Int64("queue", 256, "admission queue capacity");
+  int64_t& port =
+      flags.Int64("port", 0, "serve TCP on 127.0.0.1:PORT (0 = stdin)");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+
+  ServiceOptions defaults;
+  defaults.num_workers = static_cast<uint32_t>(workers);
+  defaults.queue_capacity = static_cast<size_t>(queue);
+
+  std::optional<Graph> preloaded;
+  if (!data_path.empty()) {
+    std::string error;
+    preloaded = daf::LoadGraph(data_path, &error);
+    if (!preloaded.has_value()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", data_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+  } else if (!dataset.empty()) {
+    std::optional<daf::workload::DatasetId> id = DatasetByName(dataset);
+    if (!id.has_value()) {
+      std::fprintf(stderr, "unknown dataset %s\n", dataset.c_str());
+      return 1;
+    }
+    preloaded = daf::workload::MakeDataset(*id, scale, 1);
+  }
+
+  if (port != 0) {
+#ifdef __unix__
+    return ServeTcp(static_cast<uint16_t>(port), defaults, preloaded);
+#else
+    std::fprintf(stderr, "--port requires a unix platform\n");
+    return 1;
+#endif
+  }
+
+  Session session(std::cin, std::cout, defaults);
+  if (preloaded.has_value()) session.SetData(std::move(*preloaded));
+  session.Run();
+  return 0;
+}

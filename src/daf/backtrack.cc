@@ -37,6 +37,8 @@ BacktrackStats Backtracker::Run(const BacktrackOptions& options) {
   options_ = options;
   stats_ = BacktrackStats{};
   stop_ = false;
+  stop_condition_ = StopCondition(options.deadline, options.cancel);
+  stop_armed_ = stop_condition_.armed() || static_cast<bool>(options.progress);
   deadline_check_countdown_ = 0;
   profile_ = options.profile;
   if (profile_ != nullptr) {
@@ -81,14 +83,19 @@ BacktrackStats Backtracker::Run(const BacktrackOptions& options) {
 
 bool Backtracker::ShouldStop() {
   if (stop_) return true;
-  const bool sampled =
-      options_.deadline != nullptr || static_cast<bool>(options_.progress);
-  if (sampled && deadline_check_countdown_-- == 0) {
+  if (stop_armed_ && deadline_check_countdown_-- == 0) {
     deadline_check_countdown_ = 4096;
-    if (options_.deadline != nullptr && options_.deadline->Expired()) {
-      stats_.timed_out = true;
-      stop_ = true;
-      return true;
+    switch (stop_condition_.Check()) {
+      case StopCause::kDeadline:
+        stats_.timed_out = true;
+        stop_ = true;
+        return true;
+      case StopCause::kCancel:
+        stats_.cancelled = true;
+        stop_ = true;
+        return true;
+      case StopCause::kNone:
+        break;
     }
     if (options_.progress) ReportProgress();
   }

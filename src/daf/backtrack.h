@@ -15,6 +15,7 @@
 #include "graph/embedding.h"
 #include "obs/metrics.h"
 #include "util/bitset.h"
+#include "util/stop.h"
 #include "util/timer.h"
 
 namespace daf {
@@ -43,6 +44,11 @@ struct BacktrackOptions {
   uint64_t limit = 0;
   /// Optional wall-clock cutoff (not owned).
   const Deadline* deadline = nullptr;
+  /// Optional cooperative cancellation (not owned). Both stop sources are
+  /// folded into one StopCondition polled every 4096 recursive calls, so a
+  /// cancel request stops a running search within a few thousand node
+  /// expansions (well under the 50 ms serving budget; see util/stop.h).
+  const CancelToken* cancel = nullptr;
   /// Shared embedding counter for multi-threaded runs (not owned). When
   /// set, `limit` applies to the shared total, as in Appendix A.4.
   std::atomic<uint64_t>* shared_count = nullptr;
@@ -72,6 +78,7 @@ struct BacktrackStats {
   uint64_t recursive_calls = 0;  // examined search-tree nodes
   bool limit_reached = false;
   bool timed_out = false;
+  bool cancelled = false;
   bool callback_stopped = false;
 };
 
@@ -155,6 +162,10 @@ class Backtracker {
   // Scratch for candidate-set intersections.
   std::vector<uint32_t>& scratch_;
   std::vector<VertexId>& embedding_buffer_;
+  // Deadline + cancellation folded into one sampled predicate (util/stop.h);
+  // stop_armed_ caches whether the countdown needs to run at all.
+  StopCondition stop_condition_;
+  bool stop_armed_ = false;
   uint64_t deadline_check_countdown_ = 0;
   // Observability (all inert when options_.profile / .progress are unset).
   obs::BacktrackProfile* profile_ = nullptr;

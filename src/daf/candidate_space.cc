@@ -77,6 +77,30 @@ CandidateSpace CandidateSpace::BuildImpl(const Graph& query,
   const uint32_t data_n = data.NumVertices();
   cs.num_vertices_ = n;
 
+  // Early-exit support: the predicate is polled once per query vertex in
+  // each O(n · data) loop below. When it fires, the build commits a
+  // structurally valid *empty* CS (offsets exist, every set has size 0, no
+  // edge storage) tagged with the cause; callers must test interrupted()
+  // before reading anything else.
+  const StopCondition* stop = options.stop;
+  StopCause stop_cause = StopCause::kNone;
+  auto stopped = [&]() {
+    if (stop == nullptr || stop_cause != StopCause::kNone) {
+      return stop_cause != StopCause::kNone;
+    }
+    stop_cause = stop->Check();
+    return stop_cause != StopCause::kNone;
+  };
+  auto commit_interrupted = [&]() {
+    cs.interrupt_cause_ = stop_cause;
+    uint64_t* final_offsets =
+        AllocateFinal<uint64_t>(n + 1, arena, &cs.own_cand_offsets_);
+    std::fill(final_offsets, final_offsets + n + 1, uint64_t{0});
+    cs.cand_offsets_ = final_offsets;
+    cs.cand_data_ = nullptr;
+    cs.num_edge_targets_ = 0;
+  };
+
   // Candidate membership bitmaps, kept in sync with the candidate segments.
   if (scratch->valid.size() < n) scratch->valid.resize(n);
   for (uint32_t u = 0; u < n; ++u) scratch->valid[u].Resize(data_n);
@@ -108,6 +132,10 @@ CandidateSpace CandidateSpace::BuildImpl(const Graph& query,
     run_counts.clear();
   }
   for (uint32_t u = 0; u < n; ++u) {
+    if (stopped()) {
+      commit_interrupted();
+      return cs;
+    }
     cand_offsets[u] = cand_data.size();
     Label dl = dag.DataLabel(u);
     if (dl == kNoSuchLabel) continue;
@@ -198,6 +226,10 @@ CandidateSpace CandidateSpace::BuildImpl(const Graph& query,
     Stopwatch pass_timer;
     uint64_t removed = 0;
     for (uint32_t pos = 0; pos < n; ++pos) {
+      if (stopped()) {
+        commit_interrupted();
+        return cs;
+      }
       VertexId u = use_reversed_dag ? topo[pos] : topo[n - 1 - pos];
       const std::vector<VertexId>& dp_children =
           use_reversed_dag ? dag.Parents(u) : dag.Children(u);
@@ -292,6 +324,10 @@ CandidateSpace CandidateSpace::BuildImpl(const Graph& query,
   std::vector<uint32_t>& cand_index = scratch->cand_index;
   cand_index.assign(data_n, 0);
   for (VertexId u : topo) {
+    if (stopped()) {
+      commit_interrupted();
+      return cs;
+    }
     // Index map: data vertex -> candidate index within C(u).
     std::span<const VertexId> child_cand = cs.Candidates(u);
     for (uint32_t i = 0; i < child_cand.size(); ++i) {

@@ -10,6 +10,7 @@
 #include "graph/graph.h"
 #include "obs/metrics.h"
 #include "util/arena.h"
+#include "util/stop.h"
 
 namespace daf {
 
@@ -61,6 +62,14 @@ class CandidateSpace {
     /// by Build; null disables all instrumentation (the construction is
     /// then bit-identical to an uninstrumented build).
     obs::CsProfile* profile = nullptr;
+    /// Optional early-exit predicate (not owned), polled once per query
+    /// vertex in the seeding, refinement, and edge-materialization loops.
+    /// When it fires, Build returns an *interrupted* CS: structurally valid
+    /// but empty (every candidate set reports size 0, no CS edges), with
+    /// `interrupted()` true and `interrupt_cause()` naming the trigger.
+    /// Callers must check `interrupted()` before treating the empty sets as
+    /// a negativity certificate.
+    const StopCondition* stop = nullptr;
   };
 
   /// Builds the CS for (query, dag, data) with self-owned storage.
@@ -133,6 +142,14 @@ class CandidateSpace {
   /// Number of DP passes that removed at least one candidate (diagnostics).
   uint32_t effective_refinements() const { return effective_refinements_; }
 
+  /// True when Options::stop fired during construction; the CS is then a
+  /// structurally valid placeholder (all candidate sets empty) and must not
+  /// be interpreted as a proof of negativity.
+  bool interrupted() const { return interrupt_cause_ != StopCause::kNone; }
+
+  /// What interrupted the build (kNone when it ran to completion).
+  StopCause interrupt_cause() const { return interrupt_cause_; }
+
  private:
   CandidateSpace() = default;
 
@@ -151,6 +168,7 @@ class CandidateSpace {
   uint32_t num_vertices_ = 0;
   uint64_t num_edge_targets_ = 0;
   uint32_t effective_refinements_ = 0;
+  StopCause interrupt_cause_ = StopCause::kNone;
 
   std::vector<VertexId> own_cand_data_;
   std::vector<uint64_t> own_cand_offsets_;

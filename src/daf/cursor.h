@@ -34,7 +34,10 @@ class EmbeddingCursor {
  public:
   /// Starts the search. `options.callback` must be empty (the cursor owns
   /// the delivery channel); all other options (limit, order, failing sets,
-  /// time limit, injective, ...) apply as in DafMatch.
+  /// time limit, injective, cancel token, ...) apply as in DafMatch. A
+  /// cancel via `options.cancel` stops the producer mid-search and marks
+  /// the final result `cancelled` (unlike Close(), which reports an early
+  /// consumer-side stop as `limit_reached`).
   ///
   /// `context` (optional) is the MatchContext the producer's search runs
   /// in; it must outlive the cursor and — since the producer thread uses

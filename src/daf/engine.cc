@@ -44,6 +44,8 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
   context->arena().Reset();
 
   Deadline deadline(options.time_limit_ms);
+  const StopCondition stop(options.time_limit_ms > 0 ? &deadline : nullptr,
+                           options.cancel);
   Stopwatch preprocess_timer;
   Stopwatch stage_timer;
   QueryDag dag = QueryDag::Build(query, data);
@@ -57,11 +59,23 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
   cs_options.use_mnd_filter = options.use_mnd_filter;
   cs_options.injective = options.injective;
   cs_options.profile = profile != nullptr ? &profile->cs : nullptr;
+  cs_options.stop = stop.armed() ? &stop : nullptr;
   CandidateSpace cs = CandidateSpace::Build(
       query, dag, data, cs_options, &context->arena(), &context->cs_scratch());
   if (profile != nullptr) profile->cs_build_ms = stage_timer.ElapsedMs();
   result.cs_candidates = cs.TotalCandidates();
   result.cs_edges = cs.TotalEdges();
+
+  if (cs.interrupted()) {
+    // The stop predicate fired mid-CS-build: report which source without
+    // mistaking the placeholder's empty candidate sets for a negativity
+    // certificate.
+    result.timed_out = cs.interrupt_cause() == StopCause::kDeadline;
+    result.cancelled = cs.interrupt_cause() == StopCause::kCancel;
+    result.preprocess_ms = preprocess_timer.ElapsedMs();
+    FillMemoryProfile(profile, *context);
+    return result;
+  }
 
   for (uint32_t u = 0; u < query.NumVertices(); ++u) {
     if (cs.NumCandidates(u) == 0) {
@@ -73,10 +87,11 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
     }
   }
 
-  if (deadline.Expired()) {
-    // The time budget was consumed by preprocessing; report the timeout
-    // with populated timers instead of entering a doomed search.
-    result.timed_out = true;
+  if (StopCause cause = stop.Check(); cause != StopCause::kNone) {
+    // The budget was consumed (or the run cancelled) during preprocessing;
+    // report it with populated timers instead of entering a doomed search.
+    result.timed_out = cause == StopCause::kDeadline;
+    result.cancelled = cause == StopCause::kCancel;
     result.preprocess_ms = preprocess_timer.ElapsedMs();
     FillMemoryProfile(profile, *context);
     return result;
@@ -102,6 +117,7 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
   bt.limit = options.limit;
   bt.injective = options.injective;
   bt.deadline = options.time_limit_ms > 0 ? &deadline : nullptr;
+  bt.cancel = options.cancel;
   bt.equivalence = options.equivalence;
   bt.callback = options.callback;
   bt.profile = profile != nullptr ? &profile->backtrack : nullptr;
@@ -116,6 +132,7 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
   result.recursive_calls = stats.recursive_calls;
   result.limit_reached = stats.limit_reached || stats.callback_stopped;
   result.timed_out = stats.timed_out;
+  result.cancelled = stats.cancelled;
   return result;
 }
 

@@ -24,6 +24,12 @@ struct MatchOptions {
   uint64_t limit = 0;
   /// Wall-clock limit covering preprocessing + search; 0 = none.
   uint64_t time_limit_ms = 0;
+  /// Cooperative cancellation (not owned): polled together with the
+  /// deadline through one StopCondition in both the CS build loops and the
+  /// backtracker, so a Cancel() from another thread stops a running match
+  /// within a few thousand node expansions. A cancelled run reports
+  /// `MatchResult::cancelled` with partial counts; see util/stop.h.
+  const CancelToken* cancel = nullptr;
   /// Number of DAG-graph DP passes when building the CS (paper: 3).
   int refinement_steps = 3;
   /// CS local filters (ablation knobs; the paper has both on).
@@ -58,6 +64,10 @@ struct MatchResult {
   uint64_t recursive_calls = 0;
   bool limit_reached = false;
   bool timed_out = false;
+  /// True when MatchOptions::cancel stopped the run (during preprocessing
+  /// or mid-search); embeddings/recursive_calls then hold partial counts,
+  /// exactly like the deadline path.
+  bool cancelled = false;
   /// True when some candidate set was empty after CS construction, so the
   /// query was proven negative without any backtracking (Appendix A.3).
   bool cs_certified_negative = false;
@@ -69,8 +79,11 @@ struct MatchResult {
   uint64_t cs_candidates = 0;  // Σ_u |C(u)| (Figure 9 metric)
   uint64_t cs_edges = 0;
 
-  /// True iff the search ran to completion (all embeddings enumerated).
-  bool Complete() const { return ok && !limit_reached && !timed_out; }
+  /// True iff the search ran to completion (all embeddings enumerated):
+  /// not stopped by the limit, the deadline, or a cancel request.
+  bool Complete() const {
+    return ok && !limit_reached && !timed_out && !cancelled;
+  }
 };
 
 /// Runs DAF end-to-end on (query, data) using `context` for all per-query

@@ -50,6 +50,8 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
   }
 
   Deadline deadline(options.time_limit_ms);
+  const StopCondition stop(options.time_limit_ms > 0 ? &deadline : nullptr,
+                           options.cancel);
   Stopwatch preprocess_timer;
   Stopwatch stage_timer;
   QueryDag dag = QueryDag::Build(query, data);
@@ -63,11 +65,19 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
   cs_options.use_mnd_filter = options.use_mnd_filter;
   cs_options.injective = options.injective;
   cs_options.profile = profile != nullptr ? &profile->cs : nullptr;
+  cs_options.stop = stop.armed() ? &stop : nullptr;
   CandidateSpace cs = CandidateSpace::Build(
       query, dag, data, cs_options, &context->arena(), &context->cs_scratch());
   if (profile != nullptr) profile->cs_build_ms = stage_timer.ElapsedMs();
   result.cs_candidates = cs.TotalCandidates();
   result.cs_edges = cs.TotalEdges();
+  if (cs.interrupted()) {
+    result.timed_out = cs.interrupt_cause() == StopCause::kDeadline;
+    result.cancelled = cs.interrupt_cause() == StopCause::kCancel;
+    result.preprocess_ms = preprocess_timer.ElapsedMs();
+    FillMemoryProfile(profile, *context);
+    return result;
+  }
   for (uint32_t u = 0; u < query.NumVertices(); ++u) {
     if (cs.NumCandidates(u) == 0) {
       result.cs_certified_negative = true;
@@ -76,8 +86,9 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
       return result;
     }
   }
-  if (deadline.Expired()) {
-    result.timed_out = true;
+  if (StopCause cause = stop.Check(); cause != StopCause::kNone) {
+    result.timed_out = cause == StopCause::kDeadline;
+    result.cancelled = cause == StopCause::kCancel;
     result.preprocess_ms = preprocess_timer.ElapsedMs();
     FillMemoryProfile(profile, *context);
     return result;
@@ -133,6 +144,7 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
       bt.limit = options.limit;
       bt.injective = options.injective;
       bt.deadline = options.time_limit_ms > 0 ? &deadline : nullptr;
+      bt.cancel = options.cancel;
       bt.shared_count = &shared_count;
       bt.root_cursor = &root_cursor;
       bt.equivalence = options.equivalence;
@@ -156,6 +168,7 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
     result.limit_reached |= stats[t].limit_reached ||
                             stats[t].callback_stopped;
     result.timed_out |= stats[t].timed_out;
+    result.cancelled |= stats[t].cancelled;
   }
   if (profile != nullptr) {
     profile->search_ms = result.search_ms;

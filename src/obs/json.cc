@@ -224,6 +224,7 @@ void WriteMatchResult(JsonWriter& w, const MatchResult& result) {
   w.Key("recursive_calls").Uint(result.recursive_calls);
   w.Key("limit_reached").Bool(result.limit_reached);
   w.Key("timed_out").Bool(result.timed_out);
+  w.Key("cancelled").Bool(result.cancelled);
   w.Key("cs_certified_negative").Bool(result.cs_certified_negative);
   w.Key("preprocess_ms").Double(result.preprocess_ms);
   w.Key("search_ms").Double(result.search_ms);

@@ -1,0 +1,106 @@
+#include "obs/service_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace daf::obs {
+
+namespace {
+
+// Bucket index of a sample: bucket 0 holds everything <= 1 µs, bucket i
+// holds (2^{i-1}, 2^i] µs, the last bucket absorbs the tail.
+int BucketIndex(double ms) {
+  if (ms <= 0.001) return 0;
+  const int idx = static_cast<int>(std::ceil(std::log2(ms / 0.001)));
+  return std::min(idx, LatencyHistogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+double LatencyHistogram::BucketUpperBound(int i) {
+  return 0.001 * std::ldexp(1.0, i);
+}
+
+void LatencyHistogram::Record(double ms) {
+  if (ms < 0) ms = 0;
+  ++buckets_[BucketIndex(ms)];
+  if (count_ == 0 || ms < min_ms_) min_ms_ = ms;
+  if (ms > max_ms_) max_ms_ = ms;
+  sum_ms_ += ms;
+  ++count_;
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ms_ < min_ms_) min_ms_ = other.min_ms_;
+  max_ms_ = std::max(max_ms_, other.max_ms_);
+  sum_ms_ += other.sum_ms_;
+  count_ += other.count_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count_))));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      return std::min(BucketUpperBound(i), max_ms_);
+    }
+  }
+  return max_ms_;
+}
+
+namespace {
+
+void WriteHistogram(JsonWriter& w, const LatencyHistogram& h) {
+  w.BeginObject();
+  w.Key("count").Uint(h.count());
+  w.Key("min_ms").Double(h.min_ms());
+  w.Key("mean_ms").Double(h.mean_ms());
+  w.Key("max_ms").Double(h.max_ms());
+  w.Key("p50_ms").Double(h.Quantile(0.50));
+  w.Key("p90_ms").Double(h.Quantile(0.90));
+  w.Key("p95_ms").Double(h.Quantile(0.95));
+  w.Key("p99_ms").Double(h.Quantile(0.99));
+  w.EndObject();
+}
+
+}  // namespace
+
+void WriteServiceMetrics(JsonWriter& w, const ServiceMetricsSnapshot& m) {
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  w.Key("submitted").Uint(m.counters.submitted);
+  w.Key("rejected").Uint(m.counters.rejected);
+  w.Key("completed").Uint(m.counters.completed);
+  w.Key("cancelled").Uint(m.counters.cancelled);
+  w.Key("timed_out").Uint(m.counters.timed_out);
+  w.Key("failed").Uint(m.counters.failed);
+  w.EndObject();
+  w.Key("queue_depth").Uint(m.queue_depth);
+  w.Key("running").Uint(m.running);
+  w.Key("workers").Uint(m.workers);
+  w.Key("embeddings_streamed").Uint(m.embeddings_streamed);
+  w.Key("wait_latency");
+  WriteHistogram(w, m.wait);
+  w.Key("run_latency");
+  WriteHistogram(w, m.run);
+  w.Key("total_latency");
+  WriteHistogram(w, m.total);
+  w.EndObject();
+}
+
+std::string ServiceMetricsToJson(const ServiceMetricsSnapshot& m,
+                                 int indent) {
+  JsonWriter w(indent);
+  WriteServiceMetrics(w, m);
+  return w.str();
+}
+
+}  // namespace daf::obs

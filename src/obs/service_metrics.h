@@ -1,0 +1,85 @@
+#ifndef DAF_OBS_SERVICE_METRICS_H_
+#define DAF_OBS_SERVICE_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace daf::obs {
+
+class JsonWriter;  // obs/json.h
+
+/// A fixed-size log-scale latency histogram (base-2 buckets from 1 µs to
+/// ~78 hours) plus exact min/max/sum. Plain value type: the owner (e.g.
+/// MatchService) guards concurrent Record calls with its own lock and hands
+/// out copies as snapshots. Quantiles are resolved to a bucket's upper
+/// bound, clamped to the exact observed max, so reported percentiles never
+/// exceed the true maximum and are at most one power of two coarse.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 48;
+
+  /// Records one latency sample (milliseconds; negatives clamp to 0).
+  void Record(double ms);
+
+  /// Merges another histogram into this one.
+  void MergeFrom(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum_ms() const { return sum_ms_; }
+  double min_ms() const { return count_ == 0 ? 0 : min_ms_; }
+  double max_ms() const { return max_ms_; }
+  double mean_ms() const {
+    return count_ == 0 ? 0 : sum_ms_ / static_cast<double>(count_);
+  }
+
+  /// The latency bound below which a `q` fraction of samples fall
+  /// (q in [0, 1]); 0 when empty.
+  double Quantile(double q) const;
+
+  /// Upper bound (ms) of bucket i: 0.001 * 2^i.
+  static double BucketUpperBound(int i);
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double sum_ms_ = 0;
+  double min_ms_ = 0;
+  double max_ms_ = 0;
+};
+
+/// Monotonic per-outcome job counters of a MatchService. `submitted` counts
+/// every Submit call; each job eventually lands in exactly one of the
+/// terminal counters (rejected jobs never enter the queue).
+struct ServiceCounters {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;   // admission-queue overflow or shutdown
+  uint64_t completed = 0;  // ran to a normal MatchResult (incl. limit hits)
+  uint64_t cancelled = 0;  // cancel observed while queued or mid-search
+  uint64_t timed_out = 0;  // per-job deadline expired (queued or running)
+  uint64_t failed = 0;     // the engine reported an error
+};
+
+/// A point-in-time copy of a MatchService's metrics: cheap to take (one
+/// lock, plain copies) and safe to read after the service is gone.
+struct ServiceMetricsSnapshot {
+  ServiceCounters counters;
+  uint64_t queue_depth = 0;   // jobs admitted but not yet picked up
+  uint32_t running = 0;       // jobs currently on a worker
+  uint32_t workers = 0;       // worker-pool size
+  uint64_t embeddings_streamed = 0;  // embeddings delivered through handles
+  LatencyHistogram wait;   // submission -> worker pickup
+  LatencyHistogram run;    // worker pickup -> terminal state
+  LatencyHistogram total;  // submission -> terminal state
+};
+
+/// Emits a snapshot as an object value at the writer's current position.
+void WriteServiceMetrics(JsonWriter& w, const ServiceMetricsSnapshot& m);
+
+/// Serializes a snapshot as a standalone JSON document.
+std::string ServiceMetricsToJson(const ServiceMetricsSnapshot& m,
+                                 int indent = 2);
+
+}  // namespace daf::obs
+
+#endif  // DAF_OBS_SERVICE_METRICS_H_

@@ -1,0 +1,62 @@
+#include "service/admission_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace daf::service {
+
+AdmissionQueue::AdmissionQueue(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+bool AdmissionQueue::TryPush(internal::JobStatePtr job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || depth_ >= capacity_) return false;
+    lanes_[static_cast<size_t>(job->priority)].push_back(std::move(job));
+    ++depth_;
+  }
+  ready_cv_.notify_one();
+  return true;
+}
+
+internal::JobStatePtr AdmissionQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_cv_.wait(lock, [&] { return depth_ > 0 || closed_; });
+  if (depth_ == 0) return nullptr;  // closed and drained
+  for (auto& lane : lanes_) {
+    if (!lane.empty()) {
+      internal::JobStatePtr job = std::move(lane.front());
+      lane.pop_front();
+      --depth_;
+      return job;
+    }
+  }
+  return nullptr;  // unreachable: depth_ > 0 implies a non-empty lane
+}
+
+std::vector<internal::JobStatePtr> AdmissionQueue::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<internal::JobStatePtr> flushed;
+  flushed.reserve(depth_);
+  for (auto& lane : lanes_) {
+    for (auto& job : lane) flushed.push_back(std::move(job));
+    lane.clear();
+  }
+  depth_ = 0;
+  return flushed;
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_cv_.notify_all();
+}
+
+size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_;
+}
+
+}  // namespace daf::service

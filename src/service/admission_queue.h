@@ -1,0 +1,59 @@
+#ifndef DAF_SERVICE_ADMISSION_QUEUE_H_
+#define DAF_SERVICE_ADMISSION_QUEUE_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "service/job_state.h"
+
+namespace daf::service {
+
+/// The bounded multi-priority admission queue of a MatchService: one FIFO
+/// lane per Priority class, a single capacity shared across lanes, strict
+/// priority on the pop side (the highest non-empty lane wins). Overflow is
+/// load shedding — TryPush refuses instead of blocking the submitter, so a
+/// saturated service rejects fast rather than building unbounded backlog.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t capacity);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits a job into its priority lane; false when the queue is at
+  /// capacity or closed (the job is then NOT enqueued).
+  bool TryPush(internal::JobStatePtr job);
+
+  /// Blocks until a job is available and returns the head of the highest
+  /// non-empty lane. Returns null once the queue is closed and drained.
+  internal::JobStatePtr Pop();
+
+  /// Removes and returns every queued job (shutdown path: the caller
+  /// resolves them as cancelled). Usually preceded by Close().
+  std::vector<internal::JobStatePtr> Flush();
+
+  /// Rejects all future pushes and wakes blocked poppers; queued jobs
+  /// remain poppable until drained or flushed.
+  void Close();
+
+  /// Jobs currently queued (stale by the time you read it).
+  size_t depth() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::array<std::deque<internal::JobStatePtr>, kNumPriorities> lanes_;
+  size_t depth_ = 0;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace daf::service
+
+#endif  // DAF_SERVICE_ADMISSION_QUEUE_H_

@@ -1,0 +1,75 @@
+#include "service/context_pool.h"
+
+#include <algorithm>
+
+namespace daf::service {
+
+ContextPool::ContextPool(uint32_t capacity) {
+  capacity = std::max(capacity, 1u);
+  contexts_.reserve(capacity);
+  free_.reserve(capacity);
+  for (uint32_t i = 0; i < capacity; ++i) {
+    contexts_.push_back(std::make_unique<MatchContext>());
+    free_.push_back(contexts_.back().get());
+  }
+}
+
+ContextPool::Lease& ContextPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    context_ = other.context_;
+    other.pool_ = nullptr;
+    other.context_ = nullptr;
+  }
+  return *this;
+}
+
+void ContextPool::Lease::Release() {
+  if (context_ != nullptr) {
+    pool_->Return(context_);
+    pool_ = nullptr;
+    context_ = nullptr;
+  }
+}
+
+ContextPool::Lease ContextPool::Acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  available_cv_.wait(lock, [&] { return !free_.empty(); });
+  MatchContext* context = free_.back();
+  free_.pop_back();
+  return Lease(this, context);
+}
+
+std::optional<ContextPool::Lease> ContextPool::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_.empty()) return std::nullopt;
+  MatchContext* context = free_.back();
+  free_.pop_back();
+  return Lease(this, context);
+}
+
+uint32_t ContextPool::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<uint32_t>(contexts_.size());
+}
+
+uint32_t ContextPool::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<uint32_t>(free_.size());
+}
+
+void ContextPool::TrimFree() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (MatchContext* context : free_) context->Trim();
+}
+
+void ContextPool::Return(MatchContext* context) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(context);
+  }
+  available_cv_.notify_one();
+}
+
+}  // namespace daf::service

@@ -1,0 +1,52 @@
+#include "service/job.h"
+
+#include <cstring>
+
+namespace daf::service {
+
+const char* ToString(JobStatus s) {
+  switch (s) {
+    case JobStatus::kQueued:
+      return "queued";
+    case JobStatus::kRunning:
+      return "running";
+    case JobStatus::kDone:
+      return "done";
+    case JobStatus::kCancelled:
+      return "cancelled";
+    case JobStatus::kTimedOut:
+      return "timed_out";
+    case JobStatus::kRejected:
+      return "rejected";
+    case JobStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+const char* ToString(Priority p) {
+  switch (p) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+bool ParsePriority(const char* text, Priority* out) {
+  if (std::strcmp(text, "interactive") == 0) {
+    *out = Priority::kInteractive;
+  } else if (std::strcmp(text, "normal") == 0) {
+    *out = Priority::kNormal;
+  } else if (std::strcmp(text, "batch") == 0) {
+    *out = Priority::kBatch;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace daf::service

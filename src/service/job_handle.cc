@@ -1,0 +1,76 @@
+#include "service/job_handle.h"
+
+#include <chrono>
+
+namespace daf::service {
+
+void JobHandle::Cancel() {
+  state_->cancel.Cancel();
+  // Wake a producer blocked on backpressure and any consumer blocked in
+  // Wait/NextBatch so both observe the request promptly.
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->producer_cv.notify_all();
+  state_->consumer_cv.notify_all();
+}
+
+JobStatus JobHandle::Wait() {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->consumer_cv.wait(lock, [&] { return state_->finished; });
+  return state_->status.load(std::memory_order_acquire);
+}
+
+JobStatus JobHandle::WaitFor(uint64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->consumer_cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               [&] { return state_->finished; });
+  return state_->status.load(std::memory_order_acquire);
+}
+
+std::vector<std::vector<VertexId>> JobHandle::NextBatch(size_t max) {
+  std::vector<std::vector<VertexId>> batch;
+  if (max == 0) return batch;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->consumer_cv.wait(lock, [&] {
+    return !state_->buffer.empty() || state_->finished ||
+           state_->consumer_closed;
+  });
+  while (!state_->buffer.empty() && batch.size() < max) {
+    batch.push_back(std::move(state_->buffer.front()));
+    state_->buffer.pop_front();
+  }
+  state_->delivered += batch.size();
+  if (!batch.empty()) state_->producer_cv.notify_one();
+  return batch;
+}
+
+std::vector<std::vector<VertexId>> JobHandle::TryNextBatch(size_t max) {
+  std::vector<std::vector<VertexId>> batch;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  while (!state_->buffer.empty() && batch.size() < max) {
+    batch.push_back(std::move(state_->buffer.front()));
+    state_->buffer.pop_front();
+  }
+  state_->delivered += batch.size();
+  if (!batch.empty()) state_->producer_cv.notify_one();
+  return batch;
+}
+
+void JobHandle::CloseStream() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->consumer_closed = true;
+  state_->buffer.clear();
+  state_->producer_cv.notify_all();
+  state_->consumer_cv.notify_all();
+}
+
+const MatchResult& JobHandle::Result() {
+  Wait();
+  return state_->result;
+}
+
+const obs::SearchProfile& JobHandle::Profile() {
+  Wait();
+  return state_->profile;
+}
+
+}  // namespace daf::service

@@ -1,0 +1,299 @@
+#include "service/match_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "daf/cursor.h"
+
+namespace daf::service {
+
+namespace {
+
+ServiceOptions Normalize(ServiceOptions options) {
+  options.num_workers = std::max(options.num_workers, 1u);
+  options.queue_capacity = std::max<size_t>(options.queue_capacity, 1);
+  return options;
+}
+
+}  // namespace
+
+MatchService::MatchService(Graph data, ServiceOptions options)
+    : data_(std::move(data)),
+      options_(Normalize(options)),
+      queue_(options_.queue_capacity),
+      contexts_(options_.num_workers) {
+  workers_.reserve(options_.num_workers);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MatchService::~MatchService() { Shutdown(); }
+
+JobHandle MatchService::Submit(QueryJob job) {
+  auto state = std::make_shared<internal::JobState>();
+  state->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  state->priority = job.priority;
+  state->query = std::move(job.query);
+  state->options = std::move(job.options);
+  state->deadline_ms =
+      job.deadline_ms != 0 ? job.deadline_ms : options_.default_deadline_ms;
+  state->stream = job.stream_embeddings;
+  if (job.limit != 0) {
+    state->options.limit = job.limit;
+  } else if (state->options.limit == 0) {
+    state->options.limit = options_.default_limit;
+  }
+
+  // The service owns the engine's side channels (results stream through
+  // the handle, the profile is per job, cancellation goes through it too).
+  const bool reserved_channel_set = static_cast<bool>(state->options.callback) ||
+                                    static_cast<bool>(state->options.progress) ||
+                                    state->options.profile != nullptr ||
+                                    state->options.cancel != nullptr;
+  state->options.callback = {};
+  state->options.progress = {};
+  state->options.profile = nullptr;
+  state->options.cancel = nullptr;
+
+  // Resolves a job at submission time (never admitted: no inflight /
+  // latency accounting, just the outcome counter).
+  auto resolve_now = [&](JobStatus status, uint64_t* counter) {
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->finished = true;
+      state->status.store(status, std::memory_order_release);
+    }
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++counters_.submitted;
+    ++*counter;
+    return JobHandle(state);
+  };
+
+  if (reserved_channel_set) {
+    state->result.ok = false;
+    state->result.error =
+        "QueryJob::options must leave callback/progress/profile/cancel "
+        "unset; those channels belong to the service";
+    return resolve_now(JobStatus::kFailed, &counters_.failed);
+  }
+  if (shutdown_.load(std::memory_order_acquire)) {
+    state->result.ok = false;
+    state->result.error = "service is shut down";
+    return resolve_now(JobStatus::kRejected, &counters_.rejected);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++counters_.submitted;
+    ++inflight_;
+  }
+  if (!queue_.TryPush(state)) {
+    // Overflow (or a racing shutdown closed the queue): shed the load.
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->result.ok = false;
+      state->result.error = "admission queue full";
+      state->finished = true;
+      state->status.store(JobStatus::kRejected, std::memory_order_release);
+    }
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++counters_.rejected;
+    --inflight_;
+    idle_cv_.notify_all();
+  }
+  return JobHandle(state);
+}
+
+void MatchService::WorkerLoop() {
+  while (internal::JobStatePtr job = queue_.Pop()) {
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++running_;
+      running_jobs_.push_back(job);
+      // A shutdown that raced our pop misses this job in its cancel sweep;
+      // checking the flag under the same lock closes the window.
+      if (shutdown_.load(std::memory_order_acquire)) job->cancel.Cancel();
+    }
+    ProcessJob(job);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      --running_;
+      auto it = std::find(running_jobs_.begin(), running_jobs_.end(), job);
+      if (it != running_jobs_.end()) running_jobs_.erase(it);
+      // Drain waits for running_ too, so a post-Drain Metrics() snapshot
+      // never sees a worker still in its per-job bookkeeping.
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void MatchService::ProcessJob(const internal::JobStatePtr& job) {
+  job->wait_ms = job->since_submit.ElapsedMs();
+  job->start_seq = next_start_seq_.fetch_add(1, std::memory_order_relaxed);
+
+  if (job->cancel.cancelled()) {
+    job->result.cancelled = true;
+    FinishJob(job, JobStatus::kCancelled, /*ran=*/false);
+    return;
+  }
+
+  MatchOptions opts = job->options;
+  opts.cancel = &job->cancel;
+  if (options_.collect_profiles) opts.profile = &job->profile;
+  if (job->deadline_ms > 0) {
+    // The end-to-end deadline already paid the queue wait; hand the engine
+    // only what is left (the tighter of it and any explicit search budget).
+    const double remaining =
+        static_cast<double>(job->deadline_ms) - job->wait_ms;
+    if (remaining < 1) {
+      job->result.timed_out = true;
+      FinishJob(job, JobStatus::kTimedOut, /*ran=*/false);
+      return;
+    }
+    const uint64_t remaining_ms = static_cast<uint64_t>(remaining);
+    opts.time_limit_ms = opts.time_limit_ms == 0
+                             ? remaining_ms
+                             : std::min(opts.time_limit_ms, remaining_ms);
+  }
+
+  job->status.store(JobStatus::kRunning, std::memory_order_release);
+
+  Stopwatch run_timer;
+  uint64_t streamed = 0;
+  MatchResult result;
+  {
+    ContextPool::Lease lease = contexts_.Acquire();
+    if (job->stream) {
+      // The cursor runs the search on its producer thread inside the
+      // pooled context; this worker pumps embeddings into the handle's
+      // buffer under backpressure.
+      EmbeddingCursor cursor(job->query, data_, opts, lease.get());
+      while (auto embedding = cursor.Next()) {
+        if (!DeliverEmbedding(job, std::move(*embedding))) {
+          cursor.Close();
+          break;
+        }
+        ++streamed;
+      }
+      result = cursor.Finish();
+    } else {
+      result = DafMatch(job->query, data_, opts, lease.get());
+    }
+  }
+  job->run_ms = run_timer.ElapsedMs();
+  job->result = std::move(result);
+
+  const MatchResult& r = job->result;
+  JobStatus status;
+  if (!r.ok) {
+    status = JobStatus::kFailed;
+  } else if (r.cancelled ||
+             (job->cancel.cancelled() && !r.Complete())) {
+    // The second clause catches a cancel that stopped the run through the
+    // streaming channel before the search loop polled the token.
+    status = JobStatus::kCancelled;
+  } else if (r.timed_out) {
+    status = JobStatus::kTimedOut;
+  } else {
+    status = JobStatus::kDone;
+  }
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    embeddings_streamed_ += streamed;
+  }
+  FinishJob(job, status, /*ran=*/true);
+}
+
+bool MatchService::DeliverEmbedding(const internal::JobStatePtr& job,
+                                    std::vector<VertexId> embedding) {
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->producer_cv.wait(lock, [&] {
+    return job->consumer_closed || job->cancel.cancelled() ||
+           job->buffer.size() < internal::JobState::kBufferCapacity;
+  });
+  if (job->consumer_closed || job->cancel.cancelled()) return false;
+  job->buffer.push_back(std::move(embedding));
+  job->consumer_cv.notify_one();
+  return true;
+}
+
+void MatchService::FinishJob(const internal::JobStatePtr& job,
+                             JobStatus status, bool ran) {
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    job->finished = true;
+    job->status.store(status, std::memory_order_release);
+    job->consumer_cv.notify_all();
+    job->producer_cv.notify_all();
+  }
+  const double total_ms = job->since_submit.ElapsedMs();
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  switch (status) {
+    case JobStatus::kDone:
+      ++counters_.completed;
+      break;
+    case JobStatus::kCancelled:
+      ++counters_.cancelled;
+      break;
+    case JobStatus::kTimedOut:
+      ++counters_.timed_out;
+      break;
+    case JobStatus::kFailed:
+      ++counters_.failed;
+      break;
+    default:
+      break;  // kQueued/kRunning/kRejected never reach FinishJob
+  }
+  wait_hist_.Record(job->wait_ms);
+  if (ran) run_hist_.Record(job->run_ms);
+  total_hist_.Record(total_ms);
+  --inflight_;
+  idle_cv_.notify_all();
+}
+
+void MatchService::Drain() {
+  std::unique_lock<std::mutex> lock(metrics_mutex_);
+  idle_cv_.wait(lock, [&] { return inflight_ == 0 && running_ == 0; });
+}
+
+void MatchService::Shutdown() {
+  std::call_once(shutdown_once_, [&] {
+    shutdown_.store(true, std::memory_order_release);
+    queue_.Close();
+    // Jobs still queued never run; resolve them as cancelled.
+    for (internal::JobStatePtr& job : queue_.Flush()) {
+      job->cancel.Cancel();
+      job->result.cancelled = true;
+      FinishJob(job, JobStatus::kCancelled, /*ran=*/false);
+    }
+    // Cancel-request everything currently on a worker, waking producers
+    // blocked on stream backpressure.
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      for (const internal::JobStatePtr& job : running_jobs_) {
+        job->cancel.Cancel();
+        std::lock_guard<std::mutex> job_lock(job->mutex);
+        job->producer_cv.notify_all();
+        job->consumer_cv.notify_all();
+      }
+    }
+    for (std::thread& worker : workers_) worker.join();
+  });
+}
+
+obs::ServiceMetricsSnapshot MatchService::Metrics() const {
+  obs::ServiceMetricsSnapshot m;
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  m.counters = counters_;
+  m.queue_depth = queue_.depth();
+  m.running = running_;
+  m.workers = static_cast<uint32_t>(workers_.size());
+  m.embeddings_streamed = embeddings_streamed_;
+  m.wait = wait_hist_;
+  m.run = run_hist_;
+  m.total = total_hist_;
+  return m;
+}
+
+}  // namespace daf::service

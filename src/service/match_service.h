@@ -1,0 +1,130 @@
+#ifndef DAF_SERVICE_MATCH_SERVICE_H_
+#define DAF_SERVICE_MATCH_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.h"
+#include "obs/service_metrics.h"
+#include "service/admission_queue.h"
+#include "service/context_pool.h"
+#include "service/job.h"
+#include "service/job_handle.h"
+
+namespace daf::service {
+
+/// Sizing and policy knobs of a MatchService.
+struct ServiceOptions {
+  /// Worker threads; each concurrently running job occupies one worker and
+  /// one pooled MatchContext.
+  uint32_t num_workers = 4;
+  /// Admission-queue bound shared across priority lanes; submissions beyond
+  /// it are rejected (load shedding), never blocked.
+  size_t queue_capacity = 256;
+  /// Default end-to-end deadline applied when a job does not set its own
+  /// (0 = none).
+  uint64_t default_deadline_ms = 0;
+  /// Default embedding limit applied when neither the job nor its
+  /// MatchOptions set one (0 = enumerate all).
+  uint64_t default_limit = 0;
+  /// Collect a SearchProfile per job (readable via JobHandle::Profile).
+  bool collect_profiles = true;
+};
+
+/// A transport-agnostic concurrent subgraph-match service: owns one shared
+/// immutable data Graph, a bounded multi-priority admission queue, and a
+/// worker pool in which every running job executes against a pooled warmed
+/// MatchContext (zero steady-state allocations per query once warm).
+///
+///   daf::service::MatchService service(std::move(data), {.num_workers = 8});
+///   daf::service::QueryJob job;
+///   job.query = my_query;
+///   job.priority = daf::service::Priority::kInteractive;
+///   job.deadline_ms = 100;
+///   auto handle = service.Submit(std::move(job));
+///   ... handle.Status() / handle.Cancel() / handle.NextBatch() ...
+///   const daf::MatchResult& r = handle.Result();
+///
+/// Scheduling: strict priority with FIFO lanes (see AdmissionQueue); a
+/// job's deadline covers queue wait plus run, so stragglers stuck behind a
+/// burst time out instead of running pointlessly. Cancellation is
+/// cooperative through the CancelToken threaded into the DAF core: a
+/// running hard query stops within a few thousand search-node expansions.
+///
+/// The destructor shuts down: admission closes, queued jobs resolve as
+/// cancelled, running jobs are cancel-requested and joined. Every admitted
+/// job reaches a terminal state before the service is gone, so JobHandles
+/// may outlive it.
+class MatchService {
+ public:
+  explicit MatchService(Graph data, ServiceOptions options = {});
+  ~MatchService();
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  /// Admits a job (non-blocking). The returned handle is always valid; on
+  /// queue overflow or after Shutdown it is already terminal with status
+  /// kRejected.
+  JobHandle Submit(QueryJob job);
+
+  /// Blocks until every admitted job has reached a terminal state (the
+  /// queue is empty and all workers are idle). New submissions during a
+  /// Drain extend it.
+  void Drain();
+
+  /// Stops admission, resolves queued jobs as cancelled, cancel-requests
+  /// running jobs, and joins the workers. Idempotent.
+  void Shutdown();
+
+  /// A point-in-time copy of the service metrics.
+  obs::ServiceMetricsSnapshot Metrics() const;
+
+  const Graph& data() const { return data_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Jobs admitted but not yet picked up by a worker.
+  size_t QueueDepth() const { return queue_.depth(); }
+
+ private:
+  void WorkerLoop();
+  void ProcessJob(const internal::JobStatePtr& job);
+  /// Pushes one embedding into the job's stream buffer, blocking on
+  /// backpressure; false when the consumer closed or the job was cancelled.
+  bool DeliverEmbedding(const internal::JobStatePtr& job,
+                        std::vector<VertexId> embedding);
+  /// Publishes the terminal state and records the job's metrics.
+  void FinishJob(const internal::JobStatePtr& job, JobStatus status,
+                 bool ran);
+
+  const Graph data_;
+  const ServiceOptions options_;
+  AdmissionQueue queue_;
+  ContextPool contexts_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> next_start_seq_{1};
+  std::atomic<bool> shutdown_{false};
+  std::once_flag shutdown_once_;
+
+  // Metrics and drain bookkeeping (one lock; all updates are O(1)).
+  mutable std::mutex metrics_mutex_;
+  std::condition_variable idle_cv_;
+  obs::ServiceCounters counters_;
+  obs::LatencyHistogram wait_hist_;
+  obs::LatencyHistogram run_hist_;
+  obs::LatencyHistogram total_hist_;
+  uint64_t embeddings_streamed_ = 0;
+  uint64_t inflight_ = 0;  // admitted, not yet terminal
+  uint32_t running_ = 0;   // currently on a worker
+  // Jobs currently on a worker, so Shutdown can cancel-request them.
+  std::vector<internal::JobStatePtr> running_jobs_;
+};
+
+}  // namespace daf::service
+
+#endif  // DAF_SERVICE_MATCH_SERVICE_H_

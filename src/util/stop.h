@@ -1,0 +1,79 @@
+#ifndef DAF_UTIL_STOP_H_
+#define DAF_UTIL_STOP_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/timer.h"
+
+namespace daf {
+
+/// Cooperative cancellation flag shared between a match run and whoever
+/// wants to stop it (another thread, a signal handler, a serving layer).
+/// `Cancel` is sticky: once requested, every later `cancelled()` returns
+/// true until `Reset`. All operations are lock-free atomics, so a token may
+/// be polled from hot search loops and cancelled from any thread.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent and thread-safe.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once Cancel() has been called (and until Reset()).
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arms the token for reuse (e.g. pooled per-job tokens). Must not
+  /// race with a concurrent match run polling the token.
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Why a run stopped early (StopCondition::Check).
+enum class StopCause : uint8_t {
+  kNone = 0,
+  kDeadline,  // the wall-clock Deadline expired
+  kCancel,    // the CancelToken was cancelled
+};
+
+/// The single early-exit predicate polled by the DAF loops (backtracking
+/// and CS construction): one `Check()` covers both the wall-clock deadline
+/// and cooperative cancellation, so call sites sample one predicate every N
+/// expansions instead of wiring each stop source separately. The cheap
+/// atomic cancel flag is consulted before the clock read, and an unarmed
+/// condition (`armed() == false`) lets callers skip the poll entirely.
+/// Referenced objects are not owned and must outlive the condition.
+class StopCondition {
+ public:
+  StopCondition() = default;
+  StopCondition(const Deadline* deadline, const CancelToken* cancel)
+      : deadline_(deadline), cancel_(cancel) {}
+
+  /// True when any stop source is attached; false means Check() can never
+  /// fire and the caller may skip polling altogether.
+  bool armed() const { return deadline_ != nullptr || cancel_ != nullptr; }
+
+  /// The first stop cause that currently holds (cancel wins over the
+  /// deadline since it is cheaper to test and usually more urgent).
+  StopCause Check() const {
+    if (cancel_ != nullptr && cancel_->cancelled()) return StopCause::kCancel;
+    if (deadline_ != nullptr && deadline_->Expired()) {
+      return StopCause::kDeadline;
+    }
+    return StopCause::kNone;
+  }
+
+ private:
+  const Deadline* deadline_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
+};
+
+}  // namespace daf
+
+#endif  // DAF_UTIL_STOP_H_

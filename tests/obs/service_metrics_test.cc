@@ -1,0 +1,115 @@
+#include "obs/service_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace daf::obs {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_ms(), 0.0);
+  EXPECT_EQ(h.min_ms(), 0.0);
+  EXPECT_EQ(h.max_ms(), 0.0);
+  EXPECT_EQ(h.mean_ms(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, TracksExactCountSumMinMaxMean) {
+  LatencyHistogram h;
+  h.Record(1.0);
+  h.Record(2.0);
+  h.Record(9.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum_ms(), 12.0);
+  EXPECT_DOUBLE_EQ(h.min_ms(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 9.0);
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 4.0);
+}
+
+TEST(LatencyHistogramTest, BucketBoundsDoubleFromOneMicrosecond) {
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperBound(0), 0.001);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperBound(1), 0.002);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperBound(10), 0.001 * 1024);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotoneAndClampToMax) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  const double p50 = h.Quantile(0.5);
+  const double p90 = h.Quantile(0.9);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max_ms());
+  EXPECT_GT(p50, 0.0);
+  // A log2 histogram is at most one power of two coarse: sample 50 lands
+  // in the (32.768, 65.536] bucket.
+  EXPECT_LE(p50, 65.536);
+  EXPECT_GE(p50, 50.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleQuantileIsExact) {
+  // The bucket bound would overshoot; clamping to the observed max keeps
+  // the reported percentile truthful.
+  LatencyHistogram h;
+  h.Record(3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 3.0);
+}
+
+TEST(LatencyHistogramTest, NegativeSamplesClampToZero) {
+  LatencyHistogram h;
+  h.Record(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(h.sum_ms(), 0.0);
+}
+
+TEST(LatencyHistogramTest, MergeCombinesCountsAndExtremes) {
+  LatencyHistogram a;
+  a.Record(1.0);
+  a.Record(4.0);
+  LatencyHistogram b;
+  b.Record(0.5);
+  b.Record(100.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.min_ms(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(a.sum_ms(), 105.5);
+  EXPECT_LE(a.Quantile(0.99), 100.0);
+}
+
+TEST(ServiceMetricsTest, JsonExportHasAllSections) {
+  ServiceMetricsSnapshot m;
+  m.counters.submitted = 10;
+  m.counters.completed = 7;
+  m.counters.rejected = 1;
+  m.counters.cancelled = 1;
+  m.counters.timed_out = 1;
+  m.queue_depth = 2;
+  m.running = 3;
+  m.workers = 4;
+  m.embeddings_streamed = 1234;
+  m.wait.Record(0.5);
+  m.run.Record(8.0);
+  m.total.Record(8.5);
+  std::string json = ServiceMetricsToJson(m);
+  for (const char* key :
+       {"\"counters\"", "\"submitted\": 10", "\"completed\": 7",
+        "\"rejected\": 1", "\"cancelled\": 1", "\"timed_out\": 1",
+        "\"queue_depth\": 2", "\"running\": 3", "\"workers\": 4",
+        "\"embeddings_streamed\": 1234", "\"wait_latency\"",
+        "\"run_latency\"", "\"total_latency\"", "\"p50_ms\"", "\"p99_ms\"",
+        "\"mean_ms\""}) {
+    EXPECT_NE(json.find(key), std::string::npos)
+        << "missing " << key << " in:\n"
+        << json;
+  }
+}
+
+}  // namespace
+}  // namespace daf::obs

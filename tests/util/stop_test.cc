@@ -1,0 +1,84 @@
+#include "util/stop.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/timer.h"
+
+namespace daf {
+namespace {
+
+TEST(CancelTokenTest, StartsClear) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, CancelIsStickyUntilReset) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, CancelFromAnotherThreadBecomesVisible) {
+  CancelToken token;
+  std::thread canceller([&] { token.Cancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(StopConditionTest, DefaultIsUnarmedAndNeverFires) {
+  StopCondition stop;
+  EXPECT_FALSE(stop.armed());
+  EXPECT_EQ(stop.Check(), StopCause::kNone);
+}
+
+TEST(StopConditionTest, NullSourcesStayUnarmed) {
+  StopCondition stop(nullptr, nullptr);
+  EXPECT_FALSE(stop.armed());
+  EXPECT_EQ(stop.Check(), StopCause::kNone);
+}
+
+TEST(StopConditionTest, CancelSourceFiresOnCancel) {
+  CancelToken token;
+  StopCondition stop(nullptr, &token);
+  EXPECT_TRUE(stop.armed());
+  EXPECT_EQ(stop.Check(), StopCause::kNone);
+  token.Cancel();
+  EXPECT_EQ(stop.Check(), StopCause::kCancel);
+}
+
+TEST(StopConditionTest, DeadlineSourceFiresOnExpiry) {
+  // A 0-ms Deadline is disabled; use an already-expired 1-ms one.
+  Deadline deadline(1);
+  while (!deadline.Expired()) {
+  }
+  StopCondition stop(&deadline, nullptr);
+  EXPECT_TRUE(stop.armed());
+  EXPECT_EQ(stop.Check(), StopCause::kDeadline);
+}
+
+TEST(StopConditionTest, DisabledDeadlineNeverFires) {
+  Deadline deadline(0);
+  StopCondition stop(&deadline, nullptr);
+  // Armed (a source is attached) but the source can never trigger.
+  EXPECT_TRUE(stop.armed());
+  EXPECT_EQ(stop.Check(), StopCause::kNone);
+}
+
+TEST(StopConditionTest, CancelWinsOverExpiredDeadline) {
+  Deadline deadline(1);
+  while (!deadline.Expired()) {
+  }
+  CancelToken token;
+  token.Cancel();
+  StopCondition stop(&deadline, &token);
+  EXPECT_EQ(stop.Check(), StopCause::kCancel);
+}
+
+}  // namespace
+}  // namespace daf
