@@ -7,9 +7,12 @@
 // a token duration (CI: "does every benchmark still run?").
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <iterator>
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "daf/boost.h"
@@ -20,6 +23,7 @@
 #include "daf/query_dag.h"
 #include "daf/weights.h"
 #include "graph/query_extract.h"
+#include "util/intersect.h"
 #include "util/stop.h"
 #include "util/timer.h"
 #include "workload/datasets.h"
@@ -213,6 +217,66 @@ void BM_StopConditionCheck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StopConditionCheck);
+
+// Sorted-set intersection kernels — the inner loop of
+// ComputeExtendableCandidates (Definition 5.2). Args are {small side size,
+// large/small ratio}; IntersectSorted switches from the merge scan to
+// galloping (branchless binary probes into the long side) past a 32x ratio,
+// which is exactly the skewed shape CS adjacency lists produce when one
+// parent is much more selective than the other.
+std::pair<std::vector<uint32_t>, std::vector<uint32_t>> IntersectInput(
+    size_t small_n, size_t ratio) {
+  Rng rng(1234 + small_n * 31 + ratio);
+  const uint64_t universe = static_cast<uint64_t>(small_n) * ratio * 2 + 1;
+  auto make_sorted = [&](size_t n) {
+    std::vector<uint32_t> v;
+    v.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      v.push_back(static_cast<uint32_t>(rng.UniformInt(universe)));
+    }
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+  };
+  return {make_sorted(small_n), make_sorted(small_n * ratio)};
+}
+
+void BM_IntersectMergeScan(benchmark::State& state) {
+  auto [small, large] = IntersectInput(static_cast<size_t>(state.range(0)),
+                                       static_cast<size_t>(state.range(1)));
+  std::vector<uint32_t> out;
+  out.reserve(small.size());
+  for (auto _ : state) {
+    out.clear();
+    std::set_intersection(small.begin(), small.end(), large.begin(),
+                          large.end(), std::back_inserter(out));
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_IntersectMergeScan)
+    ->Args({256, 1})
+    ->Args({256, 8})
+    ->Args({256, 32})
+    ->Args({256, 128})
+    ->Args({64, 1024});
+
+void BM_IntersectSorted(benchmark::State& state) {
+  auto [small, large] = IntersectInput(static_cast<size_t>(state.range(0)),
+                                       static_cast<size_t>(state.range(1)));
+  std::vector<uint32_t> out;
+  out.reserve(small.size());
+  for (auto _ : state) {
+    IntersectSorted(small.data(), small.size(), large.data(), large.size(),
+                    &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_IntersectSorted)
+    ->Args({256, 1})
+    ->Args({256, 8})
+    ->Args({256, 32})
+    ->Args({256, 128})
+    ->Args({64, 1024});
 
 void BM_VertexEquivalence(benchmark::State& state) {
   const Graph& data = YeastData();

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "daf/steal.h"
 #include "graph/graph.h"
+#include "util/intersect.h"
 
 namespace daf {
 
@@ -28,17 +30,22 @@ Backtracker::Backtracker(const Graph& query, const QueryDag& dag,
       fs_union_(s_->fs_union),
       failed_classes_(s_->failed_classes),
       scratch_(s_->intersection_scratch),
-      embedding_buffer_(s_->embedding_buffer) {
+      embedding_buffer_(s_->embedding_buffer),
+      map_stack_(s_->map_stack),
+      frames_(s_->frames) {
   s_->ResizeForQuery(n_, data_num_vertices);
   for (uint32_t u = 0; u < n_; ++u) is_leaf_[u] = query.degree(u) <= 1;
 }
 
-BacktrackStats Backtracker::Run(const BacktrackOptions& options) {
+void Backtracker::InitRun(const BacktrackOptions& options) {
   options_ = options;
   stats_ = BacktrackStats{};
   stop_ = false;
+  scheduler_ = options.scheduler;
   stop_condition_ = StopCondition(options.deadline, options.cancel);
-  stop_armed_ = stop_condition_.armed() || static_cast<bool>(options.progress);
+  stop_armed_ = stop_condition_.armed() ||
+                static_cast<bool>(options.progress) || scheduler_ != nullptr ||
+                (options.shared_count != nullptr && options.limit != 0);
   deadline_check_countdown_ = 0;
   profile_ = options.profile;
   if (profile_ != nullptr) {
@@ -52,8 +59,11 @@ BacktrackStats Backtracker::Run(const BacktrackOptions& options) {
   }
   std::fill(mapped_cand_idx_.begin(), mapped_cand_idx_.end(), kNotMapped);
   std::fill(num_mapped_parents_.begin(), num_mapped_parents_.end(), 0u);
-  extendable_list_.clear();
+  map_stack_.clear();
+  frames_.clear();
+}
 
+void Backtracker::SeedRoots() {
   // A single-leaf query (one vertex, or one edge where everything is a
   // leaf) still needs a selectable vertex, so leaf deferral is a preference,
   // not a filter (see SelectExtendable).
@@ -61,6 +71,7 @@ BacktrackStats Backtracker::Run(const BacktrackOptions& options) {
   // Seed every component root as extendable: C_M(r) = C(r). (Connected
   // queries have exactly one root; disconnected ones get one per
   // component.)
+  extendable_list_.clear();
   for (VertexId root : dag_.Roots()) {
     auto& root_cands = extendable_cands_[root];
     root_cands.resize(cs_.NumCandidates(root));
@@ -76,9 +87,74 @@ BacktrackStats Backtracker::Run(const BacktrackOptions& options) {
     }
     extendable_list_.push_back(root);
   }
+}
 
+BacktrackStats Backtracker::Run(const BacktrackOptions& options) {
+  InitRun(options);
+  SeedRoots();
   Recurse(0);
   return stats_;
+}
+
+BacktrackStats Backtracker::RunWorker(const BacktrackOptions& options) {
+  InitRun(options);
+  // Roots are seeded once per worker: task execution rebuilds the mapped
+  // state around them but never disturbs the root candidate lists.
+  SeedRoots();
+  while (!stop_) {
+    std::optional<SubtreeTask> task = scheduler_->GetTask(options_.thread_id);
+    if (!task.has_value()) break;
+    ExecuteTask(*task);
+  }
+  // Wake the other workers promptly when this one hit the limit, the
+  // deadline, a cancel request, or a consumer stop.
+  if (stop_) scheduler_->RequestStop();
+  return stats_;
+}
+
+void Backtracker::ExecuteTask(const SubtreeTask& task) {
+  for (const auto& [u, cand_idx] : task.prefix) Map(u, cand_idx);
+  const uint32_t depth = static_cast<uint32_t>(task.prefix.size());
+  VertexId u = task.u;
+  uint32_t begin = task.begin;
+  uint32_t end = task.end;
+  if (u == kInvalidVertex) {
+    // Seed task: own the whole range of the first extendable vertex. This
+    // is the one search-tree node no donor has counted yet.
+    ++stats_.recursive_calls;
+    if (profile_ != nullptr) CountNode(depth);
+    u = SelectExtendable();
+    begin = 0;
+    end = static_cast<uint32_t>(extendable_cands_[u].size());
+  }
+  if (end > begin) EnumerateCandidates(u, depth, begin, end);
+  for (size_t i = task.prefix.size(); i-- > 0;) Unmap(task.prefix[i].first);
+}
+
+void Backtracker::TryDonate() {
+  const uint32_t threshold = std::max(options_.split_threshold, 1u);
+  for (SearchFrame& frame : frames_) {
+    const uint32_t remaining = frame.end - frame.next;
+    if (remaining < threshold) continue;
+    // Keep the lower half of the unclaimed range, donate the upper half
+    // (at least one candidate). The donated subtree re-derives its
+    // extendable candidates by replaying the prefix, so the task only
+    // carries the mapping pairs and the index range.
+    const uint32_t mid = frame.next + remaining / 2;
+    SubtreeTask task;
+    task.u = frame.u;
+    task.begin = mid;
+    task.end = frame.end;
+    task.prefix.reserve(frame.depth);
+    for (uint32_t d = 0; d < frame.depth; ++d) {
+      const VertexId v = map_stack_[d];
+      task.prefix.emplace_back(v, mapped_cand_idx_[v]);
+    }
+    frame.end = mid;
+    frame.donated = true;
+    scheduler_->Donate(options_.thread_id, std::move(task));
+    return;  // one donation per checkpoint; shallowest frame wins
+  }
 }
 
 bool Backtracker::ShouldStop() {
@@ -96,6 +172,21 @@ bool Backtracker::ShouldStop() {
         return true;
       case StopCause::kNone:
         break;
+    }
+    if (scheduler_ != nullptr && scheduler_->stop_requested()) {
+      // Another worker hit a terminal condition; its stats carry the cause.
+      stop_ = true;
+      return true;
+    }
+    if (options_.shared_count != nullptr && options_.limit != 0 &&
+        options_.shared_count->load(std::memory_order_relaxed) >=
+            options_.limit) {
+      // The shared limit filled up while this worker searched a barren
+      // region; stop instead of finishing a range that can contribute
+      // nothing countable.
+      stats_.limit_reached = true;
+      stop_ = true;
+      return true;
     }
     if (options_.progress) ReportProgress();
   }
@@ -118,11 +209,35 @@ void Backtracker::ReportProgress() {
 }
 
 void Backtracker::ReportEmbedding() {
-  ++stats_.embeddings;
-  uint64_t total = stats_.embeddings;
-  if (options_.shared_count != nullptr) {
-    total = options_.shared_count->fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.shared_count != nullptr && options_.limit != 0) {
+    // Claim a slot under the shared limit *before* counting or delivering:
+    // a claim past the limit is dropped entirely, so the workers' counts
+    // sum to exactly min(limit, total embeddings) — parallel runs report
+    // the same count as single-threaded ones, never limit + in-flight.
+    const uint64_t prev =
+        options_.shared_count->fetch_add(1, std::memory_order_relaxed);
+    if (prev >= options_.limit) {
+      stats_.limit_reached = true;
+      stop_ = true;
+      return;
+    }
+    ++stats_.embeddings;
+    if (options_.callback) {
+      for (uint32_t u = 0; u < n_; ++u) {
+        embedding_buffer_[u] = mapped_vertex_[u];
+      }
+      if (!options_.callback(embedding_buffer_)) {
+        stats_.callback_stopped = true;
+        stop_ = true;
+      }
+    }
+    if (prev + 1 >= options_.limit) {
+      stats_.limit_reached = true;
+      stop_ = true;
+    }
+    return;
   }
+  ++stats_.embeddings;
   if (options_.callback) {
     for (uint32_t u = 0; u < n_; ++u) embedding_buffer_[u] = mapped_vertex_[u];
     if (!options_.callback(embedding_buffer_)) {
@@ -130,7 +245,7 @@ void Backtracker::ReportEmbedding() {
       stop_ = true;
     }
   }
-  if (options_.limit != 0 && total >= options_.limit) {
+  if (options_.limit != 0 && stats_.embeddings >= options_.limit) {
     stats_.limit_reached = true;
     stop_ = true;
   }
@@ -166,7 +281,8 @@ void Backtracker::ComputeExtendableCandidates(VertexId u) {
   const std::vector<uint32_t>& edge_ids = dag_.ParentEdgeIds(u);
   auto& out = extendable_cands_[u];
   // Intersect the parents' CS adjacency lists (Definition 5.2). Lists are
-  // sorted candidate indices into C(u).
+  // sorted candidate indices into C(u); IntersectSorted gallops when one
+  // side dwarfs the other (hub parents) and merges otherwise.
   {
     std::span<const uint32_t> first =
         cs_.EdgeNeighbors(edge_ids[0], mapped_cand_idx_[parents[0]]);
@@ -175,9 +291,8 @@ void Backtracker::ComputeExtendableCandidates(VertexId u) {
   for (size_t pi = 1; pi < parents.size() && !out.empty(); ++pi) {
     std::span<const uint32_t> next =
         cs_.EdgeNeighbors(edge_ids[pi], mapped_cand_idx_[parents[pi]]);
-    scratch_.clear();
-    std::set_intersection(out.begin(), out.end(), next.begin(), next.end(),
-                          std::back_inserter(scratch_));
+    IntersectSorted(out.data(), out.size(), next.data(), next.size(),
+                    &scratch_);
     out.swap(scratch_);
   }
   if (options_.order == MatchOrder::kPathSize) {
@@ -196,6 +311,7 @@ void Backtracker::Map(VertexId u, uint32_t cand_idx) {
   // mapped_by_ backs the injectivity (conflict) checks only; homomorphism
   // runs allow several query vertices on one data vertex.
   if (options_.injective) mapped_by_[v] = u;
+  if (scheduler_ != nullptr) map_stack_.push_back(u);
   for (VertexId c : dag_.Children(u)) {
     if (++num_mapped_parents_[c] ==
         static_cast<uint32_t>(dag_.Parents(c).size())) {
@@ -216,6 +332,7 @@ void Backtracker::Unmap(VertexId u) {
       extendable_list_.pop_back();
     }
   }
+  if (scheduler_ != nullptr) map_stack_.pop_back();
   if (options_.injective) mapped_by_[mapped_vertex_[u]] = kInvalidVertex;
   mapped_vertex_[u] = kInvalidVertex;
   mapped_cand_idx_[u] = kNotMapped;
@@ -236,17 +353,24 @@ void Backtracker::Recurse(uint32_t depth) {
 
   const VertexId u = SelectExtendable();
   const std::vector<uint32_t>& cands = extendable_cands_[u];
-  const bool failing = options_.use_failing_sets;
 
   if (cands.empty()) {
     // Emptyset-class leaf: F = anc(u).
     if (profile_ != nullptr) ++profile_->empty_candidate_prunes;
-    if (failing) {
+    if (options_.use_failing_sets) {
       fs_stack_[depth].Assign(dag_.Ancestors(u));
       fs_empty_[depth] = false;
     }
     return;
   }
+
+  EnumerateCandidates(u, depth, 0, static_cast<uint32_t>(cands.size()));
+}
+
+void Backtracker::EnumerateCandidates(VertexId u, uint32_t depth,
+                                      uint32_t begin, uint32_t end) {
+  const std::vector<uint32_t>& cands = extendable_cands_[u];
+  const bool failing = options_.use_failing_sets;
 
   Bitset& union_fs = fs_union_[depth];
   if (failing) union_fs.ClearAll();
@@ -257,15 +381,34 @@ void Backtracker::Recurse(uint32_t depth) {
   if (boost) failed.clear();
 
   const bool at_root = (depth == 0 && options_.root_cursor != nullptr);
-  uint32_t pos = 0;
+  const bool stealing = scheduler_ != nullptr;
+  size_t frame_index = 0;
+  if (stealing) {
+    frame_index = frames_.size();
+    frames_.push_back(SearchFrame{u, depth, begin, end, false});
+  }
+  uint32_t pos = begin;
+  // Case 2.1: a child's failing set excluded u, so the remaining siblings
+  // (claimed, donated, or root-cursor-pending) are all redundant and the
+  // child's certificate propagates as this node's.
+  bool pruned_rest = false;
   while (true) {
     uint32_t list_index;
+    uint32_t range_end = end;
     if (at_root) {
       list_index = options_.root_cursor->fetch_add(1);
+      range_end = static_cast<uint32_t>(cands.size());
+      if (list_index >= range_end) break;
+    } else if (stealing) {
+      if (scheduler_->WantsWork()) TryDonate();
+      SearchFrame& frame = frames_[frame_index];
+      range_end = frame.end;  // donation may have moved it down
+      if (frame.next >= range_end) break;
+      list_index = frame.next++;
     } else {
+      if (pos >= range_end) break;
       list_index = pos++;
     }
-    if (list_index >= cands.size()) break;
     const uint32_t cand_idx = cands[list_index];
     const VertexId v = cs_.CandidateVertex(u, cand_idx);
 
@@ -326,11 +469,12 @@ void Backtracker::Recurse(uint32_t depth) {
       } else if (!fs_stack_[depth + 1].Test(u)) {
         // Case 2.1 and Lemma 6.1: every remaining sibling is redundant.
         if (profile_ != nullptr) {
-          profile_->failing_set_skips += cands.size() - (list_index + 1);
+          profile_->failing_set_skips += range_end - (list_index + 1);
         }
         fs_stack_[depth].Assign(fs_stack_[depth + 1]);
         fs_empty_[depth] = false;
-        return;
+        pruned_rest = true;
+        break;
       } else {
         union_fs.UnionWith(fs_stack_[depth + 1]);
       }
@@ -349,8 +493,20 @@ void Backtracker::Recurse(uint32_t depth) {
     }
   }
 
+  bool donated = false;
+  if (stealing) {
+    donated = frames_[frame_index].donated;
+    frames_.pop_back();
+  }
+  if (pruned_rest) return;  // certificate already assigned (valid even
+                            // when part of the range was donated: Lemma
+                            // 6.1 needs only the one fully-searched child)
+
   if (failing) {
-    if (any_child_empty) {
+    if (any_child_empty || donated) {
+      // A donated frame did not compute all of its children, so the Case
+      // 2.2 union would certify emptiness of work it never did; report
+      // F = ∅ instead (prunes nothing upward — always sound).
       fs_empty_[depth] = true;
     } else {
       fs_stack_[depth].Assign(union_fs);  // Case 2.2: union of children

@@ -20,11 +20,25 @@
 
 namespace daf {
 
+class StealScheduler;  // daf/steal.h
+struct SubtreeTask;    // daf/steal.h
+
 /// Which adaptive matching order drives extendable-vertex selection
 /// (Section 5.2). The paper's final algorithm DAF uses kPathSize.
 enum class MatchOrder {
   kPathSize,       // min w_M(u) over extendable u (weight array estimate)
   kCandidateSize,  // min |C_M(u)| over extendable u
+};
+
+/// How ParallelDafMatch distributes the search across workers.
+enum class ParallelStrategy {
+  /// Splittable subtree tasks on per-worker deques with stealing: idle
+  /// workers take the shallowest pending candidate range of a busy victim,
+  /// so one skewed root subtree no longer serializes the run.
+  kWorkStealing,
+  /// The paper's Appendix A.4 scheme: an atomic cursor over the root's
+  /// candidates only (kept as an ablation/regression baseline).
+  kRootCursor,
 };
 
 /// Options controlling one backtracking run.
@@ -52,9 +66,21 @@ struct BacktrackOptions {
   /// Shared embedding counter for multi-threaded runs (not owned). When
   /// set, `limit` applies to the shared total, as in Appendix A.4.
   std::atomic<uint64_t>* shared_count = nullptr;
-  /// Work-stealing cursor over the root's candidates for multi-threaded
-  /// runs (not owned). When null the backtracker scans all root candidates.
+  /// Cursor over the root's candidates for multi-threaded kRootCursor runs
+  /// (not owned). When null the backtracker scans all root candidates.
   std::atomic<uint32_t>* root_cursor = nullptr;
+  /// Work-stealing scheduler for multi-threaded kWorkStealing runs (not
+  /// owned; mutually exclusive with root_cursor). When set, drive the
+  /// search through RunWorker instead of Run: the backtracker executes
+  /// SubtreeTasks from the scheduler and, whenever another worker is
+  /// hungry, donates the shallowest splittable candidate range of its own
+  /// open frames.
+  StealScheduler* scheduler = nullptr;
+  /// Minimum number of unclaimed sibling candidates an open frame needs to
+  /// be splittable (clamped to >= 1). 1 donates maximally eagerly — the
+  /// forced-steal stress configuration; larger values avoid shipping
+  /// near-empty ranges.
+  uint32_t split_threshold = 8;
   /// Data-vertex equivalence classes; when set, enables the DAF-Boost
   /// failure-skipping rule (Appendix A.5). Not owned.
   const VertexEquivalence* equivalence = nullptr;
@@ -110,8 +136,27 @@ class Backtracker {
   /// Runs the search; reentrant (each call resets all scratch state).
   BacktrackStats Run(const BacktrackOptions& options);
 
+  /// Runs one worker of a work-stealing parallel search
+  /// (`options.scheduler` must be set): executes SubtreeTasks from the
+  /// scheduler — replaying each task's prefix into this worker's scratch,
+  /// then enumerating its candidate range, donating sub-ranges on demand —
+  /// until the run completes or stops. Reentrant like Run.
+  BacktrackStats RunWorker(const BacktrackOptions& options);
+
  private:
+  void InitRun(const BacktrackOptions& options);
+  void SeedRoots();
   void Recurse(uint32_t depth);
+  /// The sibling loop of Algorithm 2 over candidates [begin, end) of
+  /// extendable vertex u at `depth`: conflict/boost/failing-set handling,
+  /// plus (work-stealing) frame tracking and range donation.
+  void EnumerateCandidates(VertexId u, uint32_t depth, uint32_t begin,
+                           uint32_t end);
+  /// Installs a task's prefix, enumerates its range, and unwinds.
+  void ExecuteTask(const SubtreeTask& task);
+  /// Splits the shallowest splittable open frame and publishes the upper
+  /// half of its unclaimed range to this worker's deque.
+  void TryDonate();
   VertexId SelectExtendable() const;
   void ComputeExtendableCandidates(VertexId u);
   void Map(VertexId u, uint32_t cand_idx);
@@ -162,6 +207,10 @@ class Backtracker {
   // Scratch for candidate-set intersections.
   std::vector<uint32_t>& scratch_;
   std::vector<VertexId>& embedding_buffer_;
+  // Work-stealing bookkeeping (only touched when scheduler_ is set).
+  std::vector<VertexId>& map_stack_;
+  std::vector<SearchFrame>& frames_;
+  StealScheduler* scheduler_ = nullptr;
   // Deadline + cancellation folded into one sampled predicate (util/stop.h);
   // stop_armed_ caches whether the countdown needs to run at all.
   StopCondition stop_condition_;

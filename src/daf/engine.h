@@ -41,6 +41,14 @@ struct MatchOptions {
   bool injective = true;
   /// Data-vertex equivalence for DAF-Boost; null disables boosting.
   const VertexEquivalence* equivalence = nullptr;
+  /// How ParallelDafMatch distributes work (ignored by single-threaded
+  /// DafMatch). kWorkStealing splits subtree candidate ranges on demand;
+  /// kRootCursor is the paper's Appendix A.4 root-partitioning baseline.
+  ParallelStrategy parallel_strategy = ParallelStrategy::kWorkStealing;
+  /// Minimum unclaimed candidates a frame needs before it may be split for
+  /// donation (kWorkStealing only; clamped to >= 1). 1 forces maximal
+  /// splitting — the stress-test configuration.
+  uint32_t split_threshold = 8;
   /// Optional per-embedding callback.
   EmbeddingCallback callback;
   /// Opt-in search profile (not owned): stage timers, CS prune counts,

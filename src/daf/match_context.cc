@@ -27,6 +27,10 @@ void BacktrackScratch::ResizeForQuery(uint32_t n, uint32_t data_n) {
   ResizeBitsets(&fs_union, n + 1, n);
   if (failed_classes.size() < n + 1) failed_classes.resize(n + 1);
   embedding_buffer.assign(n, kInvalidVertex);
+  map_stack.clear();
+  map_stack.reserve(n);
+  frames.clear();
+  frames.reserve(n + 1);
 }
 
 BacktrackScratch& MatchContext::backtrack_scratch(uint32_t thread) {

@@ -45,6 +45,20 @@ struct FailedClass {
   Bitset failing_set;  // only meaningful when failing sets are enabled
 };
 
+/// One open sibling loop of the search, tracked only under the
+/// work-stealing engine: the extendable vertex being enumerated at `depth`,
+/// the next unclaimed index into its candidate list, and the (donation-
+/// shrinkable) end of the range. `donated` poisons the frame's failing-set
+/// certificate: a frame that gave part of its range away never computed all
+/// of its children, so it must not report the Case 2.2 union upward.
+struct SearchFrame {
+  VertexId u = kInvalidVertex;
+  uint32_t depth = 0;
+  uint32_t next = 0;  // next candidate index the owner will claim
+  uint32_t end = 0;   // exclusive; donation moves it down
+  bool donated = false;
+};
+
 /// Reusable per-worker state of one Backtracker: the mapping arrays, the
 /// visited (mapped-by) table over V(G), the failing-set stacks, and the
 /// extendable-candidate buffers. ResizeForQuery re-dimensions everything
@@ -65,6 +79,12 @@ struct BacktrackScratch {
   std::vector<std::vector<FailedClass>> failed_classes;
   std::vector<uint32_t> intersection_scratch;
   std::vector<VertexId> embedding_buffer;
+  // Work-stealing state (unused by single-threaded / root-cursor runs):
+  // the vertices currently mapped in mapping order (map_stack[d] is the
+  // vertex mapped at depth d — donation slices its first `depth` entries
+  // into a task prefix), and the stack of open sibling loops.
+  std::vector<VertexId> map_stack;
+  std::vector<SearchFrame> frames;
 
   /// Sizes every buffer for an n-vertex query over a data graph with
   /// `data_n` vertices and resets their contents to the pre-search state.

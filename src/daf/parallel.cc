@@ -1,5 +1,6 @@
 #include "daf/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -8,6 +9,7 @@
 
 #include "daf/candidate_space.h"
 #include "daf/query_dag.h"
+#include "daf/steal.h"
 #include "daf/weights.h"
 #include "util/timer.h"
 
@@ -105,6 +107,17 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
   Stopwatch search_timer;
   std::atomic<uint64_t> shared_count{0};
   std::atomic<uint32_t> root_cursor{0};
+  const bool stealing =
+      options.parallel_strategy == ParallelStrategy::kWorkStealing &&
+      num_threads > 1;
+  std::unique_ptr<StealScheduler> scheduler;
+  if (stealing) {
+    scheduler =
+        std::make_unique<StealScheduler>(num_threads, options.split_threshold);
+    // The seed task (no prefix, no pinned range) makes whichever worker
+    // grabs it first start a full search; everyone else feeds on donations.
+    scheduler->Seed(SubtreeTask{});
+  }
   std::mutex callback_mutex;
 
   EmbeddingCallback guarded_callback;
@@ -146,14 +159,20 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
       bt.deadline = options.time_limit_ms > 0 ? &deadline : nullptr;
       bt.cancel = options.cancel;
       bt.shared_count = &shared_count;
-      bt.root_cursor = &root_cursor;
       bt.equivalence = options.equivalence;
       bt.callback = guarded_callback;
       bt.profile = profile != nullptr ? &thread_profiles[t] : nullptr;
       bt.progress = guarded_progress;
       bt.progress_interval_ms = options.progress_interval_ms;
       bt.thread_id = t;
-      stats[t] = backtracker.Run(bt);
+      if (stealing) {
+        bt.scheduler = scheduler.get();
+        bt.split_threshold = options.split_threshold;
+        stats[t] = backtracker.RunWorker(bt);
+      } else {
+        bt.root_cursor = &root_cursor;
+        stats[t] = backtracker.Run(bt);
+      }
     });
   }
   for (auto& w : workers) w.join();
@@ -161,14 +180,31 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
 
   result.threads_used = num_threads;
   result.per_thread_calls.resize(num_threads);
+  uint64_t max_calls = 0;
   for (uint32_t t = 0; t < num_threads; ++t) {
     result.embeddings += stats[t].embeddings;
     result.recursive_calls += stats[t].recursive_calls;
     result.per_thread_calls[t] = stats[t].recursive_calls;
+    max_calls = std::max(max_calls, stats[t].recursive_calls);
     result.limit_reached |= stats[t].limit_reached ||
                             stats[t].callback_stopped;
     result.timed_out |= stats[t].timed_out;
     result.cancelled |= stats[t].cancelled;
+  }
+  if (result.recursive_calls > 0) {
+    result.call_imbalance = static_cast<double>(max_calls) * num_threads /
+                            static_cast<double>(result.recursive_calls);
+  }
+  std::vector<uint64_t> per_thread_steals(num_threads, 0);
+  if (scheduler != nullptr) {
+    for (uint32_t t = 0; t < num_threads; ++t) {
+      const StealWorkerStats& ws = scheduler->worker_stats(t);
+      result.tasks_executed += ws.tasks_executed;
+      result.steals += ws.steals;
+      result.donations += ws.donations;
+      result.idle_ms += ws.idle_ms;
+      per_thread_steals[t] = ws.steals;
+    }
   }
   if (profile != nullptr) {
     profile->search_ms = result.search_ms;
@@ -176,6 +212,13 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
       profile->backtrack.MergeFrom(tp);
     }
     profile->thread_profiles = std::move(thread_profiles);
+    profile->parallel.tasks_executed = result.tasks_executed;
+    profile->parallel.steals = result.steals;
+    profile->parallel.donations = result.donations;
+    profile->parallel.idle_ms = result.idle_ms;
+    profile->parallel.call_imbalance = result.call_imbalance;
+    profile->parallel.per_thread_calls = result.per_thread_calls;
+    profile->parallel.per_thread_steals = std::move(per_thread_steals);
   }
   FillMemoryProfile(profile, *context);
   return result;

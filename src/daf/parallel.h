@@ -8,21 +8,36 @@
 
 namespace daf {
 
-/// Extra counters reported by the parallel engine (Appendix A.4).
+/// Extra counters reported by the parallel engine.
 struct ParallelMatchResult : MatchResult {
   uint32_t threads_used = 0;
   /// Recursive calls performed by each thread (load-balance diagnostics).
   std::vector<uint64_t> per_thread_calls;
+  // Work-stealing scheduler counters (all zero under kRootCursor).
+  uint64_t tasks_executed = 0;  // subtree tasks run (seed + stolen)
+  uint64_t steals = 0;          // tasks taken from another worker
+  uint64_t donations = 0;       // candidate ranges split off for thieves
+  double idle_ms = 0;           // summed time workers spent out of work
+  /// max/mean per-thread recursive calls: 1.0 = perfect balance,
+  /// `threads_used` = one worker did everything.
+  double call_imbalance = 0;
 };
 
-/// Multi-threaded DAF (Appendix A.4): the CS is built once and shared; the
-/// iterations over the root's candidates (line 4 of Algorithm 2) are
-/// distributed over `num_threads` workers through a work-stealing cursor.
-/// Each worker owns its visited table and failing-set stack; a shared atomic
-/// counter enforces the global embedding limit, so with a limit the set of
-/// embeddings found may differ across runs (their count may overshoot the
-/// limit by at most `num_threads - 1`, matching the paper's termination
-/// rule), while without a limit the full embedding set is always produced.
+/// Multi-threaded DAF: the CS is built once and shared; the search tree is
+/// distributed over `num_threads` workers. Under the default
+/// ParallelStrategy::kWorkStealing each worker runs subtree tasks (a partial
+/// embedding prefix plus an unexplored candidate range) from per-worker
+/// deques; when a worker goes idle, busy workers split the shallowest
+/// still-splittable range of their own open frames and donate the upper
+/// half, so a single skewed root subtree no longer serializes the run.
+/// Under kRootCursor only the root's candidate iterations (line 4 of
+/// Algorithm 2) are distributed through an atomic cursor, as in the paper's
+/// Appendix A.4. Each worker owns its visited table and failing-set stack;
+/// a shared atomic counter enforces the global embedding limit with
+/// claim-before-count semantics, so the reported count equals exactly
+/// min(limit, total embeddings) — identical to a single-threaded run — while
+/// the *set* of embeddings found under a limit may differ across runs.
+/// Without a limit the full embedding set is always produced.
 ///
 /// `options.callback` and `options.progress` are invoked under a mutex when
 /// set. When `options.profile` is set, each worker fills its own

@@ -33,6 +33,7 @@ void SearchProfile::Reset() {
   memory.Reset();
   backtrack.Reset();
   thread_profiles.clear();
+  parallel.Reset();
   threads = 1;
 }
 

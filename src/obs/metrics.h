@@ -98,6 +98,23 @@ struct MemoryProfile {
   void Reset() { *this = MemoryProfile{}; }
 };
 
+/// Scheduler counters of one multi-threaded run (work-stealing engine;
+/// all-zero under the root-cursor strategy and in single-threaded runs).
+/// `call_imbalance` is max/mean recursive calls across workers — 1.0 is a
+/// perfect split, `threads` means one worker did all the work (the skew
+/// failure mode root-candidate partitioning cannot fix).
+struct ParallelProfile {
+  uint64_t tasks_executed = 0;  // subtree tasks run (seed + donations)
+  uint64_t steals = 0;          // tasks taken from another worker's deque
+  uint64_t donations = 0;       // ranges split off for hungry workers
+  double idle_ms = 0;           // summed worker time spent waiting for work
+  double call_imbalance = 0;    // max/mean per-thread recursive calls
+  std::vector<uint64_t> per_thread_calls;
+  std::vector<uint64_t> per_thread_steals;
+
+  void Reset() { *this = ParallelProfile{}; }
+};
+
 /// A sampled point-in-time view of a running search, delivered through the
 /// low-overhead progress hook (see ProgressFn in MatchOptions /
 /// BacktrackOptions). Sampling piggybacks on the deadline-check countdown
@@ -132,6 +149,8 @@ struct SearchProfile {
   BacktrackProfile backtrack;
   /// Per-worker profiles; populated by ParallelDafMatch only.
   std::vector<BacktrackProfile> thread_profiles;
+  /// Scheduler balance counters; populated by ParallelDafMatch only.
+  ParallelProfile parallel;
   uint32_t threads = 1;
 
   void Reset();

@@ -82,6 +82,7 @@ void WriteServiceMetrics(JsonWriter& w, const ServiceMetricsSnapshot& m) {
   w.Key("cancelled").Uint(m.counters.cancelled);
   w.Key("timed_out").Uint(m.counters.timed_out);
   w.Key("failed").Uint(m.counters.failed);
+  w.Key("parallel_jobs").Uint(m.counters.parallel_jobs);
   w.EndObject();
   w.Key("queue_depth").Uint(m.queue_depth);
   w.Key("running").Uint(m.running);

@@ -58,6 +58,10 @@ struct ServiceCounters {
   uint64_t cancelled = 0;  // cancel observed while queued or mid-search
   uint64_t timed_out = 0;  // per-job deadline expired (queued or running)
   uint64_t failed = 0;     // the engine reported an error
+  /// Jobs run through the intra-query parallel engine (interactive-priority
+  /// jobs when ServiceOptions::intra_query_threads > 1). Not a terminal
+  /// outcome — such a job also lands in one of the counters above.
+  uint64_t parallel_jobs = 0;
 };
 
 /// A point-in-time copy of a MatchService's metrics: cheap to take (one

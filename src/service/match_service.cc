@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "daf/cursor.h"
+#include "daf/parallel.h"
 
 namespace daf::service {
 
@@ -161,10 +162,19 @@ void MatchService::ProcessJob(const internal::JobStatePtr& job) {
 
   Stopwatch run_timer;
   uint64_t streamed = 0;
+  bool ran_parallel = false;
   MatchResult result;
   {
     ContextPool::Lease lease = contexts_.Acquire();
-    if (job->stream) {
+    if (!job->stream && options_.intra_query_threads > 1 &&
+        job->priority == Priority::kInteractive) {
+      // Latency-critical job: spend intra-query threads on it. Limits,
+      // deadline, and cancellation keep exact single-thread semantics
+      // through the shared counter and the StopCondition each worker polls.
+      result = ParallelDafMatch(job->query, data_, opts,
+                                options_.intra_query_threads, lease.get());
+      ran_parallel = true;
+    } else if (job->stream) {
       // The cursor runs the search on its producer thread inside the
       // pooled context; this worker pumps embeddings into the handle's
       // buffer under backpressure.
@@ -201,6 +211,7 @@ void MatchService::ProcessJob(const internal::JobStatePtr& job) {
   {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     embeddings_streamed_ += streamed;
+    if (ran_parallel) ++counters_.parallel_jobs;
   }
   FinishJob(job, status, /*ran=*/true);
 }

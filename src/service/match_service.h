@@ -33,6 +33,13 @@ struct ServiceOptions {
   uint64_t default_limit = 0;
   /// Collect a SearchProfile per job (readable via JobHandle::Profile).
   bool collect_profiles = true;
+  /// Opt-in intra-query parallelism for latency-critical work: when > 1,
+  /// non-streaming Priority::kInteractive jobs run through the
+  /// work-stealing parallel engine with this many threads instead of the
+  /// single-threaded engine. The threads are spawned per job (on top of the
+  /// worker pool), so size num_workers * intra_query_threads to the
+  /// machine. 1 (the default) keeps every job single-threaded.
+  uint32_t intra_query_threads = 1;
 };
 
 /// A transport-agnostic concurrent subgraph-match service: owns one shared

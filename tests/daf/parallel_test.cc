@@ -53,17 +53,22 @@ TEST(ParallelTest, ProducesExactEmbeddingSet) {
   EXPECT_EQ(result.embeddings, expected.size());
 }
 
-TEST(ParallelTest, RespectsLimitApproximately) {
+TEST(ParallelTest, RespectsLimitExactly) {
   Graph data = MakeClique({0, 0, 0, 0, 0, 0, 0});
   Graph query = MakeCycle({0, 0, 0});  // 7*6*5 = 210 embeddings
-  MatchOptions opts;
-  opts.limit = 50;
-  ParallelMatchResult result = ParallelDafMatch(query, data, opts, 4);
-  ASSERT_TRUE(result.ok);
-  EXPECT_TRUE(result.limit_reached);
-  EXPECT_GE(result.embeddings, 50u);
-  // Termination-rule overshoot is bounded by the thread count.
-  EXPECT_LE(result.embeddings, 50u + 3u);
+  for (ParallelStrategy strategy :
+       {ParallelStrategy::kWorkStealing, ParallelStrategy::kRootCursor}) {
+    MatchOptions opts;
+    opts.limit = 50;
+    opts.parallel_strategy = strategy;
+    ParallelMatchResult result = ParallelDafMatch(query, data, opts, 4);
+    ASSERT_TRUE(result.ok);
+    EXPECT_TRUE(result.limit_reached);
+    // Claim-before-count on the shared counter: the reported count equals
+    // the limit exactly, as in a single-threaded run — no overshoot from
+    // in-flight embeddings.
+    EXPECT_EQ(result.embeddings, 50u);
+  }
 }
 
 TEST(ParallelTest, PerThreadCallsSumToTotal) {

@@ -65,6 +65,50 @@ TEST(MatchServiceTest, CompletedJobMatchesDirectEngineRun) {
   EXPECT_GT(handle.start_seq(), 0u);
 }
 
+TEST(MatchServiceTest, IntraQueryParallelismForInteractiveJobs) {
+  Graph data = SmallData();
+  MatchResult expected = DafMatch(SmallQuery(), data);
+  ASSERT_TRUE(expected.Complete());
+
+  MatchService service(data,
+                       {.num_workers = 1, .intra_query_threads = 4});
+  // Interactive, non-streaming -> the work-stealing parallel engine.
+  QueryJob interactive;
+  interactive.query = SmallQuery();
+  interactive.priority = Priority::kInteractive;
+  JobHandle par_handle = service.Submit(std::move(interactive));
+  EXPECT_EQ(par_handle.Wait(), JobStatus::kDone);
+  EXPECT_EQ(par_handle.Result().embeddings, expected.embeddings);
+  EXPECT_EQ(par_handle.Profile().threads, 4u);
+
+  // Normal priority stays on the single-threaded engine.
+  QueryJob batch;
+  batch.query = SmallQuery();
+  batch.priority = Priority::kNormal;
+  JobHandle seq_handle = service.Submit(std::move(batch));
+  EXPECT_EQ(seq_handle.Wait(), JobStatus::kDone);
+  EXPECT_EQ(seq_handle.Result().embeddings, expected.embeddings);
+  EXPECT_EQ(seq_handle.Profile().threads, 1u);
+
+  service.Drain();  // Wait() returns before the metrics bookkeeping lands
+  auto metrics = service.Metrics();
+  EXPECT_EQ(metrics.counters.parallel_jobs, 1u);
+  EXPECT_EQ(metrics.counters.completed, 2u);
+}
+
+TEST(MatchServiceTest, IntraQueryParallelLimitStaysExact) {
+  MatchService service(BlockerData(),
+                       {.num_workers = 1, .intra_query_threads = 4});
+  QueryJob job;
+  job.query = SmallQuery();  // 12*11*10 = 1320 embeddings
+  job.priority = Priority::kInteractive;
+  job.limit = 100;
+  JobHandle handle = service.Submit(std::move(job));
+  EXPECT_EQ(handle.Wait(), JobStatus::kDone);
+  EXPECT_TRUE(handle.Result().limit_reached);
+  EXPECT_EQ(handle.Result().embeddings, 100u);
+}
+
 TEST(MatchServiceTest, StreamedEmbeddingsEqualTheDirectSet) {
   Graph data = SmallData();
   EmbeddingSet expected;

@@ -1,0 +1,128 @@
+#include "util/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace daf {
+namespace {
+
+std::vector<uint32_t> SortedUnique(std::vector<uint32_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::vector<uint32_t> Reference(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<uint32_t> Intersect(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  // Poison the output so stale contents from a previous call can't pass.
+  std::vector<uint32_t> out = {0xdeadbeefu};
+  IntersectSorted(a.data(), a.size(), b.data(), b.size(), &out);
+  return out;
+}
+
+TEST(IntersectTest, EmptyInputs) {
+  EXPECT_TRUE(Intersect({}, {}).empty());
+  EXPECT_TRUE(Intersect({1, 2, 3}, {}).empty());
+  EXPECT_TRUE(Intersect({}, {1, 2, 3}).empty());
+}
+
+TEST(IntersectTest, BasicOverlap) {
+  EXPECT_EQ(Intersect({1, 3, 5, 7}, {3, 4, 5, 6}),
+            (std::vector<uint32_t>{3, 5}));
+  EXPECT_EQ(Intersect({1, 2, 3}, {1, 2, 3}), (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(Intersect({1, 3, 5}, {2, 4, 6}).empty());
+}
+
+TEST(IntersectTest, GallopingPathSymmetric) {
+  // Size ratio far past kGallopRatio in both argument orders, including
+  // keys below, inside, and above the long side's range.
+  std::vector<uint32_t> large;
+  for (uint32_t i = 0; i < 4096; ++i) large.push_back(100 + i * 3);
+  std::vector<uint32_t> small = {1, 100, 103, 5000, 12385, 12388, 999999};
+  std::vector<uint32_t> expected = Reference(small, large);
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(Intersect(small, large), expected);
+  EXPECT_EQ(Intersect(large, small), expected);
+}
+
+TEST(IntersectTest, GallopingSingleElement) {
+  std::vector<uint32_t> large;
+  for (uint32_t i = 0; i < 1000; ++i) large.push_back(i * 2);
+  EXPECT_EQ(Intersect({500}, large), (std::vector<uint32_t>{500}));
+  EXPECT_TRUE(Intersect({501}, large).empty());
+  EXPECT_EQ(Intersect({0}, large), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(Intersect({1998}, large), (std::vector<uint32_t>{1998}));
+  EXPECT_TRUE(Intersect({1999}, large).empty());
+}
+
+TEST(IntersectTest, BranchlessLowerBoundMatchesStd) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.UniformInt(300);
+    std::vector<uint32_t> v;
+    v.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      v.push_back(static_cast<uint32_t>(rng.UniformInt(1000)));
+    }
+    v = SortedUnique(std::move(v));
+    for (int probe = 0; probe < 20; ++probe) {
+      const uint32_t key = static_cast<uint32_t>(rng.UniformInt(1100));
+      const size_t expected = static_cast<size_t>(
+          std::lower_bound(v.begin(), v.end(), key) - v.begin());
+      EXPECT_EQ(BranchlessLowerBound(v.data(), v.size(), key), expected)
+          << "n=" << v.size() << " key=" << key;
+    }
+  }
+}
+
+TEST(IntersectTest, RandomizedAgainstStdSetIntersection) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Cover the merge path, both galloping directions, and the boundary
+    // around the dispatch ratio.
+    const size_t na = rng.UniformInt(80);
+    const size_t ratio = 1 + rng.UniformInt(100);
+    const size_t nb = rng.UniformInt(2) == 0 ? rng.UniformInt(80)
+                                             : na * ratio + rng.UniformInt(8);
+    const uint64_t universe = 1 + rng.UniformInt(4000);
+    auto make = [&](size_t n) {
+      std::vector<uint32_t> v;
+      v.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        v.push_back(static_cast<uint32_t>(rng.UniformInt(universe)));
+      }
+      return SortedUnique(std::move(v));
+    };
+    std::vector<uint32_t> a = make(na);
+    std::vector<uint32_t> b = make(nb);
+    EXPECT_EQ(Intersect(a, b), Reference(a, b))
+        << "trial=" << trial << " |a|=" << a.size() << " |b|=" << b.size();
+    EXPECT_EQ(Intersect(b, a), Reference(a, b));
+  }
+}
+
+TEST(IntersectTest, OutputAliasesNeitherInput) {
+  // The engine calls IntersectSorted with `out` = a scratch distinct from
+  // both inputs; the contract clears the output first.
+  std::vector<uint32_t> a = {1, 2, 3, 4};
+  std::vector<uint32_t> b = {2, 4, 6};
+  std::vector<uint32_t> out(100, 7);  // pre-sized garbage
+  IntersectSorted(a.data(), a.size(), b.data(), b.size(), &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{2, 4}));
+}
+
+}  // namespace
+}  // namespace daf
