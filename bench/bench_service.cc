@@ -10,6 +10,18 @@
 //   $ ./bench/bench_service                 # default: 256 queries, 4 workers
 //   $ ./bench/bench_service --smoke         # CI: >= 64 queries, >= 4 workers
 //   $ ./bench/bench_service --workers 16 --queries 2048 --scale 0.5
+//
+// --chaos switches to the fault-injection harness (docs/ROBUSTNESS.md):
+// the same mixed load runs with every fault point armed at --fault_rate
+// under --chaos_seed, a fraction of jobs carrying tiny memory budgets and
+// an aggressive watchdog. The run then asserts the robustness invariants —
+// every job in exactly one terminal status, terminal counters summing to
+// submissions, exhausted jobs reporting honest partial results (never
+// certified-negative), and the service still serving after the faults stop
+// — and exits nonzero on any violation.
+//
+//   $ ./bench/bench_service --chaos --chaos_seed 7 --fault_rate 0.05
+//   $ ./bench/bench_service --chaos --smoke   # CI liveness gate
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -19,6 +31,7 @@
 #include "obs/json.h"
 #include "obs/service_metrics.h"
 #include "service/match_service.h"
+#include "util/fault_inject.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -90,6 +103,207 @@ double CancelProbeMs() {
   return timer.ElapsedMs();
 }
 
+// The chaos harness: a seeded mixed load (easy / hard-deadlined / negative
+// / tiny-memory-budget jobs) runs with every fault point armed, then the
+// robustness invariants are asserted. Returns the number of violations.
+int RunChaos(int64_t workers, int64_t queries, int64_t seed,
+             int64_t chaos_seed, double fault_rate, double scale,
+             int64_t hard_deadline_ms, const std::string& report) {
+  std::fprintf(stderr,
+               "chaos: seed %lld, fault rate %.3g, %lld queries, "
+               "%lld workers\n",
+               static_cast<long long>(chaos_seed), fault_rate,
+               static_cast<long long>(queries),
+               static_cast<long long>(workers));
+  Graph data = workload::MakeDataset(workload::DatasetId::kYeast, scale,
+                                     static_cast<uint64_t>(seed));
+  Rng rng(static_cast<uint64_t>(seed));
+  workload::QuerySet easy = workload::MakeQuerySet(data, 8, true, 16, rng);
+  workload::QuerySet hard = workload::MakeQuerySet(data, 24, false, 8, rng);
+  std::vector<Graph> negative;
+  for (const Graph& q : easy.queries) {
+    negative.push_back(workload::PerturbLabels(q, data, 3, rng));
+  }
+
+  service::ServiceOptions options;
+  options.num_workers = static_cast<uint32_t>(workers);
+  options.queue_capacity = static_cast<size_t>(queries) + 1;
+  // Aggressive governance so the chaos run exercises every mechanism:
+  // tight watchdog, pool footprint shedding, and a service-global ceiling
+  // generous enough that only budgeted jobs normally exhaust.
+  options.watchdog_interval_ms = 20;
+  options.watchdog_grace_ms = 250;
+  options.context_retained_bytes = 1u << 20;
+  options.service_memory_limit_bytes = uint64_t{1} << 31;
+  service::MatchService service(data, options);
+
+  std::vector<service::JobHandle> handles;
+  handles.reserve(static_cast<size_t>(queries));
+  std::vector<FaultInjector::PointStats> fault_stats;
+  uint64_t fault_fires = 0;
+  Stopwatch wall;
+  {
+    ScopedFaultInjection chaos_faults(static_cast<uint64_t>(chaos_seed),
+                                      fault_rate);
+    for (int64_t i = 0; i < queries; ++i) {
+      service::QueryJob job;
+      job.priority =
+          static_cast<service::Priority>(i % service::kNumPriorities);
+      job.limit = 100000;
+      switch (i % 4) {
+        case 0:
+          job.query = easy.queries[static_cast<size_t>(i / 4) %
+                                   easy.queries.size()];
+          break;
+        case 1:
+          job.query = hard.queries[static_cast<size_t>(i / 4) %
+                                   hard.queries.size()];
+          job.deadline_ms = static_cast<uint64_t>(hard_deadline_ms);
+          break;
+        case 2:
+          job.query =
+              negative[static_cast<size_t>(i / 4) % negative.size()];
+          break;
+        default:
+          // Tiny budget: big enough to admit the query, far too small for
+          // a hard query's candidate space — the exhaustion path.
+          job.query = hard.queries[static_cast<size_t>(i / 4) %
+                                   hard.queries.size()];
+          job.max_memory_bytes = 96 * 1024;
+          break;
+      }
+      handles.push_back(service.Submit(std::move(job)));
+    }
+    service.Drain();
+    // Snapshot before ~ScopedFaultInjection: Disarm clears the counters.
+    fault_stats = FaultInjector::Snapshot();
+    fault_fires = FaultInjector::total_fires();
+    // ~ScopedFaultInjection disarms before the liveness probe below.
+  }
+  const double wall_ms = wall.ElapsedMs();
+
+  // --- Invariants. Every violation is reported; the count is the exit.
+  int violations = 0;
+  auto check = [&](bool ok, const char* what, size_t i) {
+    if (ok) return;
+    ++violations;
+    std::fprintf(stderr, "chaos VIOLATION (job %zu): %s\n", i, what);
+  };
+  uint64_t terminal_counts[8] = {};
+  for (size_t i = 0; i < handles.size(); ++i) {
+    service::JobHandle& h = handles[i];
+    const service::JobStatus status = h.Status();
+    check(service::IsTerminal(status), "job not terminal after Drain", i);
+    if (!service::IsTerminal(status)) continue;
+    ++terminal_counts[static_cast<size_t>(status)];
+    const MatchResult& r = h.Result();
+    switch (status) {
+      case service::JobStatus::kDone:
+        check(r.ok, "kDone but result.ok false", i);
+        break;
+      case service::JobStatus::kResourceExhausted:
+        check(r.resource_exhausted,
+              "kResourceExhausted without result flag", i);
+        check(!r.Complete(), "exhausted job claims Complete()", i);
+        check(!r.cs_certified_negative,
+              "exhausted job claims certified-negative", i);
+        break;
+      case service::JobStatus::kFailed:
+        check(!r.ok && !r.error.empty(), "kFailed without an error", i);
+        break;
+      default:
+        break;  // cancelled / timed out / rejected: partial counts only
+    }
+  }
+
+  // The service's terminal counters must account for every submission.
+  obs::ServiceMetricsSnapshot metrics = service.Metrics();
+  const uint64_t counter_sum =
+      metrics.counters.rejected + metrics.counters.completed +
+      metrics.counters.cancelled + metrics.counters.timed_out +
+      metrics.counters.failed + metrics.counters.resource_exhausted;
+  if (metrics.counters.submitted != counter_sum) {
+    ++violations;
+    std::fprintf(stderr,
+                 "chaos VIOLATION: submitted %llu != terminal sum %llu\n",
+                 static_cast<unsigned long long>(metrics.counters.submitted),
+                 static_cast<unsigned long long>(counter_sum));
+  }
+  if (metrics.global_memory_used != 0) {
+    ++violations;
+    std::fprintf(stderr,
+                 "chaos VIOLATION: global ledger holds %llu bytes after "
+                 "Drain (leak)\n",
+                 static_cast<unsigned long long>(metrics.global_memory_used));
+  }
+
+  // Liveness: with faults disarmed the same service must still serve.
+  {
+    service::QueryJob probe;
+    probe.query = easy.queries.front();
+    probe.limit = 1000;
+    service::JobHandle h = service.Submit(std::move(probe));
+    const service::JobStatus status = h.Wait();
+    if (status != service::JobStatus::kDone) {
+      ++violations;
+      std::fprintf(stderr,
+                   "chaos VIOLATION: post-chaos liveness probe ended %s\n",
+                   service::ToString(status));
+    }
+  }
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("service_chaos");
+  w.Key("config").BeginObject()
+      .Key("workers").Int(workers)
+      .Key("queries").Int(queries)
+      .Key("seed").Int(seed)
+      .Key("chaos_seed").Int(chaos_seed)
+      .Key("fault_rate").Double(fault_rate)
+      .Key("scale").Double(scale)
+      .EndObject();
+  w.Key("wall_ms").Double(wall_ms);
+  w.Key("fault_fires").Uint(fault_fires);
+  w.Key("fault_points").BeginObject();
+  for (const auto& p : fault_stats) {
+    w.Key(p.name).BeginObject()
+        .Key("polls").Uint(p.polls)
+        .Key("fires").Uint(p.fires)
+        .EndObject();
+  }
+  w.EndObject();
+  w.Key("violations").Int(violations);
+  w.Key("service_metrics");
+  obs::WriteServiceMetrics(w, metrics);
+  w.EndObject();
+  std::FILE* f = std::fopen(report.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "%s\n", w.str().c_str());
+    std::fclose(f);
+  }
+
+  std::printf(
+      "bench_service --chaos: %zu jobs, %llu fault fires, "
+      "%d violation(s)\n"
+      "  outcomes  %llu done, %llu timed out, %llu cancelled, "
+      "%llu exhausted, %llu failed, %llu rejected\n"
+      "  watchdog  %llu fire(s); peak job %llu bytes\n"
+      "  report    %s\n",
+      handles.size(), static_cast<unsigned long long>(fault_fires),
+      violations,
+      static_cast<unsigned long long>(metrics.counters.completed),
+      static_cast<unsigned long long>(metrics.counters.timed_out),
+      static_cast<unsigned long long>(metrics.counters.cancelled),
+      static_cast<unsigned long long>(metrics.counters.resource_exhausted),
+      static_cast<unsigned long long>(metrics.counters.failed),
+      static_cast<unsigned long long>(metrics.counters.rejected),
+      static_cast<unsigned long long>(metrics.watchdog_fires),
+      static_cast<unsigned long long>(metrics.peak_job_bytes),
+      report.c_str());
+  return violations == 0 ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   FlagSet flags;
   int64_t& workers = flags.Int64("workers", 4, "service worker threads");
@@ -104,6 +318,13 @@ int Run(int argc, char** argv) {
   bool& smoke = flags.Bool(
       "smoke", false,
       "CI mode: clamp to >= 64 queries / >= 4 workers, tiny dataset");
+  bool& chaos = flags.Bool(
+      "chaos", false,
+      "fault-injection harness: assert robustness invariants under load");
+  int64_t& chaos_seed =
+      flags.Int64("chaos_seed", 1, "fault schedule seed (--chaos)");
+  double& fault_rate = flags.Double(
+      "fault_rate", 0.02, "per-poll fault probability (--chaos)");
   if (!flags.Parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     flags.PrintUsage(argv[0]);
@@ -113,6 +334,12 @@ int Run(int argc, char** argv) {
     queries = std::max<int64_t>(queries, 64);
     workers = std::max<int64_t>(workers, 4);
     scale = std::min(scale, 0.1);
+  }
+  if (chaos) {
+    return RunChaos(workers, queries, seed, chaos_seed, fault_rate, scale,
+                    hard_deadline_ms,
+                    report == "BENCH_service.json" ? "BENCH_chaos.json"
+                                                   : report);
   }
 
   std::fprintf(stderr, "synthesizing Yeast stand-in (scale %.3g)...\n",

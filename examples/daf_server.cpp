@@ -34,6 +34,9 @@
 #include <vector>
 
 #ifdef __unix__
+#include <cerrno>
+#include <csignal>
+
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -44,6 +47,7 @@
 #include "graph/io.h"
 #include "obs/service_metrics.h"
 #include "service/match_service.h"
+#include "util/fault_inject.h"
 #include "util/flags.h"
 #include "workload/datasets.h"
 
@@ -236,10 +240,65 @@ class Session {
 };
 
 #ifdef __unix__
+// An ostream sink over a raw fd that loops partial writes and retries
+// EINTR, so a slow or half-closed client can't truncate a response or kill
+// the process mid-write. A real write error (the client vanished — EPIPE,
+// ECONNRESET, or an injected server_write fault) marks the buffer bad; the
+// session's next getline/flush fails and only that connection ends.
+class FdOutBuf : public std::streambuf {
+ public:
+  explicit FdOutBuf(int fd) : fd_(fd) {
+    setp(buffer_, buffer_ + sizeof(buffer_));
+  }
+  ~FdOutBuf() override {
+    sync();
+    ::close(fd_);  // owns its (dup'ed) fd
+  }
+
+ protected:
+  int overflow(int ch) override {
+    if (!FlushBuffer()) return traits_type::eof();
+    if (ch != traits_type::eof()) {
+      *pptr() = static_cast<char>(ch);
+      pbump(1);
+    }
+    return ch == traits_type::eof() ? 0 : ch;
+  }
+  int sync() override { return FlushBuffer() ? 0 : -1; }
+
+ private:
+  bool FlushBuffer() {
+    const char* p = pbase();
+    const char* end = pptr();
+    while (p < end) {
+      if (FAULT_POINT(server_write)) {
+        errno = EPIPE;  // simulated peer disappearance
+        return false;
+      }
+      ssize_t n = ::write(fd_, p, static_cast<size_t>(end - p));
+      if (n < 0) {
+        if (errno == EINTR) continue;  // interrupted: retry the same slice
+        return false;                  // real error: poison this stream only
+      }
+      p += n;
+    }
+    setp(buffer_, buffer_ + sizeof(buffer_));
+    return true;
+  }
+
+  int fd_;
+  char buffer_[4096];
+};
+
 // Serves protocol sessions to TCP clients on 127.0.0.1:`port`, one client
 // at a time (the service itself is concurrent; the control channel is not).
+// Per-connection failures (protocol errors, write failures, exceptions) are
+// contained: the session ends, the listener keeps accepting.
 int ServeTcp(uint16_t port, const ServiceOptions& defaults,
              const std::optional<Graph>& preloaded) {
+  // A client closing mid-response must surface as a write error on that
+  // connection, not a process-killing signal.
+  std::signal(SIGPIPE, SIG_IGN);
   int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
     std::perror("socket");
@@ -253,7 +312,7 @@ int ServeTcp(uint16_t port, const ServiceOptions& defaults,
   addr.sin_port = htons(port);
   if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
           0 ||
-      ::listen(listener, 1) < 0) {
+      ::listen(listener, 8) < 0) {
     std::perror("bind/listen");
     ::close(listener);
     return 1;
@@ -261,15 +320,21 @@ int ServeTcp(uint16_t port, const ServiceOptions& defaults,
   std::fprintf(stderr, "daf_server listening on 127.0.0.1:%u\n", port);
   for (;;) {
     int client = ::accept(listener, nullptr, nullptr);
-    if (client < 0) break;
-    {
+    if (client < 0) {
+      if (errno == EINTR) continue;  // signal during accept: keep serving
+      std::perror("accept");
+      break;
+    }
+    try {
       __gnu_cxx::stdio_filebuf<char> inbuf(client, std::ios::in);
-      __gnu_cxx::stdio_filebuf<char> outbuf(::dup(client), std::ios::out);
+      FdOutBuf outbuf(::dup(client));
       std::istream in(&inbuf);
       std::ostream out(&outbuf);
       Session session(in, out, defaults);
       if (preloaded.has_value()) session.SetData(*preloaded);
       session.Run();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "session error: %s\n", e.what());
     }
     ::close(client);
   }

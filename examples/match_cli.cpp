@@ -5,7 +5,12 @@
 //   $ ./examples/match_cli --data g.txt --query q.txt
 //         [--algo daf|da|cfl|turboiso|vf2|quicksi|graphql|spath|gaddi]
 //         [--k 100000] [--timeout_ms 60000] [--threads 1] [--print 5]
-//         [--profile[=FILE]]
+//         [--max-memory BYTES] [--profile[=FILE]]
+//
+// --max-memory (daf/da only) caps the search's arena + candidate-space
+// staging memory; an over-budget run stops cooperatively and reports its
+// partial counts with a "(RESOURCE EXHAUSTED)" marker (exit status 0, but
+// the result is not a completed enumeration). See docs/ROBUSTNESS.md.
 //
 // --profile (daf/da only) attaches an obs::SearchProfile to the run and
 // emits it as JSON together with the MatchResult: bare --profile prints to
@@ -25,6 +30,7 @@
 #include "graph/io.h"
 #include "obs/json.h"
 #include "util/flags.h"
+#include "util/memory_budget.h"
 
 namespace {
 
@@ -72,6 +78,8 @@ int main(int argc, char** argv) {
   int64_t& threads = flags.Int64("threads", 1, "threads (daf only)");
   int64_t& print_limit =
       flags.Int64("print", 0, "print the first N embeddings");
+  int64_t& max_memory = flags.Int64(
+      "max-memory", 0, "search memory budget in bytes, daf/da (0 = none)");
   std::string& profile_out = flags.OptionalString(
       "profile", "", "-",
       "emit the JSON search profile (daf/da): bare = stdout, =FILE = file");
@@ -104,13 +112,17 @@ int main(int argc, char** argv) {
   uint64_t calls = 0;
   double ms = 0;
   bool timed_out = false;
+  bool exhausted = false;
   bool ok = true;
   if (algo == "daf" || algo == "da") {
     daf::obs::SearchProfile profile;
+    daf::MemoryBudget budget(
+        max_memory > 0 ? static_cast<uint64_t>(max_memory) : 0);
     daf::MatchOptions options;
     options.limit = static_cast<uint64_t>(k);
     options.time_limit_ms = static_cast<uint64_t>(timeout_ms);
     options.use_failing_sets = algo == "daf";
+    if (max_memory > 0) options.memory_budget = &budget;
     if (!profile_out.empty()) options.profile = &profile;
     if (g_print_limit > 0) options.callback = &PrintEmbedding;
     daf::MatchResult r;
@@ -126,6 +138,7 @@ int main(int argc, char** argv) {
     calls = r.recursive_calls;
     ms = r.preprocess_ms + r.search_ms;
     timed_out = r.timed_out;
+    exhausted = r.resource_exhausted;
     if (ok && !profile_out.empty()) {
       std::string json = daf::obs::MatchResultToJson(r, &profile);
       if (!EmitProfile(profile_out, json)) return 1;
@@ -162,9 +175,10 @@ int main(int argc, char** argv) {
     timed_out = r.timed_out;
   }
   if (!ok) return 1;
-  std::printf("%llu embeddings, %llu recursive calls, %.2f ms%s\n",
+  std::printf("%llu embeddings, %llu recursive calls, %.2f ms%s%s\n",
               static_cast<unsigned long long>(embeddings),
               static_cast<unsigned long long>(calls), ms,
-              timed_out ? " (TIMED OUT)" : "");
+              timed_out ? " (TIMED OUT)" : "",
+              exhausted ? " (RESOURCE EXHAUSTED)" : "");
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "daf/steal.h"
 #include "graph/graph.h"
+#include "util/fault_inject.h"
 #include "util/intersect.h"
 
 namespace daf {
@@ -42,7 +43,8 @@ void Backtracker::InitRun(const BacktrackOptions& options) {
   stats_ = BacktrackStats{};
   stop_ = false;
   scheduler_ = options.scheduler;
-  stop_condition_ = StopCondition(options.deadline, options.cancel);
+  stop_condition_ =
+      StopCondition(options.deadline, options.cancel, options.budget);
   stop_armed_ = stop_condition_.armed() ||
                 static_cast<bool>(options.progress) || scheduler_ != nullptr ||
                 (options.shared_count != nullptr && options.limit != 0);
@@ -132,6 +134,14 @@ void Backtracker::ExecuteTask(const SubtreeTask& task) {
 }
 
 void Backtracker::TryDonate() {
+  // Simulated allocation failure while packaging a donation: the split is
+  // abandoned and this worker stops as resource-exhausted. Its open frames
+  // unwind normally, so partial counts stay valid.
+  if (FAULT_POINT(steal_donate)) {
+    stats_.resource_exhausted = true;
+    stop_ = true;
+    return;
+  }
   const uint32_t threshold = std::max(options_.split_threshold, 1u);
   for (SearchFrame& frame : frames_) {
     const uint32_t remaining = frame.end - frame.next;
@@ -168,6 +178,10 @@ bool Backtracker::ShouldStop() {
         return true;
       case StopCause::kCancel:
         stats_.cancelled = true;
+        stop_ = true;
+        return true;
+      case StopCause::kMemoryExhausted:
+        stats_.resource_exhausted = true;
         stop_ = true;
         return true;
       case StopCause::kNone:

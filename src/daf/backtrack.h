@@ -58,11 +58,15 @@ struct BacktrackOptions {
   uint64_t limit = 0;
   /// Optional wall-clock cutoff (not owned).
   const Deadline* deadline = nullptr;
-  /// Optional cooperative cancellation (not owned). Both stop sources are
+  /// Optional cooperative cancellation (not owned). All stop sources are
   /// folded into one StopCondition polled every 4096 recursive calls, so a
   /// cancel request stops a running search within a few thousand node
   /// expansions (well under the 50 ms serving budget; see util/stop.h).
   const CancelToken* cancel = nullptr;
+  /// Optional memory budget (not owned): polled through the same
+  /// StopCondition; a latched `exhausted()` stops the search with
+  /// `BacktrackStats::resource_exhausted` and valid partial counts.
+  const MemoryBudget* budget = nullptr;
   /// Shared embedding counter for multi-threaded runs (not owned). When
   /// set, `limit` applies to the shared total, as in Appendix A.4.
   std::atomic<uint64_t>* shared_count = nullptr;
@@ -105,6 +109,9 @@ struct BacktrackStats {
   bool limit_reached = false;
   bool timed_out = false;
   bool cancelled = false;
+  /// The memory budget latched exhausted (or a simulated donation-allocation
+  /// fault fired) mid-search; counts above are valid partial counts.
+  bool resource_exhausted = false;
   bool callback_stopped = false;
 };
 

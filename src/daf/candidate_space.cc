@@ -48,6 +48,37 @@ T* AllocateFinal(size_t count, Arena* arena, std::vector<T>* own) {
   return own->data();
 }
 
+// Transient budget charge for the build's staging buffers: `Update` samples
+// the current capacity of the growing scratch vectors and charges the delta
+// since the last sample; the destructor returns everything. The sampling
+// points ride on the existing per-query-vertex stop polls, so a blow-up is
+// noticed within one vertex's worth of growth.
+class StagingCharge {
+ public:
+  explicit StagingCharge(MemoryBudget* budget) : budget_(budget) {}
+  StagingCharge(const StagingCharge&) = delete;
+  StagingCharge& operator=(const StagingCharge&) = delete;
+  ~StagingCharge() {
+    if (budget_ != nullptr && charged_ > 0) budget_->Uncharge(charged_);
+  }
+
+  void Update(const CsBuildScratch& s) {
+    if (budget_ == nullptr) return;
+    const uint64_t now =
+        s.cand_data.capacity() * sizeof(VertexId) +
+        s.edge_offsets.capacity() * sizeof(uint64_t) +
+        s.edge_targets.capacity() * sizeof(uint32_t);
+    if (now > charged_) {
+      budget_->Charge(now - charged_);
+      charged_ = now;
+    }
+  }
+
+ private:
+  MemoryBudget* budget_;
+  uint64_t charged_ = 0;
+};
+
 }  // namespace
 
 CandidateSpace CandidateSpace::Build(const Graph& query, const QueryDag& dag,
@@ -83,6 +114,7 @@ CandidateSpace CandidateSpace::BuildImpl(const Graph& query,
   // edge storage) tagged with the cause; callers must test interrupted()
   // before reading anything else.
   const StopCondition* stop = options.stop;
+  StagingCharge staging(options.budget);
   StopCause stop_cause = StopCause::kNone;
   auto stopped = [&]() {
     if (stop == nullptr || stop_cause != StopCause::kNone) {
@@ -132,6 +164,7 @@ CandidateSpace CandidateSpace::BuildImpl(const Graph& query,
     run_counts.clear();
   }
   for (uint32_t u = 0; u < n; ++u) {
+    staging.Update(*scratch);
     if (stopped()) {
       commit_interrupted();
       return cs;
@@ -324,6 +357,7 @@ CandidateSpace CandidateSpace::BuildImpl(const Graph& query,
   std::vector<uint32_t>& cand_index = scratch->cand_index;
   cand_index.assign(data_n, 0);
   for (VertexId u : topo) {
+    staging.Update(*scratch);
     if (stopped()) {
       commit_interrupted();
       return cs;

@@ -70,6 +70,12 @@ class CandidateSpace {
     /// Callers must check `interrupted()` before treating the empty sets as
     /// a negativity certificate.
     const StopCondition* stop = nullptr;
+    /// Optional memory budget (not owned) transiently charged with the
+    /// build's *staging* capacity (the scratch candidate/edge buffers grow
+    /// before anything is committed to the arena, so they — not the arena —
+    /// are where a dense query blows up). The charge is released when Build
+    /// returns; exhaustion surfaces through `stop` like any other cause.
+    MemoryBudget* budget = nullptr;
   };
 
   /// Builds the CS for (query, dag, data) with self-owned storage.

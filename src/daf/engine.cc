@@ -10,16 +10,45 @@ namespace daf {
 
 namespace {
 
-// Copies the context arena's counters into the profile's memory section.
-void FillMemoryProfile(obs::SearchProfile* profile,
-                       const MatchContext& context) {
+// Copies the context arena's counters (and the budget ledger, when one is
+// attached) into the profile's memory section.
+void FillMemoryProfile(obs::SearchProfile* profile, const MatchContext& context,
+                       const MemoryBudget* budget) {
   if (profile == nullptr) return;
   const ArenaStats& stats = context.arena_stats();
   profile->memory.arena_bytes = stats.bytes_used;
   profile->memory.arena_peak_bytes = stats.peak_bytes;
   profile->memory.arena_blocks_acquired = stats.blocks_acquired;
   profile->memory.arena_capacity_bytes = stats.capacity_bytes;
+  if (budget != nullptr) {
+    profile->memory.budget_limit_bytes = budget->limit();
+    profile->memory.budget_used_bytes = budget->used();
+    profile->memory.budget_peak_bytes = budget->peak_bytes();
+    profile->memory.budget_rejections = budget->rejections();
+    profile->memory.budget_exhausted = budget->exhausted();
+  }
 }
+
+// Attaches the context arena to the run's budget for the scope of one match
+// and detaches on every exit path — the budget usually lives on the
+// caller's stack (ProcessJob, match_cli) and must not outlive-dangle inside
+// a pooled context.
+class ArenaBudgetScope {
+ public:
+  ArenaBudgetScope(MatchContext* context, MemoryBudget* budget)
+      : context_(context), attached_(budget != nullptr) {
+    if (attached_) context_->arena().SetBudget(budget);
+  }
+  ArenaBudgetScope(const ArenaBudgetScope&) = delete;
+  ArenaBudgetScope& operator=(const ArenaBudgetScope&) = delete;
+  ~ArenaBudgetScope() {
+    if (attached_) context_->arena().SetBudget(nullptr);
+  }
+
+ private:
+  MatchContext* context_;
+  bool attached_;
+};
 
 }  // namespace
 
@@ -42,10 +71,14 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
   if (profile != nullptr) profile->Reset();
   // The arena epoch of this run: invalidates the previous run's CS/weights.
   context->arena().Reset();
+  MemoryBudget* budget = options.memory_budget;
+  // Charges the warm arena's retained capacity up front and every block
+  // acquired during the run; detached on all return paths below.
+  ArenaBudgetScope budget_scope(context, budget);
 
   Deadline deadline(options.time_limit_ms);
   const StopCondition stop(options.time_limit_ms > 0 ? &deadline : nullptr,
-                           options.cancel);
+                           options.cancel, budget);
   Stopwatch preprocess_timer;
   Stopwatch stage_timer;
   QueryDag dag = QueryDag::Build(query, data);
@@ -60,6 +93,7 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
   cs_options.injective = options.injective;
   cs_options.profile = profile != nullptr ? &profile->cs : nullptr;
   cs_options.stop = stop.armed() ? &stop : nullptr;
+  cs_options.budget = budget;
   CandidateSpace cs = CandidateSpace::Build(
       query, dag, data, cs_options, &context->arena(), &context->cs_scratch());
   if (profile != nullptr) profile->cs_build_ms = stage_timer.ElapsedMs();
@@ -72,18 +106,24 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
     // certificate.
     result.timed_out = cs.interrupt_cause() == StopCause::kDeadline;
     result.cancelled = cs.interrupt_cause() == StopCause::kCancel;
+    result.resource_exhausted =
+        cs.interrupt_cause() == StopCause::kMemoryExhausted;
     result.preprocess_ms = preprocess_timer.ElapsedMs();
-    FillMemoryProfile(profile, *context);
+    FillMemoryProfile(profile, *context, budget);
     return result;
   }
 
-  for (uint32_t u = 0; u < query.NumVertices(); ++u) {
-    if (cs.NumCandidates(u) == 0) {
-      // The CS certifies negativity: no search needed (Appendix A.3).
-      result.cs_certified_negative = true;
-      result.preprocess_ms = preprocess_timer.ElapsedMs();
-      FillMemoryProfile(profile, *context);
-      return result;
+  if (budget == nullptr || !budget->exhausted()) {
+    for (uint32_t u = 0; u < query.NumVertices(); ++u) {
+      if (cs.NumCandidates(u) == 0) {
+        // The CS certifies negativity: no search needed (Appendix A.3).
+        // Skipped entirely when the budget latched between polls: an
+        // exhausted run must never claim a certificate.
+        result.cs_certified_negative = true;
+        result.preprocess_ms = preprocess_timer.ElapsedMs();
+        FillMemoryProfile(profile, *context, budget);
+        return result;
+      }
     }
   }
 
@@ -92,8 +132,9 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
     // report it with populated timers instead of entering a doomed search.
     result.timed_out = cause == StopCause::kDeadline;
     result.cancelled = cause == StopCause::kCancel;
+    result.resource_exhausted = cause == StopCause::kMemoryExhausted;
     result.preprocess_ms = preprocess_timer.ElapsedMs();
-    FillMemoryProfile(profile, *context);
+    FillMemoryProfile(profile, *context, budget);
     return result;
   }
 
@@ -118,6 +159,7 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
   bt.injective = options.injective;
   bt.deadline = options.time_limit_ms > 0 ? &deadline : nullptr;
   bt.cancel = options.cancel;
+  bt.budget = budget;
   bt.equivalence = options.equivalence;
   bt.callback = options.callback;
   bt.profile = profile != nullptr ? &profile->backtrack : nullptr;
@@ -126,13 +168,20 @@ MatchResult DafMatch(const Graph& query, const Graph& data,
   BacktrackStats stats = backtracker.Run(bt);
   result.search_ms = search_timer.ElapsedMs();
   if (profile != nullptr) profile->search_ms = result.search_ms;
-  FillMemoryProfile(profile, *context);
+  FillMemoryProfile(profile, *context, budget);
 
   result.embeddings = stats.embeddings;
   result.recursive_calls = stats.recursive_calls;
   result.limit_reached = stats.limit_reached || stats.callback_stopped;
   result.timed_out = stats.timed_out;
   result.cancelled = stats.cancelled;
+  result.resource_exhausted = stats.resource_exhausted;
+  if (budget != nullptr && budget->exhausted()) {
+    // The budget may latch between the search's sampled polls and its last
+    // return; report exhaustion whenever the flag is up so the outcome is
+    // deterministic for a given schedule.
+    result.resource_exhausted = true;
+  }
   return result;
 }
 

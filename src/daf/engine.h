@@ -30,6 +30,14 @@ struct MatchOptions {
   /// within a few thousand node expansions. A cancelled run reports
   /// `MatchResult::cancelled` with partial counts; see util/stop.h.
   const CancelToken* cancel = nullptr;
+  /// Optional memory budget (not owned): the context arena and the CS build
+  /// staging buffers charge it as they grow, and its `exhausted()` flag is
+  /// polled through the same StopCondition as deadline/cancel. An exhausted
+  /// run stops cooperatively and reports `MatchResult::resource_exhausted`
+  /// with exact partial counts — never a certified-negative claim. The arena
+  /// is detached from the budget before DafMatch returns, so a stack-local
+  /// budget is safe. See docs/ROBUSTNESS.md.
+  MemoryBudget* memory_budget = nullptr;
   /// Number of DAG-graph DP passes when building the CS (paper: 3).
   int refinement_steps = 3;
   /// CS local filters (ablation knobs; the paper has both on).
@@ -76,6 +84,11 @@ struct MatchResult {
   /// or mid-search); embeddings/recursive_calls then hold partial counts,
   /// exactly like the deadline path.
   bool cancelled = false;
+  /// True when MatchOptions::memory_budget latched exhausted during the run
+  /// (over-limit charge, external MarkExhausted, or an injected allocation
+  /// fault). Counts are valid partial counts, like the deadline/cancel
+  /// paths; the run is never reported as certified-negative.
+  bool resource_exhausted = false;
   /// True when some candidate set was empty after CS construction, so the
   /// query was proven negative without any backtracking (Appendix A.3).
   bool cs_certified_negative = false;
@@ -88,9 +101,11 @@ struct MatchResult {
   uint64_t cs_edges = 0;
 
   /// True iff the search ran to completion (all embeddings enumerated):
-  /// not stopped by the limit, the deadline, or a cancel request.
+  /// not stopped by the limit, the deadline, a cancel request, or memory
+  /// exhaustion.
   bool Complete() const {
-    return ok && !limit_reached && !timed_out && !cancelled;
+    return ok && !limit_reached && !timed_out && !cancelled &&
+           !resource_exhausted;
   }
 };
 

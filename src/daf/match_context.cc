@@ -50,4 +50,9 @@ void MatchContext::Trim() {
   backtrack_scratch_.clear();
 }
 
+void MatchContext::ShrinkTo(uint64_t retained_bytes) {
+  arena_.Reset();
+  arena_.ShrinkTo(retained_bytes);
+}
+
 }  // namespace daf

@@ -126,6 +126,13 @@ class MatchContext {
   /// next run re-warms from scratch.
   void Trim();
 
+  /// Partial Trim: resets the arena epoch and drops retained arena blocks
+  /// (largest first) until at most `retained_bytes` of capacity remain.
+  /// Scratch buffers are kept — the ContextPool's footprint-shedding policy
+  /// targets the arena because that is where the per-query flat arrays (the
+  /// Figure 9 blow-up) live. Invalidates the previous run's CS/weights.
+  void ShrinkTo(uint64_t retained_bytes);
+
   // --- Engine-facing surface (used by DafMatch / ParallelDafMatch /
   // CandidateSpace::Build; user code normally only constructs a context
   // and passes it around).

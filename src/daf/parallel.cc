@@ -17,16 +17,43 @@ namespace daf {
 
 namespace {
 
-// Copies the context arena's counters into the profile's memory section.
-void FillMemoryProfile(obs::SearchProfile* profile,
-                       const MatchContext& context) {
+// Copies the context arena's counters (and the budget ledger, when one is
+// attached) into the profile's memory section.
+void FillMemoryProfile(obs::SearchProfile* profile, const MatchContext& context,
+                       const MemoryBudget* budget) {
   if (profile == nullptr) return;
   const ArenaStats& stats = context.arena_stats();
   profile->memory.arena_bytes = stats.bytes_used;
   profile->memory.arena_peak_bytes = stats.peak_bytes;
   profile->memory.arena_blocks_acquired = stats.blocks_acquired;
   profile->memory.arena_capacity_bytes = stats.capacity_bytes;
+  if (budget != nullptr) {
+    profile->memory.budget_limit_bytes = budget->limit();
+    profile->memory.budget_used_bytes = budget->used();
+    profile->memory.budget_peak_bytes = budget->peak_bytes();
+    profile->memory.budget_rejections = budget->rejections();
+    profile->memory.budget_exhausted = budget->exhausted();
+  }
 }
+
+// Attaches the context arena to the run's budget for the scope of the call
+// and detaches on every exit path (see the engine.cc counterpart).
+class ArenaBudgetScope {
+ public:
+  ArenaBudgetScope(MatchContext* context, MemoryBudget* budget)
+      : context_(context), attached_(budget != nullptr) {
+    if (attached_) context_->arena().SetBudget(budget);
+  }
+  ArenaBudgetScope(const ArenaBudgetScope&) = delete;
+  ArenaBudgetScope& operator=(const ArenaBudgetScope&) = delete;
+  ~ArenaBudgetScope() {
+    if (attached_) context_->arena().SetBudget(nullptr);
+  }
+
+ private:
+  MatchContext* context_;
+  bool attached_;
+};
 
 }  // namespace
 
@@ -44,6 +71,8 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
   MatchContext local_context;
   if (context == nullptr) context = &local_context;
   context->arena().Reset();
+  MemoryBudget* budget = options.memory_budget;
+  ArenaBudgetScope budget_scope(context, budget);
 
   obs::SearchProfile* profile = options.profile;
   if (profile != nullptr) {
@@ -53,7 +82,7 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
 
   Deadline deadline(options.time_limit_ms);
   const StopCondition stop(options.time_limit_ms > 0 ? &deadline : nullptr,
-                           options.cancel);
+                           options.cancel, budget);
   Stopwatch preprocess_timer;
   Stopwatch stage_timer;
   QueryDag dag = QueryDag::Build(query, data);
@@ -68,6 +97,7 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
   cs_options.injective = options.injective;
   cs_options.profile = profile != nullptr ? &profile->cs : nullptr;
   cs_options.stop = stop.armed() ? &stop : nullptr;
+  cs_options.budget = budget;
   CandidateSpace cs = CandidateSpace::Build(
       query, dag, data, cs_options, &context->arena(), &context->cs_scratch());
   if (profile != nullptr) profile->cs_build_ms = stage_timer.ElapsedMs();
@@ -76,23 +106,30 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
   if (cs.interrupted()) {
     result.timed_out = cs.interrupt_cause() == StopCause::kDeadline;
     result.cancelled = cs.interrupt_cause() == StopCause::kCancel;
+    result.resource_exhausted =
+        cs.interrupt_cause() == StopCause::kMemoryExhausted;
     result.preprocess_ms = preprocess_timer.ElapsedMs();
-    FillMemoryProfile(profile, *context);
+    FillMemoryProfile(profile, *context, budget);
     return result;
   }
-  for (uint32_t u = 0; u < query.NumVertices(); ++u) {
-    if (cs.NumCandidates(u) == 0) {
-      result.cs_certified_negative = true;
-      result.preprocess_ms = preprocess_timer.ElapsedMs();
-      FillMemoryProfile(profile, *context);
-      return result;
+  if (budget == nullptr || !budget->exhausted()) {
+    for (uint32_t u = 0; u < query.NumVertices(); ++u) {
+      if (cs.NumCandidates(u) == 0) {
+        // Skipped when the budget latched between polls: an exhausted run
+        // must never claim a negativity certificate.
+        result.cs_certified_negative = true;
+        result.preprocess_ms = preprocess_timer.ElapsedMs();
+        FillMemoryProfile(profile, *context, budget);
+        return result;
+      }
     }
   }
   if (StopCause cause = stop.Check(); cause != StopCause::kNone) {
     result.timed_out = cause == StopCause::kDeadline;
     result.cancelled = cause == StopCause::kCancel;
+    result.resource_exhausted = cause == StopCause::kMemoryExhausted;
     result.preprocess_ms = preprocess_timer.ElapsedMs();
-    FillMemoryProfile(profile, *context);
+    FillMemoryProfile(profile, *context, budget);
     return result;
   }
   WeightArray weights;
@@ -158,6 +195,7 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
       bt.injective = options.injective;
       bt.deadline = options.time_limit_ms > 0 ? &deadline : nullptr;
       bt.cancel = options.cancel;
+      bt.budget = budget;
       bt.shared_count = &shared_count;
       bt.equivalence = options.equivalence;
       bt.callback = guarded_callback;
@@ -190,6 +228,12 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
                             stats[t].callback_stopped;
     result.timed_out |= stats[t].timed_out;
     result.cancelled |= stats[t].cancelled;
+    result.resource_exhausted |= stats[t].resource_exhausted;
+  }
+  if (budget != nullptr && budget->exhausted()) {
+    // Exhaustion may latch between workers' sampled polls and their last
+    // return; report it whenever the flag is up (deterministic outcome).
+    result.resource_exhausted = true;
   }
   if (result.recursive_calls > 0) {
     result.call_imbalance = static_cast<double>(max_calls) * num_threads /
@@ -220,7 +264,7 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
     profile->parallel.per_thread_calls = result.per_thread_calls;
     profile->parallel.per_thread_steals = std::move(per_thread_steals);
   }
-  FillMemoryProfile(profile, *context);
+  FillMemoryProfile(profile, *context, budget);
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -8,6 +9,22 @@
 #include <vector>
 
 namespace daf {
+
+namespace {
+
+// Hard caps on declared sizes, checked BEFORE any reserve/assign sized by
+// the header: a hostile or corrupt `t 4000000000 0` header must produce an
+// error, not an OOM. VertexId is 32-bit so 2^28 vertices (1 GiB of labels)
+// is already beyond every dataset this engine targets; edges get 2^31.
+constexpr uint64_t kMaxDeclaredVertices = uint64_t{1} << 28;
+constexpr uint64_t kMaxDeclaredEdges = uint64_t{1} << 31;
+
+// Never trust a declared count for more than this much up-front reserve;
+// larger inputs grow geometrically and pay O(log n) reallocations, but a
+// lying header can no longer commit gigabytes before the first real line.
+constexpr uint64_t kMaxTrustedReserve = uint64_t{1} << 20;
+
+}  // namespace
 
 std::optional<Graph> ParseGraphText(const std::string& text,
                                     std::string* error) {
@@ -39,9 +56,17 @@ std::optional<Graph> ParseGraphText(const std::string& text,
       if (!(ls >> declared_vertices >> declared_edges)) {
         return fail("malformed header");
       }
+      // Negative counts wrap to huge values under iostream's unsigned
+      // parse (strtoull semantics), so the caps also reject "-1".
+      if (declared_vertices > kMaxDeclaredVertices) {
+        return fail("declared vertex count exceeds limit");
+      }
+      if (declared_edges > kMaxDeclaredEdges) {
+        return fail("declared edge count exceeds limit");
+      }
       saw_header = true;
       labels.assign(declared_vertices, 0);
-      edges.reserve(declared_edges);
+      edges.reserve(std::min(declared_edges, kMaxTrustedReserve));
     } else if (tag == 'v') {
       uint64_t id = 0;
       uint64_t label = 0;
@@ -183,13 +208,19 @@ std::optional<Graph> LoadGraphBinary(const std::string& path,
       !ReadPod(file, &has_edge_labels)) {
     return fail("truncated header");
   }
+  if (num_vertices > kMaxDeclaredVertices) {
+    return fail("declared vertex count exceeds limit");
+  }
+  if (num_edges > kMaxDeclaredEdges) {
+    return fail("declared edge count exceeds limit");
+  }
   std::vector<Label> labels(num_vertices);
   for (uint32_t v = 0; v < num_vertices; ++v) {
     if (!ReadPod(file, &labels[v])) return fail("truncated vertex labels");
   }
   std::vector<Edge> edges;
   std::vector<Label> edge_labels;
-  edges.reserve(num_edges);
+  edges.reserve(std::min(num_edges, kMaxTrustedReserve));
   for (uint64_t i = 0; i < num_edges; ++i) {
     VertexId u = 0;
     VertexId v = 0;

@@ -202,6 +202,11 @@ void WriteProfile(JsonWriter& w, const SearchProfile& profile) {
   w.Key("arena_peak_bytes").Uint(profile.memory.arena_peak_bytes);
   w.Key("arena_blocks_acquired").Uint(profile.memory.arena_blocks_acquired);
   w.Key("arena_capacity_bytes").Uint(profile.memory.arena_capacity_bytes);
+  w.Key("budget_limit_bytes").Uint(profile.memory.budget_limit_bytes);
+  w.Key("budget_used_bytes").Uint(profile.memory.budget_used_bytes);
+  w.Key("budget_peak_bytes").Uint(profile.memory.budget_peak_bytes);
+  w.Key("budget_rejections").Uint(profile.memory.budget_rejections);
+  w.Key("budget_exhausted").Bool(profile.memory.budget_exhausted);
   w.EndObject();
   w.Key("backtrack");
   WriteBacktrackProfile(w, profile.backtrack);
@@ -241,6 +246,7 @@ void WriteMatchResult(JsonWriter& w, const MatchResult& result) {
   w.Key("limit_reached").Bool(result.limit_reached);
   w.Key("timed_out").Bool(result.timed_out);
   w.Key("cancelled").Bool(result.cancelled);
+  w.Key("resource_exhausted").Bool(result.resource_exhausted);
   w.Key("cs_certified_negative").Bool(result.cs_certified_negative);
   w.Key("preprocess_ms").Double(result.preprocess_ms);
   w.Key("search_ms").Double(result.search_ms);

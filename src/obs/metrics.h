@@ -95,6 +95,15 @@ struct MemoryProfile {
   uint64_t arena_blocks_acquired = 0;  // system allocations this run
   uint64_t arena_capacity_bytes = 0;   // capacity retained by the context
 
+  // Budget ledger of the run (all zero when MatchOptions::memory_budget was
+  // not set). `budget_exhausted` records that the run hit its limit — the
+  // JSON counterpart of MatchResult::resource_exhausted.
+  uint64_t budget_limit_bytes = 0;  // per-job limit (0 = unlimited)
+  uint64_t budget_used_bytes = 0;   // bytes still charged at run end
+  uint64_t budget_peak_bytes = 0;   // high-water across the run
+  uint64_t budget_rejections = 0;   // charges that found the budget over
+  bool budget_exhausted = false;
+
   void Reset() { *this = MemoryProfile{}; }
 };
 

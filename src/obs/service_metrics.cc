@@ -82,12 +82,22 @@ void WriteServiceMetrics(JsonWriter& w, const ServiceMetricsSnapshot& m) {
   w.Key("cancelled").Uint(m.counters.cancelled);
   w.Key("timed_out").Uint(m.counters.timed_out);
   w.Key("failed").Uint(m.counters.failed);
+  w.Key("resource_exhausted").Uint(m.counters.resource_exhausted);
   w.Key("parallel_jobs").Uint(m.counters.parallel_jobs);
   w.EndObject();
   w.Key("queue_depth").Uint(m.queue_depth);
   w.Key("running").Uint(m.running);
   w.Key("workers").Uint(m.workers);
   w.Key("embeddings_streamed").Uint(m.embeddings_streamed);
+  w.Key("resources").BeginObject();
+  w.Key("watchdog_fires").Uint(m.watchdog_fires);
+  w.Key("budget_rejections").Uint(m.budget_rejections);
+  w.Key("peak_job_bytes").Uint(m.peak_job_bytes);
+  w.Key("global_memory_used").Uint(m.global_memory_used);
+  w.Key("global_memory_limit").Uint(m.global_memory_limit);
+  w.Key("pool_peak_in_use").Uint(m.pool_peak_in_use);
+  w.Key("pool_capacity").Uint(m.pool_capacity);
+  w.EndObject();
   w.Key("wait_latency");
   WriteHistogram(w, m.wait);
   w.Key("run_latency");

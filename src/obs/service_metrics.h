@@ -58,6 +58,7 @@ struct ServiceCounters {
   uint64_t cancelled = 0;  // cancel observed while queued or mid-search
   uint64_t timed_out = 0;  // per-job deadline expired (queued or running)
   uint64_t failed = 0;     // the engine reported an error
+  uint64_t resource_exhausted = 0;  // per-job memory budget exhausted
   /// Jobs run through the intra-query parallel engine (interactive-priority
   /// jobs when ServiceOptions::intra_query_threads > 1). Not a terminal
   /// outcome — such a job also lands in one of the counters above.
@@ -72,6 +73,14 @@ struct ServiceMetricsSnapshot {
   uint32_t running = 0;       // jobs currently on a worker
   uint32_t workers = 0;       // worker-pool size
   uint64_t embeddings_streamed = 0;  // embeddings delivered through handles
+  // Resource governance (see docs/ROBUSTNESS.md).
+  uint64_t watchdog_fires = 0;      // jobs force-cancelled past grace
+  uint64_t budget_rejections = 0;   // over-limit charges across all jobs
+  uint64_t peak_job_bytes = 0;      // largest per-job budget high-water
+  uint64_t global_memory_used = 0;  // service-global ledger right now
+  uint64_t global_memory_limit = 0; // service-global limit (0 = unlimited)
+  uint32_t pool_peak_in_use = 0;    // context-pool high-water mark
+  uint32_t pool_capacity = 0;       // context-pool size
   LatencyHistogram wait;   // submission -> worker pickup
   LatencyHistogram run;    // worker pickup -> terminal state
   LatencyHistogram total;  // submission -> terminal state

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "util/fault_inject.h"
+
 namespace daf::service {
 
-ContextPool::ContextPool(uint32_t capacity) {
+ContextPool::ContextPool(uint32_t capacity, uint64_t retained_bytes_limit)
+    : retained_bytes_limit_(retained_bytes_limit) {
   capacity = std::max(capacity, 1u);
   contexts_.reserve(capacity);
   free_.reserve(capacity);
@@ -34,18 +37,32 @@ void ContextPool::Lease::Release() {
 }
 
 ContextPool::Lease ContextPool::Acquire() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  available_cv_.wait(lock, [&] { return !free_.empty(); });
-  MatchContext* context = free_.back();
-  free_.pop_back();
+  MatchContext* context;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    available_cv_.wait(lock, [&] { return !free_.empty(); });
+    context = free_.back();
+    free_.pop_back();
+    ++in_use_;
+    peak_in_use_ = std::max(peak_in_use_, in_use_);
+  }
+  // Simulated lease fault: the context lost its warmth (as if the pool had
+  // to rebuild it); the job still runs, just cold.
+  if (FAULT_POINT(context_pool_lease)) context->Trim();
   return Lease(this, context);
 }
 
 std::optional<ContextPool::Lease> ContextPool::TryAcquire() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (free_.empty()) return std::nullopt;
-  MatchContext* context = free_.back();
-  free_.pop_back();
+  MatchContext* context;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.empty()) return std::nullopt;
+    context = free_.back();
+    free_.pop_back();
+    ++in_use_;
+    peak_in_use_ = std::max(peak_in_use_, in_use_);
+  }
+  if (FAULT_POINT(context_pool_lease)) context->Trim();
   return Lease(this, context);
 }
 
@@ -59,15 +76,27 @@ uint32_t ContextPool::available() const {
   return static_cast<uint32_t>(free_.size());
 }
 
+uint32_t ContextPool::peak_in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_in_use_;
+}
+
 void ContextPool::TrimFree() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (MatchContext* context : free_) context->Trim();
 }
 
 void ContextPool::Return(MatchContext* context) {
+  // Footprint shedding (outside the lock: the context is still exclusively
+  // ours until it joins the free list).
+  if (retained_bytes_limit_ > 0 &&
+      context->arena_stats().capacity_bytes > retained_bytes_limit_) {
+    context->ShrinkTo(retained_bytes_limit_);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     free_.push_back(context);
+    --in_use_;
   }
   available_cv_.notify_one();
 }

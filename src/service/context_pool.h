@@ -24,7 +24,12 @@ namespace daf::service {
 class ContextPool {
  public:
   /// Creates `capacity` (>= 1) cold contexts up front; they warm on use.
-  explicit ContextPool(uint32_t capacity);
+  /// `retained_bytes_limit` is the footprint-shedding threshold: a context
+  /// returning with more than this much retained arena capacity is shrunk
+  /// back to the threshold before rejoining the free list, so one oversized
+  /// query can't pin its high-water footprint into the pool forever.
+  /// 0 (the default) disables shedding — contexts keep everything warm.
+  explicit ContextPool(uint32_t capacity, uint64_t retained_bytes_limit = 0);
 
   ContextPool(const ContextPool&) = delete;
   ContextPool& operator=(const ContextPool&) = delete;
@@ -64,6 +69,9 @@ class ContextPool {
   /// Contexts currently free (diagnostics; stale by the time you read it).
   uint32_t available() const;
 
+  /// Most contexts ever leased at once (the pool high-water mark).
+  uint32_t peak_in_use() const;
+
   /// Releases the retained memory of every currently-free context (leased
   /// contexts are untouched). Use after a burst of oversized queries to
   /// shed the high-water footprint; the next jobs re-warm.
@@ -78,6 +86,9 @@ class ContextPool {
   // leases regardless of vector moves.
   std::vector<std::unique_ptr<MatchContext>> contexts_;
   std::vector<MatchContext*> free_;
+  uint64_t retained_bytes_limit_ = 0;
+  uint32_t in_use_ = 0;
+  uint32_t peak_in_use_ = 0;
 };
 
 }  // namespace daf::service

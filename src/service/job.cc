@@ -20,6 +20,8 @@ const char* ToString(JobStatus s) {
       return "rejected";
     case JobStatus::kFailed:
       return "failed";
+    case JobStatus::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
 }

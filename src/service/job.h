@@ -30,9 +30,10 @@ enum class JobStatus : uint8_t {
   kTimedOut,   // terminal: per-job deadline expired, queued or mid-run
   kRejected,   // terminal: queue overflow or service shut down
   kFailed,     // terminal: the engine reported an error (result.ok false)
+  kResourceExhausted,  // terminal: memory budget exhausted; partial counts
 };
 
-/// True for the five states a job can never leave.
+/// True for the states a job can never leave.
 constexpr bool IsTerminal(JobStatus s) {
   return s != JobStatus::kQueued && s != JobStatus::kRunning;
 }
@@ -73,6 +74,11 @@ struct QueryJob {
   /// blocks the search (backpressure) until the consumer drains it or the
   /// job is cancelled. When false only counts are reported.
   bool stream_embeddings = false;
+
+  /// Per-job memory budget in bytes (0 = service default, which may itself
+  /// be 0 = unlimited). A job that exceeds it terminates as
+  /// kResourceExhausted with partial counts; see docs/ROBUSTNESS.md.
+  uint64_t max_memory_bytes = 0;
 };
 
 }  // namespace daf::service

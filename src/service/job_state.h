@@ -34,10 +34,14 @@ struct JobState {
   MatchOptions options;  // limit/deadline already folded in by Submit
   uint64_t deadline_ms = 0;
   bool stream = false;
+  uint64_t memory_limit = 0;  // per-job budget bytes (0 = unlimited)
 
   // --- Lock-free control plane.
   CancelToken cancel;
   std::atomic<JobStatus> status{JobStatus::kQueued};
+  // Set once by the watchdog when it force-cancels this job (at most one
+  // fire per job; the exchange is the claim).
+  std::atomic<bool> watchdog_fired{false};
   Stopwatch since_submit;  // started by Submit
 
   // --- Guarded by `mutex`.
@@ -51,6 +55,8 @@ struct JobState {
   uint64_t delivered = 0;        // embeddings handed to the consumer
   double wait_ms = 0;            // submission -> pickup
   double run_ms = 0;             // pickup -> terminal
+  uint64_t peak_bytes = 0;          // budget high-water of the run
+  uint64_t budget_rejections = 0;   // over-limit charges of the run
   MatchResult result;
   obs::SearchProfile profile;
 

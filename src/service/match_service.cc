@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#include <chrono>
+
 #include "daf/cursor.h"
 #include "daf/parallel.h"
+#include "util/fault_inject.h"
 
 namespace daf::service {
 
@@ -22,10 +25,14 @@ MatchService::MatchService(Graph data, ServiceOptions options)
     : data_(std::move(data)),
       options_(Normalize(options)),
       queue_(options_.queue_capacity),
-      contexts_(options_.num_workers) {
+      contexts_(options_.num_workers, options_.context_retained_bytes),
+      global_budget_(options_.service_memory_limit_bytes) {
   workers_.reserve(options_.num_workers);
   for (uint32_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (options_.watchdog_interval_ms > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
@@ -40,6 +47,9 @@ JobHandle MatchService::Submit(QueryJob job) {
   state->deadline_ms =
       job.deadline_ms != 0 ? job.deadline_ms : options_.default_deadline_ms;
   state->stream = job.stream_embeddings;
+  state->memory_limit = job.max_memory_bytes != 0
+                            ? job.max_memory_bytes
+                            : options_.job_memory_limit_bytes;
   if (job.limit != 0) {
     state->options.limit = job.limit;
   } else if (state->options.limit == 0) {
@@ -89,8 +99,9 @@ JobHandle MatchService::Submit(QueryJob job) {
     ++counters_.submitted;
     ++inflight_;
   }
-  if (!queue_.TryPush(state)) {
-    // Overflow (or a racing shutdown closed the queue): shed the load.
+  if (FAULT_POINT(admission_push) || !queue_.TryPush(state)) {
+    // Overflow, a racing shutdown, or an injected admission fault: shed the
+    // load. The fault check runs first so a fired fault never half-admits.
     {
       std::lock_guard<std::mutex> lock(state->mutex);
       state->result.ok = false;
@@ -129,6 +140,35 @@ void MatchService::WorkerLoop() {
   }
 }
 
+void MatchService::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(metrics_mutex_);
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    watchdog_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.watchdog_interval_ms));
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    for (const internal::JobStatePtr& job : running_jobs_) {
+      if (job->deadline_ms == 0) continue;
+      const double over =
+          job->since_submit.ElapsedMs() -
+          static_cast<double>(job->deadline_ms + options_.watchdog_grace_ms);
+      if (over <= 0) continue;
+      // The job blew past deadline + grace without honoring its stop poll
+      // (a stuck engine stage, a producer wedged on backpressure, ...).
+      // Force-cancel it; the exchange claims the single fire per job.
+      if (job->watchdog_fired.exchange(true)) continue;
+      job->cancel.Cancel();
+      {
+        // metrics_mutex_ -> job->mutex is the established lock order
+        // (Shutdown's cancel sweep does the same).
+        std::lock_guard<std::mutex> job_lock(job->mutex);
+        job->producer_cv.notify_all();
+        job->consumer_cv.notify_all();
+      }
+      ++watchdog_fires_;
+    }
+  }
+}
+
 void MatchService::ProcessJob(const internal::JobStatePtr& job) {
   job->wait_ms = job->since_submit.ElapsedMs();
   job->start_seq = next_start_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -136,6 +176,14 @@ void MatchService::ProcessJob(const internal::JobStatePtr& job) {
   if (job->cancel.cancelled()) {
     job->result.cancelled = true;
     FinishJob(job, JobStatus::kCancelled, /*ran=*/false);
+    return;
+  }
+
+  if (FAULT_POINT(worker_dispatch)) {
+    // Simulated dispatch failure (a worker that could not set up the run).
+    job->result.ok = false;
+    job->result.error = "injected worker dispatch fault";
+    FinishJob(job, JobStatus::kFailed, /*ran=*/false);
     return;
   }
 
@@ -159,6 +207,12 @@ void MatchService::ProcessJob(const internal::JobStatePtr& job) {
   }
 
   job->status.store(JobStatus::kRunning, std::memory_order_release);
+
+  // Per-job ledger under the service-global one. Stack-local is safe: the
+  // engine detaches the arena before returning, and the streaming cursor's
+  // producer thread is joined by Finish() inside the block below.
+  MemoryBudget budget(job->memory_limit, &global_budget_);
+  opts.memory_budget = &budget;
 
   Stopwatch run_timer;
   uint64_t streamed = 0;
@@ -193,6 +247,8 @@ void MatchService::ProcessJob(const internal::JobStatePtr& job) {
   }
   job->run_ms = run_timer.ElapsedMs();
   job->result = std::move(result);
+  job->peak_bytes = budget.peak_bytes();
+  job->budget_rejections = budget.rejections();
 
   const MatchResult& r = job->result;
   JobStatus status;
@@ -203,6 +259,8 @@ void MatchService::ProcessJob(const internal::JobStatePtr& job) {
     // The second clause catches a cancel that stopped the run through the
     // streaming channel before the search loop polled the token.
     status = JobStatus::kCancelled;
+  } else if (r.resource_exhausted) {
+    status = JobStatus::kResourceExhausted;
   } else if (r.timed_out) {
     status = JobStatus::kTimedOut;
   } else {
@@ -212,6 +270,8 @@ void MatchService::ProcessJob(const internal::JobStatePtr& job) {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     embeddings_streamed_ += streamed;
     if (ran_parallel) ++counters_.parallel_jobs;
+    budget_rejections_ += budget.rejections();
+    peak_job_bytes_ = std::max(peak_job_bytes_, budget.peak_bytes());
   }
   FinishJob(job, status, /*ran=*/true);
 }
@@ -253,6 +313,9 @@ void MatchService::FinishJob(const internal::JobStatePtr& job,
     case JobStatus::kFailed:
       ++counters_.failed;
       break;
+    case JobStatus::kResourceExhausted:
+      ++counters_.resource_exhausted;
+      break;
     default:
       break;  // kQueued/kRunning/kRejected never reach FinishJob
   }
@@ -290,6 +353,13 @@ void MatchService::Shutdown() {
       }
     }
     for (std::thread& worker : workers_) worker.join();
+    if (watchdog_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        watchdog_cv_.notify_all();
+      }
+      watchdog_.join();
+    }
   });
 }
 
@@ -301,6 +371,13 @@ obs::ServiceMetricsSnapshot MatchService::Metrics() const {
   m.running = running_;
   m.workers = static_cast<uint32_t>(workers_.size());
   m.embeddings_streamed = embeddings_streamed_;
+  m.watchdog_fires = watchdog_fires_;
+  m.budget_rejections = budget_rejections_;
+  m.peak_job_bytes = peak_job_bytes_;
+  m.global_memory_used = global_budget_.used();
+  m.global_memory_limit = global_budget_.limit();
+  m.pool_peak_in_use = contexts_.peak_in_use();
+  m.pool_capacity = contexts_.capacity();
   m.wait = wait_hist_;
   m.run = run_hist_;
   m.total = total_hist_;

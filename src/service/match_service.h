@@ -11,6 +11,7 @@
 #include "graph/graph.h"
 #include "obs/service_metrics.h"
 #include "service/admission_queue.h"
+#include "util/memory_budget.h"
 #include "service/context_pool.h"
 #include "service/job.h"
 #include "service/job_handle.h"
@@ -40,6 +41,26 @@ struct ServiceOptions {
   /// worker pool), so size num_workers * intra_query_threads to the
   /// machine. 1 (the default) keeps every job single-threaded.
   uint32_t intra_query_threads = 1;
+
+  // --- Resource governance (docs/ROBUSTNESS.md).
+
+  /// Default per-job memory budget in bytes, applied when the job does not
+  /// set QueryJob::max_memory_bytes (0 = unlimited). An exceeding job
+  /// terminates as kResourceExhausted with partial counts.
+  uint64_t job_memory_limit_bytes = 0;
+  /// Service-global memory limit across all concurrently running jobs
+  /// (0 = unlimited). Going over exhausts the *charging* job only; the
+  /// global ledger recovers when that job releases.
+  uint64_t service_memory_limit_bytes = 0;
+  /// Footprint-shedding threshold of the context pool: a context returning
+  /// with more retained arena capacity is shrunk back to this many bytes
+  /// (0 = never shed; contexts keep their high-water footprint warm).
+  uint64_t context_retained_bytes = 0;
+  /// Watchdog scan period in milliseconds (0 disables the watchdog).
+  uint64_t watchdog_interval_ms = 100;
+  /// Grace past a job's deadline_ms before the watchdog force-cancels it
+  /// (covers the engine's poll cadence plus scheduling noise).
+  uint64_t watchdog_grace_ms = 1000;
 };
 
 /// A transport-agnostic concurrent subgraph-match service: owns one shared
@@ -99,6 +120,10 @@ class MatchService {
 
  private:
   void WorkerLoop();
+  /// Periodically scans running jobs for ones past deadline_ms +
+  /// watchdog_grace_ms that haven't honored the stop poll; force-cancels
+  /// them (once each) and bumps watchdog_fires.
+  void WatchdogLoop();
   void ProcessJob(const internal::JobStatePtr& job);
   /// Pushes one embedding into the job's stream buffer, blocking on
   /// backpressure; false when the consumer closed or the job was cancelled.
@@ -112,7 +137,11 @@ class MatchService {
   const ServiceOptions options_;
   AdmissionQueue queue_;
   ContextPool contexts_;
+  /// Service-global memory ledger; every job's per-job budget charges
+  /// through it as its parent.
+  MemoryBudget global_budget_;
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> next_start_seq_{1};
   std::atomic<bool> shutdown_{false};
@@ -128,8 +157,15 @@ class MatchService {
   uint64_t embeddings_streamed_ = 0;
   uint64_t inflight_ = 0;  // admitted, not yet terminal
   uint32_t running_ = 0;   // currently on a worker
-  // Jobs currently on a worker, so Shutdown can cancel-request them.
+  // Jobs currently on a worker, so Shutdown (and the watchdog) can
+  // cancel-request them.
   std::vector<internal::JobStatePtr> running_jobs_;
+  // Resource-governance accounting (guarded by metrics_mutex_).
+  uint64_t watchdog_fires_ = 0;
+  uint64_t budget_rejections_ = 0;
+  uint64_t peak_job_bytes_ = 0;
+  // Wakes the watchdog early on shutdown (waits on metrics_mutex_).
+  std::condition_variable watchdog_cv_;
 };
 
 }  // namespace daf::service

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/fault_inject.h"
+
 namespace daf {
 
 void Arena::NextBlock(size_t bytes) {
@@ -27,6 +29,31 @@ void Arena::NextBlock(size_t bytes) {
   offset_ = 0;
   ++stats_.blocks_acquired;
   stats_.capacity_bytes += capacity;
+  if (budget_ != nullptr) {
+    budget_->Charge(capacity);
+    // Simulated acquisition failure: the block itself is fine (no partial
+    // state to corrupt) but the run is told memory ran out.
+    if (FAULT_POINT(arena_block_acquire)) budget_->MarkExhausted();
+  }
+}
+
+void Arena::ShrinkTo(size_t retain_bytes) {
+  // Dropping the largest blocks first frees the most capacity per block and
+  // keeps the small early blocks that every epoch touches.
+  std::sort(blocks_.begin(), blocks_.end(),
+            [](const Block& a, const Block& b) { return a.capacity < b.capacity; });
+  while (!blocks_.empty() && stats_.capacity_bytes > retain_bytes) {
+    size_t capacity = blocks_.back().capacity;
+    blocks_.pop_back();
+    stats_.capacity_bytes -= capacity;
+    if (budget_ != nullptr) budget_->Uncharge(capacity);
+  }
+  current_ = 0;
+  offset_ = 0;
+  // The next miss regrows from the largest retained block upwards instead of
+  // re-doubling from the initial size.
+  next_block_bytes_ = std::max(
+      blocks_.empty() ? size_t{0} : blocks_.back().capacity * 2, kMinBlockBytes);
 }
 
 void Arena::Reset() {
@@ -39,6 +66,7 @@ void Arena::Reset() {
 void Arena::Release() {
   Reset();
   blocks_.clear();
+  if (budget_ != nullptr) budget_->Uncharge(stats_.capacity_bytes);
   stats_.capacity_bytes = 0;
 }
 

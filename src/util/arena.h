@@ -7,6 +7,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/memory_budget.h"
+
 namespace daf {
 
 /// Allocation counters of an Arena. `bytes_used` and `blocks_acquired`
@@ -43,6 +45,28 @@ class Arena {
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
+
+  ~Arena() { SetBudget(nullptr); }
+
+  /// Attaches (or detaches, with nullptr) a MemoryBudget charged by block
+  /// *capacity*: the retained capacity is charged immediately — a warm arena
+  /// counts against the job leasing it — every block acquired afterwards
+  /// charges its capacity, and detaching (or destruction) uncharges it all.
+  /// Charging is soft (see MemoryBudget): acquisition never fails, but an
+  /// over-limit charge latches the budget's exhausted flag for the engine's
+  /// StopCondition to observe.
+  void SetBudget(MemoryBudget* budget) {
+    if (budget_ != nullptr) budget_->Uncharge(stats_.capacity_bytes);
+    budget_ = budget;
+    if (budget_ != nullptr && stats_.capacity_bytes > 0) {
+      budget_->Charge(stats_.capacity_bytes);
+    }
+  }
+
+  /// Drops retained blocks (largest-capacity first) until the retained
+  /// capacity is at most `retain_bytes`, uncharging any attached budget.
+  /// Call only between epochs (after Reset); live allocations would dangle.
+  void ShrinkTo(size_t retain_bytes);
 
   /// An uninitialized array of `count` Ts, aligned for T, valid until the
   /// next Reset. `count == 0` returns a non-null aligned pointer.
@@ -82,6 +106,7 @@ class Arena {
   size_t offset_ = 0;   // bump position within the active block
   size_t next_block_bytes_;
   ArenaStats stats_;
+  MemoryBudget* budget_ = nullptr;  // not owned; charged by block capacity
 };
 
 inline void* Arena::AllocateBytes(size_t bytes, size_t align) {

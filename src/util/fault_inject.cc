@@ -1,0 +1,149 @@
+#include "util/fault_inject.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace daf {
+
+namespace {
+
+// SplitMix64: the decision for poll k of a point is Mix(seed ^ name-hash
+// ^ k) — stateless per poll, so a schedule replays identically.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(const char* name) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (; *name != '\0'; ++name) {
+    h = (h ^ static_cast<unsigned char>(*name)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Schedule {
+  bool active = false;
+  uint64_t seed = 0;
+  // Fire threshold in [0, 2^64): poll fires iff Mix(...) < threshold.
+  uint64_t threshold = 0;
+  // One-shot mode: fire exactly on poll `nth` (1-based); 0 = probabilistic.
+  uint64_t nth = 0;
+};
+
+struct Point {
+  Schedule schedule;  // per-point override; falls back to the global one
+  bool has_override = false;
+  uint64_t polls = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  Schedule global;
+  std::map<std::string, Point> points;
+  uint64_t total_fires = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: fault state is global
+  return *r;
+}
+
+uint64_t ProbabilityToThreshold(double probability) {
+  probability = std::clamp(probability, 0.0, 1.0);
+  if (probability >= 1.0) return ~uint64_t{0};
+  return static_cast<uint64_t>(probability * 18446744073709551616.0);
+}
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+void FaultInjector::Arm(uint64_t seed, double probability) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.global.active = true;
+  r.global.seed = seed;
+  r.global.threshold = ProbabilityToThreshold(probability);
+  r.global.nth = 0;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::ArmPoint(const std::string& name, uint64_t seed,
+                             double probability) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  Point& p = r.points[name];
+  p.has_override = true;
+  p.schedule.active = true;
+  p.schedule.seed = seed;
+  p.schedule.threshold = ProbabilityToThreshold(probability);
+  p.schedule.nth = 0;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::FireNth(const std::string& name, uint64_t nth) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  Point& p = r.points[name];
+  p.has_override = true;
+  p.schedule.active = true;
+  p.schedule.seed = 0;
+  p.schedule.threshold = 0;
+  p.schedule.nth = p.polls + std::max<uint64_t>(nth, 1);
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  armed_.store(false, std::memory_order_release);
+  r.global = Schedule{};
+  r.points.clear();
+  r.total_fires = 0;
+}
+
+bool FaultInjector::Fire(const char* name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  Point& p = r.points[name];
+  const uint64_t poll = ++p.polls;
+  const Schedule& s = p.has_override ? p.schedule : r.global;
+  if (!s.active) return false;
+  bool fire;
+  if (s.nth != 0) {
+    fire = poll == s.nth;
+    if (fire) p.schedule.active = false;  // one-shot
+  } else {
+    fire = Mix(s.seed ^ HashName(name) ^ poll) < s.threshold;
+  }
+  if (fire) {
+    ++p.fires;
+    ++r.total_fires;
+  }
+  return fire;
+}
+
+uint64_t FaultInjector::total_fires() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.total_fires;
+}
+
+std::vector<FaultInjector::PointStats> FaultInjector::Snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<PointStats> out;
+  out.reserve(r.points.size());
+  for (const auto& [name, point] : r.points) {
+    out.push_back(PointStats{name, point.polls, point.fires});
+  }
+  return out;
+}
+
+}  // namespace daf

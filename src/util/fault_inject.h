@@ -1,0 +1,98 @@
+#ifndef DAF_UTIL_FAULT_INJECT_H_
+#define DAF_UTIL_FAULT_INJECT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace daf {
+
+/// Seeded, deterministic fault injection for the chaos test harness.
+///
+/// Fault *points* are compiled into the production binary permanently and
+/// named at the call site:
+///
+///   if (FAULT_POINT(arena_block_acquire)) {
+///     // simulated failure path: behave exactly as if the real resource
+///     // acquisition had failed
+///   }
+///
+/// Unarmed (the default, and the only state outside tests/chaos runs) a
+/// point costs one relaxed atomic load and an untaken branch — no strings,
+/// no locks, no registry lookup. Arming is process-global: a seed plus a
+/// per-poll fire probability, applied to every point or to one point by
+/// name. The decision for the k-th poll of a point is a pure function of
+/// (seed, point name, k), so a fault schedule replays identically across
+/// runs, thread interleavings aside.
+///
+/// `FireNth` arms a one-shot trigger: the point fires exactly on its n-th
+/// poll (1-based) and never again — the tool for forcing a specific
+/// allocation or donation to fail in a unit test.
+///
+/// All state is global; tests must Disarm() (or use ScopedFaultInjection)
+/// to avoid leaking a schedule into later tests.
+class FaultInjector {
+ public:
+  /// Per-point observation counters (diagnostics / chaos-report JSON).
+  struct PointStats {
+    std::string name;
+    uint64_t polls = 0;
+    uint64_t fires = 0;
+  };
+
+  /// Arms every fault point with one seeded Bernoulli schedule.
+  /// `probability` is clamped to [0, 1].
+  static void Arm(uint64_t seed, double probability);
+
+  /// Arms (or re-arms) a single point by name; other points keep their
+  /// current schedule (unarmed unless Arm/ArmPoint configured them).
+  static void ArmPoint(const std::string& name, uint64_t seed,
+                       double probability);
+
+  /// Arms a one-shot trigger: `name` fires exactly on its `nth` poll
+  /// (1-based) after this call, then disarms itself.
+  static void FireNth(const std::string& name, uint64_t nth);
+
+  /// Disarms everything and clears all counters and schedules.
+  static void Disarm();
+
+  /// True while any schedule is active (the hot-path gate).
+  static bool armed() {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Polls the point (slow path; only reached while armed). True = the
+  /// fault fires and the caller must take its simulated-failure path.
+  static bool Fire(const char* name);
+
+  /// Total fires across all points since the last Disarm.
+  static uint64_t total_fires();
+
+  /// Per-point poll/fire counts, sorted by name.
+  static std::vector<PointStats> Snapshot();
+
+ private:
+  static std::atomic<bool> armed_;
+};
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedFaultInjection {
+ public:
+  ScopedFaultInjection(uint64_t seed, double probability) {
+    FaultInjector::Arm(seed, probability);
+  }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+  ~ScopedFaultInjection() { FaultInjector::Disarm(); }
+};
+
+}  // namespace daf
+
+/// Declares a named fault point. Evaluates to true when the armed schedule
+/// fires the point for this poll; false (at one relaxed atomic load of
+/// cost) otherwise.
+#define FAULT_POINT(name) \
+  (::daf::FaultInjector::armed() && ::daf::FaultInjector::Fire(#name))
+
+#endif  // DAF_UTIL_FAULT_INJECT_H_

@@ -1,0 +1,110 @@
+#ifndef DAF_UTIL_MEMORY_BUDGET_H_
+#define DAF_UTIL_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace daf {
+
+/// An atomic byte ledger with an optional limit and an optional parent,
+/// forming a two-level (per-job under service-global) budget hierarchy.
+///
+/// Charging is *soft*: `Charge` always records the bytes — the memory was
+/// (or is about to be) really allocated, so the ledger must stay truthful —
+/// but returns false and latches the sticky `exhausted` flag as soon as this
+/// budget or any ancestor goes over its limit. Allocators (util::Arena, the
+/// CS build staging buffers) charge as they grow; the engine's StopCondition
+/// polls `exhausted()` on the same cadence as deadline/cancel and unwinds
+/// the run cooperatively with valid partial state. The overrun is therefore
+/// bounded by one allocation step plus one poll interval, and no allocation
+/// ever fails mid-write.
+///
+/// The exhausted flag latches only on the budget being charged through (the
+/// per-job leaf): a service-global parent pushed over by one greedy job
+/// recovers as soon as that job releases, instead of poisoning every job
+/// that follows. Each level counts its own limit violations in
+/// `rejections`.
+///
+/// All operations are lock-free atomics; a budget may be charged from
+/// multiple threads (parallel workers growing scratch) and polled from hot
+/// search loops. A limit of 0 means unlimited (pure accounting).
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(uint64_t limit_bytes = 0,
+                        MemoryBudget* parent = nullptr)
+      : limit_(limit_bytes), parent_(parent) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Records `bytes` against this budget and every ancestor. Returns false
+  /// — and latches `exhausted()` on *this* budget — when any level ends up
+  /// over its limit; the bytes are recorded regardless (see class comment).
+  bool Charge(uint64_t bytes) {
+    bool over = false;
+    for (MemoryBudget* b = this; b != nullptr; b = b->parent_) {
+      const uint64_t now =
+          b->used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+      uint64_t peak = b->peak_.load(std::memory_order_relaxed);
+      while (now > peak &&
+             !b->peak_.compare_exchange_weak(peak, now,
+                                             std::memory_order_relaxed)) {
+      }
+      if (b->limit_ != 0 && now > b->limit_) {
+        b->rejections_.fetch_add(1, std::memory_order_relaxed);
+        over = true;
+      }
+    }
+    if (over) exhausted_.store(true, std::memory_order_release);
+    return !over;
+  }
+
+  /// Returns previously charged bytes to this budget and every ancestor.
+  void Uncharge(uint64_t bytes) {
+    for (MemoryBudget* b = this; b != nullptr; b = b->parent_) {
+      b->used_.fetch_sub(bytes, std::memory_order_relaxed);
+    }
+  }
+
+  /// Sticky: true once any Charge went over a limit (or MarkExhausted was
+  /// called) and until ResetExhausted. This is the flag StopCondition polls.
+  bool exhausted() const {
+    return exhausted_.load(std::memory_order_acquire);
+  }
+
+  /// Latches the exhausted flag without charging — the fault-injection and
+  /// external-pressure entry point.
+  void MarkExhausted() {
+    rejections_.fetch_add(1, std::memory_order_relaxed);
+    exhausted_.store(true, std::memory_order_release);
+  }
+
+  /// Re-arms a pooled per-job budget for its next run. Must not race with a
+  /// run polling the budget (same contract as CancelToken::Reset).
+  void ResetExhausted() {
+    exhausted_.store(false, std::memory_order_release);
+  }
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  uint64_t limit() const { return limit_; }
+  /// Number of Charge calls that found this level over its limit.
+  uint64_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+  MemoryBudget* parent() const { return parent_; }
+
+ private:
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> rejections_{0};
+  std::atomic<bool> exhausted_{false};
+  const uint64_t limit_;
+  MemoryBudget* const parent_;
+};
+
+}  // namespace daf
+
+#endif  // DAF_UTIL_MEMORY_BUDGET_H_

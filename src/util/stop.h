@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/memory_budget.h"
 #include "util/timer.h"
 
 namespace daf {
@@ -38,31 +39,40 @@ class CancelToken {
 /// Why a run stopped early (StopCondition::Check).
 enum class StopCause : uint8_t {
   kNone = 0,
-  kDeadline,  // the wall-clock Deadline expired
-  kCancel,    // the CancelToken was cancelled
+  kDeadline,         // the wall-clock Deadline expired
+  kCancel,           // the CancelToken was cancelled
+  kMemoryExhausted,  // the MemoryBudget latched exhausted
 };
 
 /// The single early-exit predicate polled by the DAF loops (backtracking
-/// and CS construction): one `Check()` covers both the wall-clock deadline
-/// and cooperative cancellation, so call sites sample one predicate every N
-/// expansions instead of wiring each stop source separately. The cheap
-/// atomic cancel flag is consulted before the clock read, and an unarmed
-/// condition (`armed() == false`) lets callers skip the poll entirely.
-/// Referenced objects are not owned and must outlive the condition.
+/// and CS construction): one `Check()` covers the wall-clock deadline,
+/// cooperative cancellation, and memory-budget exhaustion, so call sites
+/// sample one predicate every N expansions instead of wiring each stop
+/// source separately. The cheap atomic flags (cancel, budget) are consulted
+/// before the clock read, and an unarmed condition (`armed() == false`)
+/// lets callers skip the poll entirely. Referenced objects are not owned
+/// and must outlive the condition.
 class StopCondition {
  public:
   StopCondition() = default;
-  StopCondition(const Deadline* deadline, const CancelToken* cancel)
-      : deadline_(deadline), cancel_(cancel) {}
+  StopCondition(const Deadline* deadline, const CancelToken* cancel,
+                const MemoryBudget* budget = nullptr)
+      : deadline_(deadline), cancel_(cancel), budget_(budget) {}
 
   /// True when any stop source is attached; false means Check() can never
   /// fire and the caller may skip polling altogether.
-  bool armed() const { return deadline_ != nullptr || cancel_ != nullptr; }
+  bool armed() const {
+    return deadline_ != nullptr || cancel_ != nullptr || budget_ != nullptr;
+  }
 
-  /// The first stop cause that currently holds (cancel wins over the
-  /// deadline since it is cheaper to test and usually more urgent).
+  /// The first stop cause that currently holds. Cancel wins over exhaustion
+  /// (an operator's explicit request trumps resource policy); both win over
+  /// the deadline since the clock read is the costliest test.
   StopCause Check() const {
     if (cancel_ != nullptr && cancel_->cancelled()) return StopCause::kCancel;
+    if (budget_ != nullptr && budget_->exhausted()) {
+      return StopCause::kMemoryExhausted;
+    }
     if (deadline_ != nullptr && deadline_->Expired()) {
       return StopCause::kDeadline;
     }
@@ -72,6 +82,7 @@ class StopCondition {
  private:
   const Deadline* deadline_ = nullptr;
   const CancelToken* cancel_ = nullptr;
+  const MemoryBudget* budget_ = nullptr;
 };
 
 }  // namespace daf

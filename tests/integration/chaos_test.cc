@@ -1,0 +1,227 @@
+// Chaos harness: a MatchService under seeded mixed load with every fault
+// point armed. The faults (simulated allocation failures, dropped context
+// leases, admission pushes, worker dispatches, mid-steal donations) may
+// fail individual jobs, but the robustness contract must hold regardless:
+// no crash, every admitted job lands in exactly one terminal status with a
+// self-consistent result, the terminal counters account for every
+// submission, the global memory ledger returns to zero, and the service
+// keeps serving after the faults stop. Runs under ASan in CI, so "no
+// leaks" is enforced mechanically. See docs/ROBUSTNESS.md.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "daf/engine.h"
+#include "service/match_service.h"
+#include "tests/test_util.h"
+#include "util/fault_inject.h"
+
+namespace daf::service {
+namespace {
+
+using daf::testing::MakeClique;
+
+Graph SmallData() { return MakeClique(std::vector<Label>(16, 0)); }
+Graph EasyQuery() { return MakeClique(std::vector<Label>(3, 0)); }
+Graph HardQuery() { return MakeClique(std::vector<Label>(6, 0)); }
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  ~ChaosTest() override { FaultInjector::Disarm(); }
+};
+
+// One full chaos round under a given fault schedule; asserts every
+// robustness invariant. Used with several seeds below — the schedules
+// differ, the contract does not.
+void RunChaosRound(uint64_t chaos_seed, double fault_rate) {
+  SCOPED_TRACE("chaos_seed=" + std::to_string(chaos_seed));
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 256;
+  options.watchdog_interval_ms = 10;
+  options.watchdog_grace_ms = 200;
+  options.context_retained_bytes = 1 << 18;
+  options.service_memory_limit_bytes = uint64_t{1} << 30;
+  MatchService service(SmallData(), options);
+
+  constexpr int kJobs = 60;
+  std::vector<JobHandle> handles;
+  handles.reserve(kJobs);
+  {
+    ScopedFaultInjection faults(chaos_seed, fault_rate);
+    for (int i = 0; i < kJobs; ++i) {
+      QueryJob job;
+      job.priority = static_cast<Priority>(i % kNumPriorities);
+      job.limit = 50000;
+      switch (i % 4) {
+        case 0:
+          job.query = EasyQuery();
+          break;
+        case 1:
+          job.query = HardQuery();
+          job.deadline_ms = 30;  // deadline-bound by design
+          break;
+        case 2:
+          job.query = EasyQuery();
+          job.max_memory_bytes = 16 * 1024;  // exhaustion-bound by design
+          break;
+        default:
+          job.query = HardQuery();
+          job.limit = 2000;
+          break;
+      }
+      handles.push_back(service.Submit(std::move(job)));
+    }
+    service.Drain();
+  }
+
+  // Invariant 1: every job is terminal with a self-consistent result.
+  for (size_t i = 0; i < handles.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    JobHandle& h = handles[i];
+    const JobStatus status = h.Status();
+    ASSERT_TRUE(IsTerminal(status)) << ToString(status);
+    const MatchResult& r = h.Result();
+    switch (status) {
+      case JobStatus::kDone:
+        EXPECT_TRUE(r.ok);
+        break;
+      case JobStatus::kResourceExhausted:
+        EXPECT_TRUE(r.resource_exhausted);
+        EXPECT_FALSE(r.Complete());
+        EXPECT_FALSE(r.cs_certified_negative);
+        break;
+      case JobStatus::kFailed:
+        EXPECT_FALSE(r.ok);
+        EXPECT_FALSE(r.error.empty());
+        break;
+      default:
+        break;  // cancelled / timed out / rejected carry partial counts
+    }
+  }
+
+  // Invariant 2: the terminal counters account for every submission.
+  obs::ServiceMetricsSnapshot m = service.Metrics();
+  EXPECT_EQ(m.counters.submitted, static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(m.counters.submitted,
+            m.counters.rejected + m.counters.completed +
+                m.counters.cancelled + m.counters.timed_out +
+                m.counters.failed + m.counters.resource_exhausted);
+
+  // Invariant 3: the global ledger drained back to zero (no charge leaks).
+  EXPECT_EQ(m.global_memory_used, 0u);
+  EXPECT_EQ(m.global_memory_limit, uint64_t{1} << 30);
+
+  // Invariant 4: liveness — with faults disarmed the service still serves.
+  QueryJob probe;
+  probe.query = EasyQuery();
+  JobHandle h = service.Submit(std::move(probe));
+  EXPECT_EQ(h.Wait(), JobStatus::kDone);
+  EXPECT_TRUE(h.Result().Complete());
+}
+
+TEST_F(ChaosTest, Seed1LowFaultRate) { RunChaosRound(1, 0.01); }
+
+TEST_F(ChaosTest, Seed2ModerateFaultRate) { RunChaosRound(2, 0.05); }
+
+TEST_F(ChaosTest, Seed3HighFaultRate) { RunChaosRound(3, 0.25); }
+
+TEST_F(ChaosTest, ServiceSurvivesShutdownUnderFaults) {
+  // Shutdown mid-burst with faults armed: every admitted job must still
+  // resolve to a terminal state before the destructor returns.
+  std::vector<JobHandle> handles;
+  {
+    ScopedFaultInjection faults(11, 0.1);
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.watchdog_interval_ms = 10;
+    options.watchdog_grace_ms = 100;
+    MatchService service(SmallData(), options);
+    for (int i = 0; i < 32; ++i) {
+      QueryJob job;
+      job.query = i % 2 == 0 ? EasyQuery() : HardQuery();
+      job.limit = 100000;
+      if (i % 3 == 0) job.max_memory_bytes = 16 * 1024;
+      handles.push_back(service.Submit(std::move(job)));
+    }
+    // No Drain: the destructor shuts down with most jobs still queued.
+  }
+  for (JobHandle& h : handles) {
+    EXPECT_TRUE(IsTerminal(h.Status())) << ToString(h.Status());
+  }
+}
+
+TEST_F(ChaosTest, WatchdogForceCancelsStuckStreamingJob) {
+  // A streaming job whose consumer never drains blocks on backpressure
+  // forever; its deadline alone cannot fire while the worker is parked in
+  // the stream buffer's cv wait. The watchdog must detect the overdue job,
+  // force-cancel it, and free the worker.
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.watchdog_interval_ms = 10;
+  options.watchdog_grace_ms = 50;
+  MatchService service(MakeClique(std::vector<Label>(12, 0)), options);
+
+  QueryJob stuck;
+  stuck.query = EasyQuery();  // 1320 embeddings > the stream buffer
+  stuck.stream_embeddings = true;
+  stuck.deadline_ms = 30;
+  JobHandle handle = service.Submit(std::move(stuck));
+
+  const JobStatus status = handle.Wait();
+  EXPECT_TRUE(status == JobStatus::kCancelled ||
+              status == JobStatus::kTimedOut)
+      << ToString(status);
+  obs::ServiceMetricsSnapshot m = service.Metrics();
+  EXPECT_GE(m.watchdog_fires, 1u);
+
+  // The freed worker serves the next job normally.
+  QueryJob next;
+  next.query = EasyQuery();
+  JobHandle h = service.Submit(std::move(next));
+  EXPECT_EQ(h.Wait(), JobStatus::kDone);
+}
+
+TEST_F(ChaosTest, WatchdogLeavesDeadlinelessJobsAlone) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.watchdog_interval_ms = 5;
+  options.watchdog_grace_ms = 10;
+  MatchService service(SmallData(), options);
+  QueryJob job;
+  job.query = HardQuery();
+  job.limit = 200000;  // long-ish but bounded, no deadline
+  JobHandle handle = service.Submit(std::move(job));
+  EXPECT_EQ(handle.Wait(), JobStatus::kDone);
+  EXPECT_EQ(service.Metrics().watchdog_fires, 0u);
+}
+
+TEST_F(ChaosTest, PerJobBudgetOverridesServiceDefault) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.job_memory_limit_bytes = 8 * 1024;  // default: everything exhausts
+  MatchService service(SmallData(), options);
+
+  QueryJob capped;
+  capped.query = EasyQuery();
+  JobHandle h1 = service.Submit(std::move(capped));
+  EXPECT_EQ(h1.Wait(), JobStatus::kResourceExhausted);
+  EXPECT_TRUE(h1.Result().resource_exhausted);
+
+  QueryJob generous;
+  generous.query = EasyQuery();
+  generous.max_memory_bytes = uint64_t{1} << 30;  // per-job override
+  JobHandle h2 = service.Submit(std::move(generous));
+  EXPECT_EQ(h2.Wait(), JobStatus::kDone);
+
+  obs::ServiceMetricsSnapshot m = service.Metrics();
+  EXPECT_EQ(m.counters.resource_exhausted, 1u);
+  EXPECT_GT(m.budget_rejections, 0u);
+  EXPECT_GT(m.peak_job_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace daf::service

@@ -1,0 +1,147 @@
+#include "util/fault_inject.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace daf {
+namespace {
+
+// Every test disarms on exit; the injector is process-global state.
+class FaultInjectTest : public ::testing::Test {
+ protected:
+  ~FaultInjectTest() override { FaultInjector::Disarm(); }
+};
+
+TEST_F(FaultInjectTest, UnarmedPointsNeverFire) {
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(FAULT_POINT(test_point));
+  }
+  EXPECT_FALSE(FaultInjector::armed());
+  // Unarmed polls never reach the registry: no stats, no fires.
+  EXPECT_EQ(FaultInjector::total_fires(), 0u);
+  EXPECT_TRUE(FaultInjector::Snapshot().empty());
+}
+
+TEST_F(FaultInjectTest, ProbabilityOneFiresEveryPoll) {
+  FaultInjector::Arm(42, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(FAULT_POINT(test_point));
+  }
+  EXPECT_EQ(FaultInjector::total_fires(), 100u);
+}
+
+TEST_F(FaultInjectTest, ProbabilityZeroNeverFires) {
+  FaultInjector::Arm(42, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(FAULT_POINT(test_point));
+  }
+  EXPECT_EQ(FaultInjector::total_fires(), 0u);
+  // Armed polls are observed even when they never fire.
+  auto stats = FaultInjector::Snapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "test_point");
+  EXPECT_EQ(stats[0].polls, 100u);
+  EXPECT_EQ(stats[0].fires, 0u);
+}
+
+TEST_F(FaultInjectTest, ScheduleIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    FaultInjector::Arm(seed, 0.3);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(FAULT_POINT(test_point));
+    FaultInjector::Disarm();
+    return fired;
+  };
+  const std::vector<bool> a = run(7);
+  const std::vector<bool> b = run(7);
+  const std::vector<bool> c = run(8);
+  EXPECT_EQ(a, b);      // same seed => identical schedule
+  EXPECT_NE(a, c);      // different seed => (overwhelmingly) different
+}
+
+TEST_F(FaultInjectTest, DistinctPointsGetDistinctSchedules) {
+  FaultInjector::Arm(7, 0.3);
+  std::vector<bool> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(FAULT_POINT(point_a));
+    b.push_back(FAULT_POINT(point_b));
+  }
+  EXPECT_NE(a, b);  // the name is hashed into the decision
+}
+
+TEST_F(FaultInjectTest, BernoulliRateIsRoughlyHonored) {
+  FaultInjector::Arm(123, 0.25);
+  int fires = 0;
+  constexpr int kPolls = 10000;
+  for (int i = 0; i < kPolls; ++i) {
+    if (FAULT_POINT(test_point)) ++fires;
+  }
+  // 6-sigma band around p * n for p = 0.25, n = 10000 (sigma ~ 43).
+  EXPECT_GT(fires, 2500 - 260);
+  EXPECT_LT(fires, 2500 + 260);
+}
+
+TEST_F(FaultInjectTest, ArmPointTargetsOnePointOnly) {
+  FaultInjector::ArmPoint("only_this", 42, 1.0);
+  EXPECT_TRUE(FaultInjector::armed());
+  EXPECT_TRUE(FAULT_POINT(only_this));
+  EXPECT_FALSE(FAULT_POINT(some_other));
+  EXPECT_EQ(FaultInjector::total_fires(), 1u);
+}
+
+TEST_F(FaultInjectTest, FireNthFiresExactlyOnce) {
+  FaultInjector::FireNth("one_shot", 3);
+  std::vector<bool> fired;
+  for (int i = 0; i < 10; ++i) fired.push_back(FAULT_POINT(one_shot));
+  std::vector<bool> expected(10, false);
+  expected[2] = true;  // the 3rd poll, then never again
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(FaultInjector::total_fires(), 1u);
+}
+
+TEST_F(FaultInjectTest, FireNthIsRelativeToCurrentPollCount) {
+  FaultInjector::ArmPoint("one_shot", 42, 0.0);
+  for (int i = 0; i < 5; ++i) (void)FAULT_POINT(one_shot);
+  FaultInjector::FireNth("one_shot", 2);  // 2nd poll *after* this call
+  EXPECT_FALSE(FAULT_POINT(one_shot));
+  EXPECT_TRUE(FAULT_POINT(one_shot));
+  EXPECT_FALSE(FAULT_POINT(one_shot));
+}
+
+TEST_F(FaultInjectTest, DisarmClearsEverything) {
+  FaultInjector::Arm(42, 1.0);
+  (void)FAULT_POINT(test_point);
+  FaultInjector::Disarm();
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_EQ(FaultInjector::total_fires(), 0u);
+  EXPECT_TRUE(FaultInjector::Snapshot().empty());
+  EXPECT_FALSE(FAULT_POINT(test_point));
+}
+
+TEST_F(FaultInjectTest, ScopedInjectionDisarmsOnExit) {
+  {
+    ScopedFaultInjection scoped(42, 1.0);
+    EXPECT_TRUE(FaultInjector::armed());
+    EXPECT_TRUE(FAULT_POINT(test_point));
+  }
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_FALSE(FAULT_POINT(test_point));
+}
+
+TEST_F(FaultInjectTest, SnapshotSortsByName) {
+  FaultInjector::Arm(42, 0.5);
+  (void)FAULT_POINT(zebra);
+  (void)FAULT_POINT(alpha);
+  (void)FAULT_POINT(middle);
+  auto stats = FaultInjector::Snapshot();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].name, "alpha");
+  EXPECT_EQ(stats[1].name, "middle");
+  EXPECT_EQ(stats[2].name, "zebra");
+  for (const auto& p : stats) EXPECT_EQ(p.polls, 1u);
+}
+
+}  // namespace
+}  // namespace daf

@@ -1,0 +1,200 @@
+#include "util/memory_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/stop.h"
+
+namespace daf {
+namespace {
+
+TEST(MemoryBudgetTest, UnlimitedBudgetIsPureAccounting) {
+  MemoryBudget budget;  // limit 0 = unlimited
+  EXPECT_TRUE(budget.Charge(1 << 20));
+  EXPECT_TRUE(budget.Charge(uint64_t{1} << 40));
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_EQ(budget.used(), (uint64_t{1} << 40) + (1 << 20));
+  EXPECT_EQ(budget.peak_bytes(), budget.used());
+  EXPECT_EQ(budget.rejections(), 0u);
+}
+
+TEST(MemoryBudgetTest, OverLimitChargeLatchesExhausted) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.Charge(600));
+  EXPECT_FALSE(budget.exhausted());
+  // Soft charge: the bytes are recorded even though the charge fails.
+  EXPECT_FALSE(budget.Charge(600));
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.used(), 1200u);
+  EXPECT_EQ(budget.rejections(), 1u);
+  // Sticky: dropping back under the limit does not clear the flag...
+  budget.Uncharge(600);
+  EXPECT_TRUE(budget.exhausted());
+  // ...only an explicit reset does (pooled-budget re-arm).
+  budget.ResetExhausted();
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_EQ(budget.used(), 600u);
+}
+
+TEST(MemoryBudgetTest, PeakSurvivesUncharge) {
+  MemoryBudget budget;
+  budget.Charge(500);
+  budget.Charge(700);
+  budget.Uncharge(1200);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.peak_bytes(), 1200u);
+}
+
+TEST(MemoryBudgetTest, MarkExhaustedLatchesWithoutCharging) {
+  MemoryBudget budget(1000);
+  budget.MarkExhausted();
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.rejections(), 1u);
+}
+
+TEST(MemoryBudgetTest, ChargePropagatesToParent) {
+  MemoryBudget global(0);
+  MemoryBudget job(0, &global);
+  EXPECT_TRUE(job.Charge(100));
+  EXPECT_EQ(job.used(), 100u);
+  EXPECT_EQ(global.used(), 100u);
+  job.Uncharge(100);
+  EXPECT_EQ(job.used(), 0u);
+  EXPECT_EQ(global.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, ParentLimitExhaustsChildOnly) {
+  // A service-global parent pushed over by one greedy job must latch the
+  // *charging* job's flag, not its own: the global ledger recovers as soon
+  // as that job releases, so jobs admitted later run normally.
+  MemoryBudget global(1000);
+  MemoryBudget greedy(0, &global);
+  EXPECT_FALSE(greedy.Charge(2000));
+  EXPECT_TRUE(greedy.exhausted());
+  EXPECT_FALSE(global.exhausted());
+  EXPECT_EQ(global.rejections(), 1u);
+  greedy.Uncharge(2000);
+
+  MemoryBudget next(0, &global);
+  EXPECT_TRUE(next.Charge(500));
+  EXPECT_FALSE(next.exhausted());
+}
+
+TEST(MemoryBudgetTest, ChildLimitDoesNotPoisonParent) {
+  MemoryBudget global(0);
+  MemoryBudget job(100, &global);
+  EXPECT_FALSE(job.Charge(200));
+  EXPECT_TRUE(job.exhausted());
+  EXPECT_FALSE(global.exhausted());
+  EXPECT_EQ(job.rejections(), 1u);
+  EXPECT_EQ(global.rejections(), 0u);
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargesStayConsistent) {
+  MemoryBudget global(0);
+  MemoryBudget job(0, &global);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&job] {
+      for (int i = 0; i < kIterations; ++i) {
+        job.Charge(3);
+        job.Uncharge(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const uint64_t expected =
+      uint64_t{kThreads} * kIterations * 2;  // +3 -1 per iteration
+  EXPECT_EQ(job.used(), expected);
+  EXPECT_EQ(global.used(), expected);
+  EXPECT_GE(job.peak_bytes(), expected);
+}
+
+TEST(MemoryBudgetTest, StopConditionReportsMemoryExhausted) {
+  MemoryBudget budget(100);
+  StopCondition stop(nullptr, nullptr, &budget);
+  EXPECT_TRUE(stop.armed());
+  EXPECT_EQ(stop.Check(), StopCause::kNone);
+  budget.Charge(200);
+  EXPECT_EQ(stop.Check(), StopCause::kMemoryExhausted);
+}
+
+TEST(MemoryBudgetTest, ArenaChargesBlockCapacity) {
+  MemoryBudget budget;
+  Arena arena;
+  arena.SetBudget(&budget);
+  arena.AllocateBytes(1 << 12, 8);
+  EXPECT_EQ(budget.used(), arena.stats().capacity_bytes);
+  EXPECT_GT(budget.used(), 0u);
+  const uint64_t charged = budget.used();
+  // Reset keeps the blocks: the retained capacity stays charged.
+  arena.Reset();
+  EXPECT_EQ(budget.used(), charged);
+  // Detach uncharges everything.
+  arena.SetBudget(nullptr);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.peak_bytes(), charged);
+}
+
+TEST(MemoryBudgetTest, WarmArenaChargesRetainedCapacityOnAttach) {
+  Arena arena;
+  arena.AllocateBytes(1 << 12, 8);  // warm it with no budget attached
+  arena.Reset();
+  const uint64_t capacity = arena.stats().capacity_bytes;
+  ASSERT_GT(capacity, 0u);
+
+  MemoryBudget budget;
+  arena.SetBudget(&budget);
+  EXPECT_EQ(budget.used(), capacity);
+  arena.SetBudget(nullptr);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, ArenaDestructionUnchargesBudget) {
+  MemoryBudget budget;
+  {
+    Arena arena;
+    arena.SetBudget(&budget);
+    arena.AllocateBytes(1 << 12, 8);
+    EXPECT_GT(budget.used(), 0u);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, ArenaReleaseUnchargesBudget) {
+  MemoryBudget budget;
+  Arena arena;
+  arena.SetBudget(&budget);
+  arena.AllocateBytes(1 << 12, 8);
+  EXPECT_GT(budget.used(), 0u);
+  arena.Release();
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, ArenaShrinkToUnchargesDroppedBlocks) {
+  MemoryBudget budget;
+  Arena arena(1 << 10);
+  arena.SetBudget(&budget);
+  // Force several geometrically growing blocks.
+  for (int i = 0; i < 8; ++i) arena.AllocateBytes(1 << 12, 8);
+  arena.Reset();
+  const uint64_t before = arena.stats().capacity_bytes;
+  ASSERT_GT(before, uint64_t{1} << 13);
+  arena.ShrinkTo(1 << 13);
+  EXPECT_LE(arena.stats().capacity_bytes, uint64_t{1} << 13);
+  EXPECT_EQ(budget.used(), arena.stats().capacity_bytes);
+  // The arena still works after shedding.
+  void* p = arena.AllocateBytes(64, 8);
+  EXPECT_NE(p, nullptr);
+}
+
+}  // namespace
+}  // namespace daf
