@@ -22,12 +22,27 @@
 //
 //   $ ./bench/bench_service --chaos --chaos_seed 7 --fault_rate 0.05
 //   $ ./bench/bench_service --chaos --smoke   # CI liveness gate
+//
+// --zipf switches to the cache mixed-load harness: a pool of --patterns
+// distinct query patterns is submitted --queries times under a Zipf
+// popularity distribution, every submission randomly vertex-relabeled, so
+// the cross-query plan/CS cache sees realistic skewed traffic where only
+// canonical keying can match resubmissions. The report records the hit
+// rate plus per-class (hit vs miss) run-time latencies; with --smoke the
+// run exits nonzero unless the hit rate reaches 60% and the hit class's
+// p50 beats the miss class's.
+//
+//   $ ./bench/bench_service --zipf
+//   $ ./bench/bench_service --zipf --smoke    # CI cache gate
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "daf/engine.h"
+#include "graph/canonical.h"
 #include "obs/json.h"
 #include "obs/service_metrics.h"
 #include "service/match_service.h"
@@ -229,12 +244,17 @@ int RunChaos(int64_t workers, int64_t queries, int64_t seed,
                  static_cast<unsigned long long>(metrics.counters.submitted),
                  static_cast<unsigned long long>(counter_sum));
   }
-  if (metrics.global_memory_used != 0) {
+  // With no job running the global ledger holds exactly the query cache's
+  // resident bytes: any difference is a per-job charge leak (or the cache's
+  // own accounting disagreeing with the ledger).
+  if (metrics.global_memory_used != metrics.cache_resident_bytes) {
     ++violations;
     std::fprintf(stderr,
                  "chaos VIOLATION: global ledger holds %llu bytes after "
-                 "Drain (leak)\n",
-                 static_cast<unsigned long long>(metrics.global_memory_used));
+                 "Drain, cache accounts for %llu (leak)\n",
+                 static_cast<unsigned long long>(metrics.global_memory_used),
+                 static_cast<unsigned long long>(
+                     metrics.cache_resident_bytes));
   }
 
   // Liveness: with faults disarmed the same service must still serve.
@@ -304,6 +324,149 @@ int RunChaos(int64_t workers, int64_t queries, int64_t seed,
   return violations == 0 ? 0 : 1;
 }
 
+// The cache mixed-load harness: Zipf-skewed resubmissions of a fixed
+// pattern pool, each submission under a fresh random vertex relabeling.
+// Returns nonzero (under `smoke`) when the cache misses its gates.
+int RunZipf(int64_t workers, int64_t queries, int64_t seed, double scale,
+            int64_t k, int64_t patterns, double zipf_s,
+            const std::string& report, bool smoke) {
+  std::fprintf(stderr,
+               "zipf: %lld patterns, s=%.2f, %lld queries, %lld workers\n",
+               static_cast<long long>(patterns), zipf_s,
+               static_cast<long long>(queries),
+               static_cast<long long>(workers));
+  Graph data = workload::MakeDataset(workload::DatasetId::kYeast, scale,
+                                     static_cast<uint64_t>(seed));
+  Rng rng(static_cast<uint64_t>(seed));
+  workload::QuerySet pool = workload::MakeQuerySet(
+      data, 8, true, static_cast<uint32_t>(patterns), rng);
+  std::vector<double> weights(pool.queries.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
+  }
+
+  service::ServiceOptions options;
+  options.num_workers = static_cast<uint32_t>(workers);
+  options.queue_capacity = static_cast<size_t>(queries) + 1;
+  service::MatchService service(data, options);
+
+  Stopwatch wall;
+  std::vector<service::JobHandle> handles;
+  handles.reserve(static_cast<size_t>(queries));
+  for (int64_t i = 0; i < queries; ++i) {
+    const Graph& base = pool.queries[rng.WeightedIndex(weights)];
+    std::vector<VertexId> perm(base.NumVertices());
+    std::iota(perm.begin(), perm.end(), 0u);
+    rng.Shuffle(perm);
+    service::QueryJob job;
+    job.query = PermuteVertices(base, perm);
+    job.limit = static_cast<uint64_t>(k);
+    handles.push_back(service.Submit(std::move(job)));
+  }
+  service.Drain();
+  const double wall_ms = wall.ElapsedMs();
+
+  // Per-class *run* times (queue wait excluded): the hit class skips DAG +
+  // CS construction, the miss class pays it; the delta is the cache win.
+  std::vector<double> hit_run, miss_run;
+  uint64_t done = 0, other = 0;
+  for (service::JobHandle& h : handles) {
+    if (h.Status() == service::JobStatus::kDone) {
+      ++done;
+    } else {
+      ++other;
+      continue;
+    }
+    switch (h.cache_outcome()) {
+      case service::CacheOutcome::kHit:
+      case service::CacheOutcome::kCoalesced:
+        hit_run.push_back(h.run_ms());
+        break;
+      case service::CacheOutcome::kMiss:
+        miss_run.push_back(h.run_ms());
+        break;
+      case service::CacheOutcome::kNone:
+        break;  // never ran, or uncacheable
+    }
+  }
+  const uint64_t classified = hit_run.size() + miss_run.size();
+  const double hit_rate =
+      classified == 0
+          ? 0.0
+          : static_cast<double>(hit_run.size()) /
+                static_cast<double>(classified);
+  const LatencySummary hit_lat = Summarize(hit_run);
+  const LatencySummary miss_lat = Summarize(miss_run);
+
+  obs::ServiceMetricsSnapshot metrics = service.Metrics();
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("service_zipf");
+  w.Key("config").BeginObject()
+      .Key("workers").Int(workers)
+      .Key("queries").Int(queries)
+      .Key("seed").Int(seed)
+      .Key("scale").Double(scale)
+      .Key("limit").Int(k)
+      .Key("patterns").Int(patterns)
+      .Key("zipf_s").Double(zipf_s)
+      .Key("smoke").Bool(smoke)
+      .EndObject();
+  w.Key("wall_ms").Double(wall_ms);
+  w.Key("throughput_qps")
+      .Double(static_cast<double>(handles.size()) / (wall_ms / 1000.0));
+  w.Key("hit_rate").Double(hit_rate);
+  w.Key("hit_jobs").Uint(hit_run.size());
+  w.Key("miss_jobs").Uint(miss_run.size());
+  w.Key("outcomes").BeginObject()
+      .Key("done").Uint(done)
+      .Key("other").Uint(other)
+      .EndObject();
+  w.Key("latency_hit_run");
+  WriteLatency(w, hit_lat);
+  w.Key("latency_miss_run");
+  WriteLatency(w, miss_lat);
+  w.Key("p50_speedup")
+      .Double(hit_lat.p50 > 0 ? miss_lat.p50 / hit_lat.p50 : 0.0);
+  w.Key("service_metrics");
+  obs::WriteServiceMetrics(w, metrics);
+  w.EndObject();
+  std::FILE* f = std::fopen(report.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "%s\n", w.str().c_str());
+    std::fclose(f);
+  }
+
+  std::printf(
+      "bench_service --zipf: %zu queries over %lld patterns\n"
+      "  hit rate      %.1f%% (%zu hit / %zu miss)\n"
+      "  run latency   hit p50 %.2f ms p99 %.2f ms | miss p50 %.2f ms "
+      "p99 %.2f ms\n"
+      "  cache         %llu entries, %llu resident bytes, %llu evictions\n"
+      "  report        %s\n",
+      handles.size(), static_cast<long long>(patterns), 100.0 * hit_rate,
+      hit_run.size(), miss_run.size(), hit_lat.p50, hit_lat.p99,
+      miss_lat.p50, miss_lat.p99,
+      static_cast<unsigned long long>(metrics.cache_entries),
+      static_cast<unsigned long long>(metrics.cache_resident_bytes),
+      static_cast<unsigned long long>(metrics.cache_evictions),
+      report.c_str());
+
+  if (!smoke) return 0;
+  int failures = 0;
+  if (hit_rate < 0.6) {
+    ++failures;
+    std::fprintf(stderr, "zipf GATE: hit rate %.3f < 0.6\n", hit_rate);
+  }
+  if (!(hit_lat.p50 < miss_lat.p50)) {
+    ++failures;
+    std::fprintf(stderr,
+                 "zipf GATE: hit p50 %.3f ms not under miss p50 %.3f ms\n",
+                 hit_lat.p50, miss_lat.p50);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   FlagSet flags;
   int64_t& workers = flags.Int64("workers", 4, "service worker threads");
@@ -325,6 +488,13 @@ int Run(int argc, char** argv) {
       flags.Int64("chaos_seed", 1, "fault schedule seed (--chaos)");
   double& fault_rate = flags.Double(
       "fault_rate", 0.02, "per-poll fault probability (--chaos)");
+  bool& zipf = flags.Bool(
+      "zipf", false,
+      "cache mixed-load harness: Zipf-skewed relabeled resubmissions");
+  int64_t& patterns =
+      flags.Int64("patterns", 16, "distinct pattern pool size (--zipf)");
+  double& zipf_s =
+      flags.Double("zipf_s", 1.0, "Zipf popularity exponent (--zipf)");
   if (!flags.Parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     flags.PrintUsage(argv[0]);
@@ -340,6 +510,13 @@ int Run(int argc, char** argv) {
                     hard_deadline_ms,
                     report == "BENCH_service.json" ? "BENCH_chaos.json"
                                                    : report);
+  }
+  if (zipf) {
+    // Short limits keep the search phase comparable to the build phase in
+    // smoke runs, so the hit-vs-miss delta measures the cache, not noise.
+    if (smoke) k = std::min<int64_t>(k, 2000);
+    return RunZipf(workers, queries, seed, scale, k, patterns, zipf_s,
+                   report, smoke);
   }
 
   std::fprintf(stderr, "synthesizing Yeast stand-in (scale %.3g)...\n",

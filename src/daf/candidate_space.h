@@ -157,6 +157,10 @@ class CandidateSpace {
   StopCause interrupt_cause() const { return interrupt_cause_; }
 
  private:
+  // PreparedQuery (daf/prepared.h) aggregates a CandidateSpace and needs
+  // the empty state before Build's result is moved in; everyone else must
+  // go through Build.
+  friend struct PreparedQuery;
   CandidateSpace() = default;
 
   static CandidateSpace BuildImpl(const Graph& query, const QueryDag& dag,

@@ -1,0 +1,66 @@
+#ifndef DAF_GRAPH_CANONICAL_H_
+#define DAF_GRAPH_CANONICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace daf {
+
+/// The canonical form of a query graph: a relabeling-invariant key plus the
+/// vertex permutation connecting the submitted graph to its canonical
+/// representative.
+///
+/// Two graphs produce the same `key` (and an identical `canonical` graph)
+/// iff they are isomorphic as vertex-labeled, edge-labeled graphs — the
+/// exact equivalence under which a query's DAG and CandidateSpace can be
+/// shared across submissions (labels are compared through original_label,
+/// so the dense remapping Graph applies internally never leaks into the
+/// key). This is what makes the key usable as a cross-query cache key: a
+/// million relabeled resubmissions of one pattern all land on one entry.
+struct CanonicalQuery {
+  /// Relabeling-invariant encoding of the graph (vertex count, canonical
+  /// label sequence, canonical adjacency with edge labels). Hashable and
+  /// comparable as a flat word vector.
+  std::vector<uint64_t> key;
+
+  /// to_canonical[v] = the canonical position of submitted vertex v.
+  std::vector<VertexId> to_canonical;
+
+  /// from_canonical[p] = the submitted vertex at canonical position p
+  /// (the inverse of to_canonical).
+  std::vector<VertexId> from_canonical;
+
+  /// True when the canonical search completed within its node budget.
+  /// False marks the (pathological, regular-and-unlabeled) graphs where
+  /// canonization was abandoned; the key is then NOT relabeling-invariant
+  /// and the graph must be treated as uncacheable.
+  bool complete = true;
+};
+
+/// Canonicalizes `g` by color refinement (vertex label + degree seeded,
+/// iterated neighborhood signatures) followed by an individualization-
+/// refinement search for the lexicographically smallest adjacency encoding.
+/// Interchangeable "twin" vertices (identical closed/open neighborhoods,
+/// e.g. clique members or star leaves) are pruned to one branch, so
+/// automorphism-rich queries canonicalize in polynomial time. `max_leaves`
+/// bounds the search on adversarial regular graphs; on overflow the result
+/// is flagged `complete == false` (see CanonicalQuery::complete).
+CanonicalQuery CanonicalizeQuery(const Graph& g, uint64_t max_leaves = 65536);
+
+/// Rebuilds the canonical representative graph from a canonical form: the
+/// graph whose vertex p carries the canonical labels/edges of position p.
+/// Canonicalizing the result again yields the same key with the identity
+/// permutation.
+Graph BuildCanonicalGraph(const Graph& g, const CanonicalQuery& form);
+
+/// Relabels `g`'s vertices by `perm` (perm[v] = new id of vertex v; must be
+/// a permutation of 0..n-1). Labels and edges (including edge labels) move
+/// with their vertices — the result is isomorphic to `g` by construction.
+/// Test and bench helper for exercising relabeling invariance.
+Graph PermuteVertices(const Graph& g, const std::vector<VertexId>& perm);
+
+}  // namespace daf
+
+#endif  // DAF_GRAPH_CANONICAL_H_

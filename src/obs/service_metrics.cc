@@ -98,6 +98,18 @@ void WriteServiceMetrics(JsonWriter& w, const ServiceMetricsSnapshot& m) {
   w.Key("pool_peak_in_use").Uint(m.pool_peak_in_use);
   w.Key("pool_capacity").Uint(m.pool_capacity);
   w.EndObject();
+  w.Key("cache").BeginObject();
+  w.Key("enabled").Bool(m.cache_enabled);
+  w.Key("cache_lookups").Uint(m.cache_lookups);
+  w.Key("cache_hits").Uint(m.cache_hits);
+  w.Key("cache_misses").Uint(m.cache_misses);
+  w.Key("cache_coalesced").Uint(m.cache_coalesced);
+  w.Key("cache_evictions").Uint(m.cache_evictions);
+  w.Key("cache_insert_failures").Uint(m.cache_insert_failures);
+  w.Key("cache_uncacheable").Uint(m.cache_uncacheable);
+  w.Key("cache_resident_bytes").Uint(m.cache_resident_bytes);
+  w.Key("cache_entries").Uint(m.cache_entries);
+  w.EndObject();
   w.Key("wait_latency");
   WriteHistogram(w, m.wait);
   w.Key("run_latency");

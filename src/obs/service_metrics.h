@@ -81,6 +81,19 @@ struct ServiceMetricsSnapshot {
   uint64_t global_memory_limit = 0; // service-global limit (0 = unlimited)
   uint32_t pool_peak_in_use = 0;    // context-pool high-water mark
   uint32_t pool_capacity = 0;       // context-pool size
+  // Cross-query plan/CS cache (all zero when cache_enabled is false). The
+  // classification invariant hits + misses + coalesced == lookups holds in
+  // every snapshot.
+  bool cache_enabled = false;
+  uint64_t cache_lookups = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_coalesced = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_insert_failures = 0;
+  uint64_t cache_uncacheable = 0;
+  uint64_t cache_resident_bytes = 0;
+  uint64_t cache_entries = 0;
   LatencyHistogram wait;   // submission -> worker pickup
   LatencyHistogram run;    // worker pickup -> terminal state
   LatencyHistogram total;  // submission -> terminal state

@@ -38,6 +38,20 @@ const char* ToString(Priority p) {
   return "unknown";
 }
 
+const char* ToString(CacheOutcome o) {
+  switch (o) {
+    case CacheOutcome::kNone:
+      return "none";
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kMiss:
+      return "miss";
+    case CacheOutcome::kCoalesced:
+      return "coalesced";
+  }
+  return "unknown";
+}
+
 bool ParsePriority(const char* text, Priority* out) {
   if (std::strcmp(text, "interactive") == 0) {
     *out = Priority::kInteractive;

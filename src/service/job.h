@@ -38,8 +38,22 @@ constexpr bool IsTerminal(JobStatus s) {
   return s != JobStatus::kQueued && s != JobStatus::kRunning;
 }
 
+/// How the cross-query plan/CS cache served a job. kNone covers every path
+/// that never performed a cache lookup: the cache disabled, the job opting
+/// out via QueryJob::bypass_cache, a job that never ran, or an uncacheable
+/// query (canonization overran its leaf cap). kCoalesced means the job
+/// waited on another job's in-flight build of the same canonical pattern
+/// instead of building its own.
+enum class CacheOutcome : uint8_t {
+  kNone = 0,
+  kHit,
+  kMiss,
+  kCoalesced,
+};
+
 const char* ToString(JobStatus s);
 const char* ToString(Priority p);
+const char* ToString(CacheOutcome o);
 
 /// Parses "interactive" / "normal" / "batch" (returns false on anything
 /// else, leaving `*out` untouched).
@@ -79,6 +93,12 @@ struct QueryJob {
   /// be 0 = unlimited). A job that exceeds it terminates as
   /// kResourceExhausted with partial counts; see docs/ROBUSTNESS.md.
   uint64_t max_memory_bytes = 0;
+
+  /// When true the job never consults the cross-query plan/CS cache: it
+  /// builds (and does not publish) its own DAG + CandidateSpace, exactly as
+  /// if the cache were disabled. Differential tests use this to get a cold
+  /// baseline from a warmed service.
+  bool bypass_cache = false;
 };
 
 }  // namespace daf::service

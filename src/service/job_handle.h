@@ -80,6 +80,11 @@ class JobHandle {
   /// scheduling decision for tests and load analysis.
   uint64_t start_seq() const { return state_->start_seq; }
 
+  /// How the cross-query plan/CS cache served this job (kNone when the
+  /// cache is disabled, bypassed, or the job never ran). Valid once the job
+  /// is terminal.
+  CacheOutcome cache_outcome() const { return state_->cache_outcome; }
+
  private:
   friend class MatchService;
   explicit JobHandle(internal::JobStatePtr state)

@@ -35,6 +35,7 @@ struct JobState {
   uint64_t deadline_ms = 0;
   bool stream = false;
   uint64_t memory_limit = 0;  // per-job budget bytes (0 = unlimited)
+  bool bypass_cache = false;  // QueryJob::bypass_cache
 
   // --- Lock-free control plane.
   CancelToken cancel;
@@ -57,6 +58,7 @@ struct JobState {
   double run_ms = 0;             // pickup -> terminal
   uint64_t peak_bytes = 0;          // budget high-water of the run
   uint64_t budget_rejections = 0;   // over-limit charges of the run
+  CacheOutcome cache_outcome = CacheOutcome::kNone;  // plan/CS cache verdict
   MatchResult result;
   obs::SearchProfile profile;
 

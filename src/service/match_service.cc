@@ -7,6 +7,7 @@
 
 #include "daf/cursor.h"
 #include "daf/parallel.h"
+#include "daf/prepared.h"
 #include "util/fault_inject.h"
 
 namespace daf::service {
@@ -27,6 +28,15 @@ MatchService::MatchService(Graph data, ServiceOptions options)
       queue_(options_.queue_capacity),
       contexts_(options_.num_workers, options_.context_retained_bytes),
       global_budget_(options_.service_memory_limit_bytes) {
+  if (options_.enable_query_cache) {
+    QueryCacheOptions cache_options;
+    cache_options.shards = options_.cache_shards;
+    cache_options.max_resident_bytes = options_.cache_max_resident_bytes;
+    cache_options.canonical_max_leaves = options_.cache_canonical_max_leaves;
+    cache_options.budget =
+        options_.service_memory_limit_bytes != 0 ? &global_budget_ : nullptr;
+    cache_ = std::make_unique<QueryCache>(cache_options);
+  }
   workers_.reserve(options_.num_workers);
   for (uint32_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -50,6 +60,7 @@ JobHandle MatchService::Submit(QueryJob job) {
   state->memory_limit = job.max_memory_bytes != 0
                             ? job.max_memory_bytes
                             : options_.job_memory_limit_bytes;
+  state->bypass_cache = job.bypass_cache;
   if (job.limit != 0) {
     state->options.limit = job.limit;
   } else if (state->options.limit == 0) {
@@ -220,8 +231,50 @@ void MatchService::ProcessJob(const internal::JobStatePtr& job) {
   MatchResult result;
   {
     ContextPool::Lease lease = contexts_.Acquire();
-    if (!job->stream && options_.intra_query_threads > 1 &&
-        job->priority == Priority::kInteractive) {
+    const bool parallel = !job->stream && options_.intra_query_threads > 1 &&
+                          job->priority == Priority::kInteractive;
+
+    // Cross-query cache: resolve the canonical pattern first. A hit (or a
+    // miss, which built and published the blob) runs the prepared engine
+    // against the canonical query and remaps streamed embeddings back; a
+    // null lease (bypass, uncacheable query, interrupted or coalesced-
+    // failed build) falls through to the ordinary cold path, whose own
+    // StopCondition re-reports any cancel/deadline/budget that interrupted
+    // the build.
+    QueryCache::Lease cached;
+    if (cache_ != nullptr && !job->bypass_cache) {
+      cached = cache_->Acquire(job->query, data_, opts);
+      job->cache_outcome = cached.outcome;
+    }
+
+    if (cached.prepared != nullptr) {
+      if (parallel) {
+        result = ParallelDafMatchPrepared(*cached.prepared, data_, opts,
+                                          options_.intra_query_threads,
+                                          lease.get());
+        ran_parallel = true;
+      } else if (job->stream) {
+        // The producer enumerates the *canonical* query; remap each
+        // embedding through the stored permutation before delivery so the
+        // consumer sees the submitted vertex numbering.
+        EmbeddingCursor cursor(cached.prepared, data_, opts, lease.get());
+        const std::vector<VertexId>& to_canonical = cached.form.to_canonical;
+        while (auto embedding = cursor.Next()) {
+          std::vector<VertexId> remapped(embedding->size());
+          for (size_t u = 0; u < remapped.size(); ++u) {
+            remapped[u] = (*embedding)[to_canonical[u]];
+          }
+          if (!DeliverEmbedding(job, std::move(remapped))) {
+            cursor.Close();
+            break;
+          }
+          ++streamed;
+        }
+        result = cursor.Finish();
+      } else {
+        result = DafMatchPrepared(*cached.prepared, data_, opts, lease.get());
+      }
+    } else if (parallel) {
       // Latency-critical job: spend intra-query threads on it. Limits,
       // deadline, and cancellation keep exact single-thread semantics
       // through the shared counter and the StopCondition each worker polls.
@@ -381,6 +434,19 @@ obs::ServiceMetricsSnapshot MatchService::Metrics() const {
   m.wait = wait_hist_;
   m.run = run_hist_;
   m.total = total_hist_;
+  if (cache_ != nullptr) {
+    const QueryCacheStats cs = cache_->Stats();
+    m.cache_enabled = true;
+    m.cache_lookups = cs.lookups;
+    m.cache_hits = cs.hits;
+    m.cache_misses = cs.misses;
+    m.cache_coalesced = cs.coalesced;
+    m.cache_evictions = cs.evictions;
+    m.cache_insert_failures = cs.insert_failures;
+    m.cache_uncacheable = cs.uncacheable;
+    m.cache_resident_bytes = cs.resident_bytes;
+    m.cache_entries = cs.entries;
+  }
   return m;
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "service/context_pool.h"
 #include "service/job.h"
 #include "service/job_handle.h"
+#include "service/query_cache.h"
 
 namespace daf::service {
 
@@ -61,6 +63,25 @@ struct ServiceOptions {
   /// Grace past a job's deadline_ms before the watchdog force-cancels it
   /// (covers the engine's poll cadence plus scheduling noise).
   uint64_t watchdog_grace_ms = 1000;
+
+  // --- Cross-query plan/CS cache (docs/SERVICE.md).
+
+  /// Enables the canonical-key PreparedQuery cache: jobs whose queries are
+  /// isomorphic (any vertex relabeling) to an already-served pattern skip
+  /// BuildDAG and CS construction, leasing the shared blob read-only.
+  /// Results are identical to cold builds; QueryJob::bypass_cache opts a
+  /// single job out.
+  bool enable_query_cache = true;
+  /// Resident-bytes cap of the cache (0 = unlimited). Resident bytes are
+  /// also charged against service_memory_limit_bytes when that is set, with
+  /// LRU eviction keeping headroom for running jobs.
+  uint64_t cache_max_resident_bytes = 64ull << 20;
+  /// Cache shards (lock-contention knob).
+  uint32_t cache_shards = 8;
+  /// Leaf cap of the canonicalizer's individualization search. A query
+  /// whose canonization overruns it is served cold (uncacheable), never
+  /// incorrectly.
+  uint64_t cache_canonical_max_leaves = 65536;
 };
 
 /// A transport-agnostic concurrent subgraph-match service: owns one shared
@@ -140,6 +161,9 @@ class MatchService {
   /// Service-global memory ledger; every job's per-job budget charges
   /// through it as its parent.
   MemoryBudget global_budget_;
+  /// Cross-query plan/CS cache (null when disabled); resident bytes charge
+  /// the global ledger through a child budget.
+  std::unique_ptr<QueryCache> cache_;
   std::vector<std::thread> workers_;
   std::thread watchdog_;
   std::atomic<uint64_t> next_id_{1};

@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "daf/engine.h"
+#include "graph/canonical.h"
 #include "service/match_service.h"
 #include "tests/test_util.h"
 #include "util/fault_inject.h"
+#include "util/rng.h"
 
 namespace daf::service {
 namespace {
@@ -111,8 +113,10 @@ void RunChaosRound(uint64_t chaos_seed, double fault_rate) {
                 m.counters.cancelled + m.counters.timed_out +
                 m.counters.failed + m.counters.resource_exhausted);
 
-  // Invariant 3: the global ledger drained back to zero (no charge leaks).
-  EXPECT_EQ(m.global_memory_used, 0u);
+  // Invariant 3: with no job running, the global ledger holds exactly the
+  // query cache's resident bytes — every per-job charge was returned (no
+  // charge leaks), and the cache's own accounting agrees with the ledger.
+  EXPECT_EQ(m.global_memory_used, m.cache_resident_bytes);
   EXPECT_EQ(m.global_memory_limit, uint64_t{1} << 30);
 
   // Invariant 4: liveness — with faults disarmed the service still serves.
@@ -128,6 +132,83 @@ TEST_F(ChaosTest, Seed1LowFaultRate) { RunChaosRound(1, 0.01); }
 TEST_F(ChaosTest, Seed2ModerateFaultRate) { RunChaosRound(2, 0.05); }
 
 TEST_F(ChaosTest, Seed3HighFaultRate) { RunChaosRound(3, 0.25); }
+
+// Cache-churn round: a tiny resident-bytes cap forces constant LRU
+// eviction while repeated and permuted patterns race hits, coalesced
+// builds, and the armed cache_insert/cache_evict fault points. On top of
+// the standard invariants, the cache's classification must stay exact:
+// every lookup is exactly one of hit / miss / coalesced.
+void RunCacheChurnRound(uint64_t chaos_seed, double fault_rate) {
+  SCOPED_TRACE("chaos_seed=" + std::to_string(chaos_seed));
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 256;
+  options.watchdog_interval_ms = 10;
+  options.watchdog_grace_ms = 200;
+  options.service_memory_limit_bytes = uint64_t{1} << 30;
+  options.cache_max_resident_bytes = 24 * 1024;  // a handful of entries
+  options.cache_shards = 2;
+  MatchService service(SmallData(), options);
+
+  // A pool of patterns sized so the pool never fits resident at once,
+  // submitted both verbatim and relabeled (permuted isomorphs must land on
+  // the same entries even while those entries are being evicted).
+  Rng rng(chaos_seed);
+  std::vector<Graph> pool;
+  for (uint32_t n = 3; n <= 6; ++n) {
+    pool.push_back(MakeClique(std::vector<Label>(n, 0)));
+  }
+  constexpr int kJobs = 80;
+  std::vector<JobHandle> handles;
+  handles.reserve(kJobs);
+  {
+    ScopedFaultInjection faults(chaos_seed, fault_rate);
+    for (int i = 0; i < kJobs; ++i) {
+      const Graph& base = pool[static_cast<size_t>(i) % pool.size()];
+      std::vector<VertexId> perm(base.NumVertices());
+      for (VertexId v = 0; v < perm.size(); ++v) perm[v] = v;
+      rng.Shuffle(perm);
+      QueryJob job;
+      job.query = i % 2 == 0 ? base : PermuteVertices(base, perm);
+      job.priority = static_cast<Priority>(i % kNumPriorities);
+      job.limit = 20000;
+      handles.push_back(service.Submit(std::move(job)));
+    }
+    service.Drain();
+  }
+
+  for (size_t i = 0; i < handles.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    ASSERT_TRUE(IsTerminal(handles[i].Status()))
+        << ToString(handles[i].Status());
+  }
+  obs::ServiceMetricsSnapshot m = service.Metrics();
+  EXPECT_EQ(m.counters.submitted, static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(m.counters.submitted,
+            m.counters.rejected + m.counters.completed +
+                m.counters.cancelled + m.counters.timed_out +
+                m.counters.failed + m.counters.resource_exhausted);
+  // Exact lookup classification, under faults and eviction churn.
+  EXPECT_EQ(m.cache_hits + m.cache_misses + m.cache_coalesced,
+            m.cache_lookups);
+  EXPECT_LE(m.cache_lookups, m.counters.submitted);
+  EXPECT_EQ(m.cache_uncacheable, 0u);  // cliques canonicalize trivially
+  // The cap held and the ledgers agree.
+  EXPECT_LE(m.cache_resident_bytes, options.cache_max_resident_bytes);
+  EXPECT_EQ(m.global_memory_used, m.cache_resident_bytes);
+
+  // Liveness plus a correctness probe: a warm (or rebuilt) entry still
+  // produces the right count after the churn.
+  QueryJob probe;
+  probe.query = EasyQuery();
+  JobHandle h = service.Submit(std::move(probe));
+  EXPECT_EQ(h.Wait(), JobStatus::kDone);
+  EXPECT_EQ(h.Result().embeddings, 16u * 15u * 14u);
+}
+
+TEST_F(ChaosTest, CacheChurnSeed4) { RunCacheChurnRound(4, 0.05); }
+
+TEST_F(ChaosTest, CacheChurnSeed5) { RunCacheChurnRound(5, 0.15); }
 
 TEST_F(ChaosTest, ServiceSurvivesShutdownUnderFaults) {
   // Shutdown mid-burst with faults armed: every admitted job must still
@@ -203,6 +284,9 @@ TEST_F(ChaosTest, PerJobBudgetOverridesServiceDefault) {
   ServiceOptions options;
   options.num_workers = 1;
   options.job_memory_limit_bytes = 8 * 1024;  // default: everything exhausts
+  // The 8 KiB cap is sized to the *cold* path's arena charge; the prepared
+  // (cache-hit) path stays under it, which would defeat the test's premise.
+  options.enable_query_cache = false;
   MatchService service(SmallData(), options);
 
   QueryJob capped;
