@@ -1,0 +1,294 @@
+// Dynamic-graph benchmark: delta-driven re-enumeration vs full re-match.
+//
+// A MatchService over a ~100k-edge R-MAT graph carries a few standing
+// queries. Each round applies one small update batch (default 0.5% of the
+// edges, half inserts / half removals) and measures both maintenance
+// strategies:
+//
+//   delta      ApplyUpdates end to end — incremental CandidateSpace
+//              maintenance plus exact delta enumeration seeded at the
+//              changed edges — plus draining the subscription queues.
+//   rescratch  what a static engine must do instead: materialize the new
+//              snapshot and run a full DafMatch per standing query.
+//
+// Both run every round, so the rescratch result doubles as an oracle: the
+// folded delta counts (initial matches + created - destroyed) must equal
+// the fresh embedding counts exactly; any divergence is a violation and a
+// nonzero exit. The report (BENCH_dynamic.json) records exact p50/p95/p99
+// per side and the p50 speedup.
+//
+//   $ ./bench/bench_dynamic                  # 50 batches, 100k edges
+//   $ ./bench/bench_dynamic --smoke          # CI gate: p50 speedup >= 5x
+//   $ ./bench/bench_dynamic --batch_edges 1000 --batches 200
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "daf/engine.h"
+#include "dyn/update_batch.h"
+#include "graph/generators.h"
+#include "obs/json.h"
+#include "obs/service_metrics.h"
+#include "service/match_service.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace daf {
+namespace {
+
+struct LatencySummary {
+  double p50 = 0, p95 = 0, p99 = 0, max = 0, mean = 0;
+};
+
+LatencySummary Summarize(std::vector<double> samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    size_t i = static_cast<size_t>(q * static_cast<double>(samples.size()));
+    return samples[std::min(i, samples.size() - 1)];
+  };
+  s.p50 = at(0.50);
+  s.p95 = at(0.95);
+  s.p99 = at(0.99);
+  s.max = samples.back();
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  return s;
+}
+
+void WriteLatency(obs::JsonWriter& w, const LatencySummary& s) {
+  w.BeginObject()
+      .Key("p50_ms").Double(s.p50)
+      .Key("p95_ms").Double(s.p95)
+      .Key("p99_ms").Double(s.p99)
+      .Key("max_ms").Double(s.max)
+      .Key("mean_ms").Double(s.mean)
+      .EndObject();
+}
+
+// The standing queries: small connected patterns over the generator's most
+// frequent labels, so they match often enough that batches regularly
+// create and destroy embeddings (Zipf labeling makes label 0 common).
+std::vector<Graph> StandingQueries() {
+  std::vector<Graph> queries;
+  queries.push_back(Graph::FromEdges({1, 0, 2}, {{0, 1}, {1, 2}}));
+  queries.push_back(
+      Graph::FromEdges({0, 1, 2}, {{0, 1}, {1, 2}, {2, 0}}));
+  return queries;
+}
+
+// One small batch against the current snapshot: `size` operations, half
+// removals of random existing edges, half inserts of random new pairs.
+// Keeps the edge count roughly stable across a long run.
+dyn::UpdateBatch MakeBatch(const Graph& snapshot, uint64_t size, Rng& rng) {
+  const uint32_t n = snapshot.NumVertices();
+  dyn::UpdateBatch batch;
+  for (uint64_t i = 0; i < size / 2; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.UniformInt(n));
+    auto neighbors = snapshot.Neighbors(u);
+    if (neighbors.empty()) continue;
+    batch.RemoveEdge(u, neighbors[rng.UniformInt(neighbors.size())]);
+  }
+  for (uint64_t i = 0; i < size - size / 2; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.UniformInt(n));
+    const VertexId v = static_cast<VertexId>(rng.UniformInt(n));
+    if (u != v && !snapshot.HasEdge(u, v)) batch.InsertEdge(u, v);
+  }
+  return batch;
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  int64_t& rmat_scale =
+      flags.Int64("rmat_scale", 15, "R-MAT vertex scale (2^scale vertices)");
+  int64_t& edges = flags.Int64("edges", 100000, "data graph edges");
+  int64_t& num_labels = flags.Int64("labels", 24, "vertex label count");
+  int64_t& batches = flags.Int64("batches", 50, "update batches to apply");
+  int64_t& batch_edges = flags.Int64(
+      "batch_edges", 500, "operations per batch (<= 1% of edges)");
+  int64_t& seed = flags.Int64("seed", 42, "generator seed");
+  std::string& report =
+      flags.String("report", "BENCH_dynamic.json", "JSON report path");
+  bool& smoke = flags.Bool(
+      "smoke", false,
+      "CI mode: fewer batches; exit nonzero unless delta beats rescratch "
+      "by >= 5x p50 and every oracle check passes");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    flags.PrintUsage(argv[0]);
+    return 1;
+  }
+  if (smoke) batches = std::min<int64_t>(batches, 12);
+
+  Rng rng(static_cast<uint64_t>(seed));
+  std::fprintf(stderr, "synthesizing R-MAT graph (scale %lld, %lld edges)\n",
+               static_cast<long long>(rmat_scale),
+               static_cast<long long>(edges));
+  const uint32_t n = 1u << static_cast<uint32_t>(rmat_scale);
+  std::vector<Edge> data_edges =
+      RmatEdges(static_cast<uint32_t>(rmat_scale),
+                static_cast<uint64_t>(edges), 0.57, 0.19, 0.19, rng);
+  ConnectComponents(n, &data_edges, rng);
+  Graph data = Graph::FromEdges(
+      ZipfLabels(n, static_cast<uint32_t>(num_labels), 0.7, rng),
+      data_edges);
+  std::fprintf(stderr, "data: %u vertices, %llu edges\n", data.NumVertices(),
+               static_cast<unsigned long long>(data.NumEdges()));
+
+  service::ServiceOptions options;
+  options.num_workers = 1;  // updates and matching are measured inline
+  service::MatchService service(std::move(data), options);
+
+  const std::vector<Graph> queries = StandingQueries();
+  std::vector<service::SubscriptionHandle> subs;
+  std::vector<int64_t> live;  // folded embedding count per standing query
+  for (const Graph& q : queries) {
+    service::QueryJob job;
+    job.query = q;
+    subs.push_back(service.Subscribe(std::move(job)));
+    if (!subs.back().ok()) {
+      std::fprintf(stderr, "subscribe failed: %s\n",
+                   subs.back().error().c_str());
+      return 1;
+    }
+    MatchResult r = DafMatch(q, *service.Snapshot(), {});
+    if (!r.ok) {
+      std::fprintf(stderr, "initial match failed: %s\n", r.error.c_str());
+      return 1;
+    }
+    live.push_back(static_cast<int64_t>(r.embeddings));
+  }
+
+  std::fprintf(stderr,
+               "applying %lld batches of %lld ops (%.2f%% of edges)...\n",
+               static_cast<long long>(batches),
+               static_cast<long long>(batch_edges),
+               100.0 * static_cast<double>(batch_edges) /
+                   static_cast<double>(edges));
+  int violations = 0;
+  uint64_t deltas_streamed = 0;
+  std::vector<double> delta_ms, rescratch_ms;
+  std::shared_ptr<const Graph> snapshot = service.Snapshot();
+  for (int64_t round = 0; round < batches; ++round) {
+    dyn::UpdateBatch batch = MakeBatch(
+        *snapshot, static_cast<uint64_t>(batch_edges), rng);
+
+    // The delta path: apply + maintain + enumerate + drain.
+    Stopwatch delta_timer;
+    service::UpdateOutcome out = service.ApplyUpdates(batch);
+    if (!out.ok) {
+      std::fprintf(stderr, "batch %lld rejected: %s\n",
+                   static_cast<long long>(round), out.error.c_str());
+      return 1;
+    }
+    for (size_t s = 0; s < subs.size(); ++s) {
+      for (service::DeltaBatch& db : subs[s].Drain()) {
+        if (db.resync) {
+          ++violations;
+          std::fprintf(stderr, "VIOLATION: unexpected resync (round %lld)\n",
+                       static_cast<long long>(round));
+          continue;
+        }
+        for (const service::EmbeddingDelta& d : db.deltas) {
+          live[s] += d.created ? 1 : -1;
+          ++deltas_streamed;
+        }
+      }
+    }
+    delta_ms.push_back(delta_timer.ElapsedMs());
+
+    // The rescratch baseline — and the oracle for the folded counts.
+    Stopwatch rescratch_timer;
+    snapshot = service.Snapshot();
+    for (size_t s = 0; s < queries.size(); ++s) {
+      MatchResult r = DafMatch(queries[s], *snapshot, {});
+      if (!r.ok || static_cast<int64_t>(r.embeddings) != live[s]) {
+        ++violations;
+        std::fprintf(
+            stderr,
+            "VIOLATION: query %zu round %lld: folded %lld != fresh %llu\n",
+            s, static_cast<long long>(round),
+            static_cast<long long>(live[s]),
+            static_cast<unsigned long long>(r.embeddings));
+      }
+    }
+    rescratch_ms.push_back(rescratch_timer.ElapsedMs());
+  }
+
+  const LatencySummary delta_lat = Summarize(delta_ms);
+  const LatencySummary rescratch_lat = Summarize(rescratch_ms);
+  const double p50_speedup =
+      delta_lat.p50 > 0 ? rescratch_lat.p50 / delta_lat.p50 : 0.0;
+  obs::ServiceMetricsSnapshot metrics = service.Metrics();
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("dynamic");
+  w.Key("config").BeginObject()
+      .Key("rmat_scale").Int(rmat_scale)
+      .Key("edges").Int(edges)
+      .Key("labels").Int(num_labels)
+      .Key("batches").Int(batches)
+      .Key("batch_edges").Int(batch_edges)
+      .Key("batch_fraction")
+      .Double(static_cast<double>(batch_edges) /
+              static_cast<double>(edges))
+      .Key("standing_queries").Uint(queries.size())
+      .Key("seed").Int(seed)
+      .Key("smoke").Bool(smoke)
+      .EndObject();
+  w.Key("latency_delta");
+  WriteLatency(w, delta_lat);
+  w.Key("latency_rescratch");
+  WriteLatency(w, rescratch_lat);
+  w.Key("p50_speedup").Double(p50_speedup);
+  w.Key("deltas_streamed").Uint(deltas_streamed);
+  w.Key("violations").Int(violations);
+  w.Key("service_metrics");
+  obs::WriteServiceMetrics(w, metrics);
+  w.EndObject();
+  std::FILE* f = std::fopen(report.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", report.c_str());
+    return 1;
+  }
+  std::fprintf(f, "%s\n", w.str().c_str());
+  std::fclose(f);
+
+  std::printf(
+      "bench_dynamic: %lld batches of %lld ops over %llu edges\n"
+      "  delta      p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n"
+      "  rescratch  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n"
+      "  p50 speedup %.1fx, %llu deltas streamed, %llu incremental / "
+      "%llu rebuilds\n"
+      "  oracle     %d violation(s)\n"
+      "  report     %s\n",
+      static_cast<long long>(batches),
+      static_cast<long long>(batch_edges),
+      static_cast<unsigned long long>(snapshot->NumEdges()), delta_lat.p50,
+      delta_lat.p95, delta_lat.p99, rescratch_lat.p50, rescratch_lat.p95,
+      rescratch_lat.p99, p50_speedup,
+      static_cast<unsigned long long>(deltas_streamed),
+      static_cast<unsigned long long>(metrics.dyn_cs_incremental),
+      static_cast<unsigned long long>(metrics.dyn_cs_rebuilds), violations,
+      report.c_str());
+
+  if (violations > 0) return 1;
+  if (smoke && p50_speedup < 5.0) {
+    std::fprintf(stderr,
+                 "dynamic GATE: p50 speedup %.2fx < 5x (delta %.3f ms, "
+                 "rescratch %.3f ms)\n",
+                 p50_speedup, delta_lat.p50, rescratch_lat.p50);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace daf
+
+int main(int argc, char** argv) { return daf::Run(argc, argv); }

@@ -17,8 +17,27 @@
 //   poll <id>                           -> "ok job <id> <status>"
 //   wait <id>                           block until terminal; reports result
 //   cancel <id>                         request cooperative cancellation
+//   update <op>...                      apply one atomic update batch; ops:
+//                                       +v <label> | -v <vertex> |
+//                                       +e <u> <v> [edge-label] | -e <u> <v>
+//                                       (new vertices get the next dense
+//                                       ids, usable by later ops in the
+//                                       same batch)
+//   subscribe <query-path> [hom]        register a standing query
+//                                       -> "ok sub <id> version=<v>"
+//   deltas <id>                         drain the subscription's pending
+//                                       embedding deltas, one per line:
+//                                       "delta <version> +|- <v0> <v1> ..."
+//                                       ("resync <version>" = deltas lost,
+//                                       re-run the query at that version)
+//   unsubscribe <id>                    deregister the standing query
 //   stats                               service metrics as one JSON document
 //   quit                                drain and exit
+//
+// Subscriptions are per connection: a session only ever sees deltas for
+// standing queries it registered itself, and they are unsubscribed when
+// the connection closes (each session owns its service instance, so a
+// fresh connection starts from the loaded graph at version 0).
 //
 // The server is intentionally transport-thin: all scheduling, queueing,
 // deadline, and cancellation behavior lives in MatchService (see
@@ -44,6 +63,7 @@
 #include <ext/stdio_filebuf.h>  // libstdc++: iostream over an accepted fd
 #endif
 
+#include "dyn/update_batch.h"
 #include "graph/io.h"
 #include "obs/service_metrics.h"
 #include "service/match_service.h"
@@ -93,6 +113,7 @@ class Session {
       if (!Dispatch(line)) break;
       out_.flush();
     }
+    for (auto& [id, sub] : subs_) sub.Unsubscribe();
     if (service_ != nullptr) service_->Shutdown();
   }
 
@@ -112,6 +133,10 @@ class Session {
     if (cmd == "poll") return CmdPoll(ss);
     if (cmd == "wait") return CmdWait(ss);
     if (cmd == "cancel") return CmdCancel(ss);
+    if (cmd == "update") return CmdUpdate(ss);
+    if (cmd == "subscribe") return CmdSubscribe(ss);
+    if (cmd == "deltas") return CmdDeltas(ss);
+    if (cmd == "unsubscribe") return CmdUnsubscribe(ss);
     if (cmd == "stats") return CmdStats();
     out_ << "err unknown command '" << cmd << "'\n";
     return true;
@@ -218,6 +243,114 @@ class Session {
     return true;
   }
 
+  // update +v 3 +e 0 5 -e 1 2 -v 7   (one atomic batch per line)
+  bool CmdUpdate(std::istringstream& ss) {
+    if (service_ == nullptr) return Err("service not started");
+    daf::dyn::UpdateBatch batch;
+    std::string op;
+    while (ss >> op) {
+      if (op == "+v") {
+        int64_t label = 0;
+        if (!(ss >> label)) return Err("+v needs a label");
+        batch.AddVertex(static_cast<daf::Label>(label));
+      } else if (op == "-v") {
+        uint32_t v = 0;
+        if (!(ss >> v)) return Err("-v needs a vertex id");
+        batch.RemoveVertex(v);
+      } else if (op == "+e") {
+        uint32_t u = 0, v = 0;
+        if (!(ss >> u >> v)) return Err("+e needs two vertex ids");
+        int64_t elabel = 0;
+        ss >> elabel;  // optional; leaves 0 (unlabeled) when absent
+        batch.InsertEdge(u, v, static_cast<daf::Label>(elabel));
+      } else if (op == "-e") {
+        uint32_t u = 0, v = 0;
+        if (!(ss >> u >> v)) return Err("-e needs two vertex ids");
+        batch.RemoveEdge(u, v);
+      } else {
+        return Err("unknown update op '" + op + "' (+v/-v/+e/-e)");
+      }
+    }
+    daf::service::UpdateOutcome out = service_->ApplyUpdates(batch);
+    if (!out.ok) return Err(out.error);
+    out_ << "ok update version=" << out.version << " +e="
+         << out.inserted_edges << " -e=" << out.removed_edges
+         << " +v=" << out.added_vertices << " -v=" << out.removed_vertices
+         << " ignored=" << out.ignored_ops
+         << " created=" << out.embeddings_created
+         << " destroyed=" << out.embeddings_destroyed
+         << " notified=" << out.subscriptions_notified
+         << " resyncs=" << out.resyncs << "\n";
+    return true;
+  }
+
+  bool CmdSubscribe(std::istringstream& ss) {
+    if (service_ == nullptr) return Err("service not started");
+    std::string path, mode;
+    if (!(ss >> path)) return Err("subscribe needs a query path");
+    QueryJob job;
+    if (ss >> mode) {
+      if (mode != "hom") return Err("unknown subscribe mode '" + mode + "'");
+      job.options.injective = false;
+    }
+    std::string error;
+    std::optional<Graph> q = daf::LoadGraph(path, &error);
+    if (!q.has_value()) return Err(error);
+    job.query = std::move(*q);
+    daf::service::SubscriptionHandle sub =
+        service_->Subscribe(std::move(job));
+    if (!sub.ok()) return Err(sub.error());
+    subs_.emplace(sub.id(), sub);
+    out_ << "ok sub " << sub.id() << " version=" << sub.subscribed_version()
+         << "\n";
+    return true;
+  }
+
+  daf::service::SubscriptionHandle* FindSub(std::istringstream& ss) {
+    uint64_t id = 0;
+    if (!(ss >> id)) {
+      Err("expected a subscription id");
+      return nullptr;
+    }
+    auto it = subs_.find(id);
+    if (it == subs_.end()) {
+      Err("no such subscription");  // per-connection: others' ids don't
+      return nullptr;               // resolve here
+    }
+    return &it->second;
+  }
+
+  bool CmdDeltas(std::istringstream& ss) {
+    daf::service::SubscriptionHandle* sub = FindSub(ss);
+    if (sub == nullptr) return true;
+    size_t batches = 0, deltas = 0;
+    for (daf::service::DeltaBatch& batch : sub->Drain()) {
+      ++batches;
+      if (batch.resync) {
+        out_ << "resync " << batch.version << "\n";
+        continue;
+      }
+      for (const daf::service::EmbeddingDelta& d : batch.deltas) {
+        ++deltas;
+        out_ << "delta " << batch.version << (d.created ? " +" : " -");
+        for (daf::VertexId v : d.embedding) out_ << " " << v;
+        out_ << "\n";
+      }
+    }
+    out_ << "ok sub " << sub->id() << " batches=" << batches
+         << " deltas=" << deltas << "\n";
+    return true;
+  }
+
+  bool CmdUnsubscribe(std::istringstream& ss) {
+    daf::service::SubscriptionHandle* sub = FindSub(ss);
+    if (sub == nullptr) return true;
+    sub->Unsubscribe();
+    out_ << "ok sub " << sub->id() << " unsubscribed\n";
+    subs_.erase(sub->id());
+    return true;
+  }
+
   bool CmdStats() {
     if (service_ == nullptr) return Err("service not started");
     out_ << daf::obs::ServiceMetricsToJson(service_->Metrics()) << "\n"
@@ -237,6 +370,7 @@ class Session {
   bool has_data_ = false;
   std::unique_ptr<MatchService> service_;
   std::map<uint64_t, JobHandle> jobs_;
+  std::map<uint64_t, daf::service::SubscriptionHandle> subs_;
 };
 
 #ifdef __unix__

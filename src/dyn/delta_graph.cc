@@ -1,0 +1,415 @@
+#include "dyn/delta_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "graph/query_extract.h"
+#include "util/fault_inject.h"
+
+namespace daf::dyn {
+
+DeltaGraph::DeltaGraph(Graph base, Options options)
+    : options_(options),
+      base_(std::make_shared<const Graph>(std::move(base))) {
+  const uint32_t n = base_->NumVertices();
+  labels_.resize(n);
+  alive_.assign(n, 1);
+  degree_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    labels_[v] = base_->original_label(base_->label(v));
+    degree_[v] = base_->degree(v);
+  }
+  num_edges_ = base_->NumEdges();
+  snapshot_ = base_;
+  snapshot_version_ = 0;
+}
+
+Label DeltaGraph::BaseDenseLabel(Label l) const {
+  return base_->DenseLabel(l);
+}
+
+bool DeltaGraph::EdgeInBase(VertexId u, VertexId v, Label* label_out) const {
+  if (!InBase(u) || !InBase(v)) return false;
+  if (!base_->HasEdge(u, v)) return false;
+  if (label_out != nullptr) *label_out = base_->EdgeLabelBetween(u, v);
+  return true;
+}
+
+bool DeltaGraph::OverlayEdgeLabel(VertexId u, VertexId v,
+                                  Label* label_out) const {
+  const Overlay* ov = OverlayFor(u);
+  if (ov == nullptr) return false;
+  for (const auto& [w, l] : ov->added) {
+    if (w == v) {
+      if (label_out != nullptr) *label_out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DeltaGraph::EdgeLabelNow(VertexId u, VertexId v, Label* label_out) const {
+  if (u == v || u >= NumVertices() || v >= NumVertices()) return false;
+  if (OverlayEdgeLabel(u, v, label_out)) return true;
+  const Overlay* ov = OverlayFor(u);
+  if (ov != nullptr && ov->removed.count(EdgeKey(u, v))) return false;
+  return EdgeInBase(u, v, label_out);
+}
+
+bool DeltaGraph::HasEdge(VertexId u, VertexId v) const {
+  return EdgeLabelNow(u, v, nullptr);
+}
+
+bool DeltaGraph::HasEdgeWithLabel(VertexId u, VertexId v,
+                                  Label edge_label) const {
+  Label l = 0;
+  return EdgeLabelNow(u, v, &l) && l == edge_label;
+}
+
+uint32_t DeltaGraph::NeighborOriginalLabelCount(VertexId v, Label l) const {
+  const Overlay* ov = OverlayFor(v);
+  uint32_t count = 0;
+  if (InBase(v)) {
+    const Label dense = BaseDenseLabel(l);
+    if (dense != kNoSuchLabel) {
+      auto slice = base_->NeighborsWithLabel(v, dense);
+      if (ov == nullptr || ov->removed.empty()) {
+        count += static_cast<uint32_t>(slice.size());
+      } else {
+        for (VertexId w : slice) {
+          if (!ov->removed.count(EdgeKey(v, w))) ++count;
+        }
+      }
+    }
+  }
+  if (ov != nullptr) {
+    for (const auto& [w, el] : ov->added) {
+      (void)el;
+      if (labels_[w] == l) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<VertexId> DeltaGraph::VerticesWithOriginalLabel(Label l) const {
+  std::vector<VertexId> out;
+  const Label dense = BaseDenseLabel(l);
+  if (dense != kNoSuchLabel) {
+    for (VertexId v : base_->VerticesWithLabel(dense)) {
+      if (alive_[v]) out.push_back(v);
+    }
+  }
+  for (VertexId v = base_->NumVertices(); v < NumVertices(); ++v) {
+    if (alive_[v] && labels_[v] == l) out.push_back(v);
+  }
+  return out;
+}
+
+bool DeltaGraph::Normalize(const UpdateBatch& batch, NormalizedBatch* out,
+                           std::string* error) const {
+  assert(out != nullptr);
+  *out = NormalizedBatch{};
+  const uint32_t old_n = NumVertices();
+  const uint32_t new_n =
+      old_n + static_cast<uint32_t>(batch.add_vertices.size());
+
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    *out = NormalizedBatch{};
+    return false;
+  };
+
+  for (Label l : batch.add_vertices) {
+    if (l == kTombstoneLabel || l == kNoSuchLabel) {
+      return fail("reserved label in add_vertices");
+    }
+  }
+  for (uint32_t i = 0; i < batch.add_vertices.size(); ++i) {
+    out->new_vertices.push_back(old_n + i);
+  }
+
+  auto vertex_ok = [&](VertexId v) {
+    if (v >= new_n) return false;
+    if (v < old_n && !alive_[v]) return false;
+    return true;
+  };
+
+  // Simulate the edge operations in order over (current state + pending
+  // changes of this batch). `pending` maps edge key -> (present, label).
+  struct Pending {
+    bool present;
+    Label label;
+  };
+  std::unordered_map<uint64_t, Pending> pending;
+  auto current = [&](VertexId u, VertexId v, Label* label) -> bool {
+    auto it = pending.find(EdgeKey(u, v));
+    if (it != pending.end()) {
+      if (label != nullptr) *label = it->second.label;
+      return it->second.present;
+    }
+    // New vertices of this batch have no pre-existing edges.
+    if (u >= old_n || v >= old_n) return false;
+    return EdgeLabelNow(u, v, label);
+  };
+
+  for (const EdgeUpdate& e : batch.insert_edges) {
+    if (!vertex_ok(e.u) || !vertex_ok(e.v)) {
+      return fail("insert_edges references an invalid or removed vertex");
+    }
+    if (e.u == e.v) {
+      ++out->ignored_ops;
+      continue;
+    }
+    Label existing = 0;
+    if (current(e.u, e.v, &existing) && existing == e.edge_label) {
+      ++out->ignored_ops;  // duplicate insert, same label
+      continue;
+    }
+    // New edge, or a label change (modeled as remove(old) + insert(new)
+    // by the final diff below).
+    pending[EdgeKey(e.u, e.v)] = {true, e.edge_label};
+  }
+  for (const EdgeUpdate& e : batch.remove_edges) {
+    if (!vertex_ok(e.u) || !vertex_ok(e.v)) {
+      return fail("remove_edges references an invalid or removed vertex");
+    }
+    if (e.u == e.v) {
+      ++out->ignored_ops;
+      continue;
+    }
+    if (!current(e.u, e.v, nullptr)) {
+      ++out->ignored_ops;  // removing an absent edge
+      continue;
+    }
+    pending[EdgeKey(e.u, e.v)] = {false, 0};
+  }
+
+  std::unordered_set<VertexId> removed_set;
+  for (VertexId v : batch.remove_vertices) {
+    if (!vertex_ok(v)) {
+      return fail("remove_vertices references an invalid or removed vertex");
+    }
+    if (v >= old_n) {
+      return fail("remove_vertices targets a vertex added in this batch");
+    }
+    if (!removed_set.insert(v).second) {
+      ++out->ignored_ops;
+      continue;
+    }
+    out->removed_vertices.push_back(v);
+    // Expand into incident-edge removals against the simulated state:
+    // pre-existing incident edges not already removed in this batch...
+    ForEachNeighbor(v, [&](VertexId w, Label) {
+      if (!pending.count(EdgeKey(v, w))) {
+        pending[EdgeKey(v, w)] = {false, 0};
+      }
+      return true;
+    });
+    // ...plus edges attached to v earlier in this same batch.
+    for (auto& [key, p] : pending) {
+      const VertexId a = static_cast<VertexId>(key >> 32);
+      const VertexId b = static_cast<VertexId>(key & 0xffffffffu);
+      if (p.present && (a == v || b == v)) p.present = false;
+    }
+  }
+
+  // Diff the simulated final state against the pre-batch state.
+  for (const auto& [key, p] : pending) {
+    const VertexId a = static_cast<VertexId>(key >> 32);
+    const VertexId b = static_cast<VertexId>(key & 0xffffffffu);
+    Label before_label = 0;
+    const bool before =
+        a < old_n && b < old_n && EdgeLabelNow(a, b, &before_label);
+    if (before && p.present) {
+      if (before_label != p.label) {
+        out->removes.push_back({a, b, before_label});
+        out->inserts.push_back({a, b, p.label});
+      }
+      // else: net no-op (remove+reinsert with the same label, ...).
+    } else if (before && !p.present) {
+      out->removes.push_back({a, b, before_label});
+    } else if (!before && p.present) {
+      out->inserts.push_back({a, b, p.label});
+    }
+    // !before && !p.present: transient edge within the batch; net no-op.
+  }
+
+  // Deterministic order for seeds, tests, and subscriber streams.
+  auto edge_less = [](const EdgeUpdate& x, const EdgeUpdate& y) {
+    return EdgeKey(x.u, x.v) < EdgeKey(y.u, y.v);
+  };
+  std::sort(out->inserts.begin(), out->inserts.end(), edge_less);
+  std::sort(out->removes.begin(), out->removes.end(), edge_less);
+  std::sort(out->removed_vertices.begin(), out->removed_vertices.end());
+  return true;
+}
+
+void DeltaGraph::InstallEdge(VertexId u, VertexId v, Label edge_label) {
+  const uint64_t key = EdgeKey(u, v);
+  Overlay& ou = MutableOverlay(u);
+  Overlay& ov = MutableOverlay(v);
+  if (ou.removed.erase(key) > 0) {
+    ov.removed.erase(key);
+    --removed_count_;
+    // Re-inserting a previously removed base edge: back to base state if
+    // the label matches; otherwise keep the removal and shadow with an
+    // added edge carrying the new label.
+    Label base_label = 0;
+    if (EdgeInBase(u, v, &base_label) && base_label == edge_label) {
+      ++degree_[u];
+      ++degree_[v];
+      ++num_edges_;
+      return;
+    }
+    ou.removed.insert(key);
+    ov.removed.insert(key);
+    ++removed_count_;
+  }
+  for (auto& [w, l] : ou.added) {
+    if (w == v) {
+      // Label change on an overlay edge: rewrite both directions in place.
+      l = edge_label;
+      for (auto& [w2, l2] : ov.added) {
+        if (w2 == u) l2 = edge_label;
+      }
+      return;
+    }
+  }
+  ou.added.push_back({v, edge_label});
+  ov.added.push_back({u, edge_label});
+  ++added_count_;
+  ++degree_[u];
+  ++degree_[v];
+  ++num_edges_;
+}
+
+void DeltaGraph::UninstallEdge(VertexId u, VertexId v) {
+  auto drop_added = [](Overlay& o, VertexId w) {
+    for (size_t i = 0; i < o.added.size(); ++i) {
+      if (o.added[i].first == w) {
+        o.added[i] = o.added.back();
+        o.added.pop_back();
+        return true;
+      }
+    }
+    return false;
+  };
+  Overlay& ou = MutableOverlay(u);
+  if (drop_added(ou, v)) {
+    drop_added(MutableOverlay(v), u);
+    --added_count_;
+    --degree_[u];
+    --degree_[v];
+    --num_edges_;
+    return;
+  }
+  if (EdgeInBase(u, v, nullptr)) {
+    const uint64_t key = EdgeKey(u, v);
+    if (ou.removed.insert(key).second) {
+      MutableOverlay(v).removed.insert(key);
+      ++removed_count_;
+      --degree_[u];
+      --degree_[v];
+      --num_edges_;
+    }
+  }
+}
+
+ApplyResult DeltaGraph::ApplyBatch(const UpdateBatch& batch,
+                                   NormalizedBatch* normalized) {
+  ApplyResult result;
+  NormalizedBatch local;
+  NormalizedBatch* net = normalized != nullptr ? normalized : &local;
+  std::string error;
+  if (!Normalize(batch, net, &error)) {
+    result.ok = false;
+    result.error = error;
+    result.version = version_;
+    return result;
+  }
+  if (FAULT_POINT(delta_apply)) {
+    result.ok = false;
+    result.error = "injected fault: delta_apply";
+    result.version = version_;
+    *net = NormalizedBatch{};
+    return result;
+  }
+
+  for (uint32_t i = 0; i < net->new_vertices.size(); ++i) {
+    assert(net->new_vertices[i] == labels_.size());
+    labels_.push_back(batch.add_vertices[i]);
+    alive_.push_back(1);
+    degree_.push_back(0);
+  }
+  for (const EdgeUpdate& e : net->removes) UninstallEdge(e.u, e.v);
+  for (const EdgeUpdate& e : net->inserts) InstallEdge(e.u, e.v, e.edge_label);
+  for (VertexId v : net->removed_vertices) {
+    assert(degree_[v] == 0);
+    alive_[v] = 0;
+    labels_[v] = kTombstoneLabel;
+  }
+  ++version_;
+  snapshot_.reset();  // invalidate the Materialize cache
+
+  result.ok = true;
+  result.version = version_;
+  result.inserted_edges = net->inserts.size();
+  result.removed_edges = net->removes.size();
+  result.added_vertices = net->new_vertices.size();
+  result.removed_vertices = net->removed_vertices.size();
+  result.ignored_ops = net->ignored_ops;
+
+  const uint64_t base_edges = base_->NumEdges();
+  if (base_edges >= options_.compaction_min_edges &&
+      static_cast<double>(OverlayEdges()) >
+          options_.compaction_ratio * static_cast<double>(base_edges)) {
+    Compact();
+  }
+  return result;
+}
+
+std::vector<std::pair<Edge, Label>> DeltaGraph::CurrentEdges() const {
+  std::vector<std::pair<Edge, Label>> edges;
+  edges.reserve(num_edges_);
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    ForEachNeighbor(v, [&](VertexId w, Label l) {
+      if (v < w) edges.push_back({{v, w}, l});
+      return true;
+    });
+  }
+  return edges;
+}
+
+std::shared_ptr<const Graph> DeltaGraph::Materialize() const {
+  if (snapshot_ != nullptr && snapshot_version_ == version_) {
+    return snapshot_;
+  }
+  std::vector<Label> labels = labels_;  // original space; tombstones keep
+                                        // kTombstoneLabel and stay isolated
+  auto labeled = CurrentEdges();
+  std::vector<Edge> edges;
+  std::vector<Label> edge_labels;
+  edges.reserve(labeled.size());
+  edge_labels.reserve(labeled.size());
+  for (const auto& [e, l] : labeled) {
+    edges.push_back(e);
+    edge_labels.push_back(l);
+  }
+  snapshot_ = std::make_shared<const Graph>(
+      Graph::FromLabeledEdges(std::move(labels), edges, edge_labels));
+  snapshot_version_ = version_;
+  return snapshot_;
+}
+
+void DeltaGraph::Compact() {
+  base_ = Materialize();
+  overlay_.clear();
+  added_count_ = 0;
+  removed_count_ = 0;
+  // labels_/alive_/degree_/num_edges_ already describe the current state.
+}
+
+}  // namespace daf::dyn

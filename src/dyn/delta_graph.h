@@ -1,0 +1,201 @@
+#ifndef DAF_DYN_DELTA_GRAPH_H_
+#define DAF_DYN_DELTA_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "dyn/update_batch.h"
+#include "graph/graph.h"
+
+namespace daf::dyn {
+
+/// A versioned dynamic-graph layer over the immutable CSR Graph: a compacted
+/// *base* snapshot plus a per-vertex adjacency overlay holding the edges
+/// inserted and removed since the last compaction. Batches apply atomically
+/// (all-or-nothing) and advance a monotonically increasing version id; when
+/// the overlay grows past a configurable fraction of the base, the graph is
+/// compacted back into a fresh CSR (ids preserved) and the overlay cleared.
+///
+/// Identity and labels:
+///   * Vertex ids are stable for the lifetime of a DeltaGraph — compaction
+///     never renumbers. Removed vertices become *tombstones*: they keep
+///     their id, lose all edges, and take the reserved kTombstoneLabel so
+///     no query label can ever match them again.
+///   * All label queries on this class are in the *original* (caller)
+///     label space, not any snapshot's dense remap — dense label ids shift
+///     whenever a batch introduces a new label, so nothing dynamic may key
+///     on them. Materialized snapshots translate internally.
+///   * Edge labels are verbatim (never remapped), as in Graph.
+///
+/// Concurrency: ApplyBatch/Compact are writer operations and must be
+/// externally serialized (MatchService holds one update mutex); all read
+/// accessors are safe against concurrent *reads* only. Snapshots returned
+/// by Materialize are immutable and may be shared freely across threads.
+class DeltaGraph {
+ public:
+  /// Label given to removed vertices; queries never carry it.
+  static constexpr Label kTombstoneLabel = static_cast<Label>(-2);
+
+  /// Overlay-to-base edge ratio beyond which ApplyBatch compacts.
+  struct Options {
+    double compaction_ratio = 0.25;
+    /// Floor below which the ratio test is skipped (tiny graphs would
+    /// otherwise compact on every batch).
+    uint64_t compaction_min_edges = 4096;
+  };
+
+  explicit DeltaGraph(Graph base) : DeltaGraph(std::move(base), Options()) {}
+  DeltaGraph(Graph base, Options options);
+
+  DeltaGraph(const DeltaGraph&) = delete;
+  DeltaGraph& operator=(const DeltaGraph&) = delete;
+  DeltaGraph(DeltaGraph&&) = default;
+  DeltaGraph& operator=(DeltaGraph&&) = default;
+
+  // --- Versioning.
+
+  /// Number of successfully applied batches; the initial graph is v0.
+  uint64_t version() const { return version_; }
+
+  // --- Writer operations (externally serialized).
+
+  /// Computes the net effect of `batch` against the current state (see
+  /// NormalizedBatch). Pure: does not modify the graph. Returns false with
+  /// `*error` set when the batch is invalid (an endpoint id out of range,
+  /// an operation on a tombstoned vertex, ...); partial application never
+  /// happens because validation precedes any mutation in ApplyBatch.
+  bool Normalize(const UpdateBatch& batch, NormalizedBatch* out,
+                 std::string* error) const;
+
+  /// Applies `batch` atomically: validates + normalizes, then installs the
+  /// net changes and bumps the version. On failure (validation error or an
+  /// injected `delta_apply` fault) the graph is untouched and the version
+  /// does not advance. When `normalized` is non-null the net change set is
+  /// returned to the caller (the seed list for CS maintenance and delta
+  /// enumeration). May trigger compaction afterwards.
+  ApplyResult ApplyBatch(const UpdateBatch& batch,
+                         NormalizedBatch* normalized = nullptr);
+
+  /// Rebuilds the base CSR from the current state and clears the overlay.
+  /// Ids are preserved; tombstones stay as isolated kTombstoneLabel
+  /// vertices. Invalidates nothing — reads before/after agree.
+  void Compact();
+
+  // --- Read interface (original label space).
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(labels_.size());
+  }
+  uint64_t NumEdges() const { return num_edges_; }
+  uint64_t OverlayEdges() const {
+    return added_count_ + removed_count_;
+  }
+
+  bool Alive(VertexId v) const { return alive_[v]; }
+
+  /// Original-space label of v (kTombstoneLabel once removed).
+  Label OriginalLabel(VertexId v) const { return labels_[v]; }
+
+  uint32_t Degree(VertexId v) const { return degree_[v]; }
+
+  /// True iff the undirected edge (u, v) currently exists.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// True iff (u, v) exists and carries `edge_label`.
+  bool HasEdgeWithLabel(VertexId u, VertexId v, Label edge_label) const;
+
+  /// Invokes fn(neighbor, edge_label) for every current neighbor of v, in
+  /// unspecified order. `fn` returning false stops the iteration early.
+  template <typename Fn>
+  void ForEachNeighbor(VertexId v, Fn&& fn) const {
+    const Overlay* ov = OverlayFor(v);
+    if (InBase(v)) {
+      const Graph& b = *base_;
+      auto neighbors = b.Neighbors(v);
+      auto elabels = b.NeighborEdgeLabels(v);
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        if (ov != nullptr && ov->removed.count(EdgeKey(v, neighbors[i]))) {
+          continue;
+        }
+        if (!fn(neighbors[i], elabels[i])) return;
+      }
+    }
+    if (ov != nullptr) {
+      for (const auto& [w, l] : ov->added) {
+        if (!fn(w, l)) return;
+      }
+    }
+  }
+
+  /// Number of current neighbors of v carrying original label `l` (the NLF
+  /// value in the dynamic layer).
+  uint32_t NeighborOriginalLabelCount(VertexId v, Label l) const;
+
+  /// All current vertex ids carrying original label `l` (ascending). Used
+  /// to seed single-vertex-query deltas and tests; O(overlay) on top of the
+  /// base label index.
+  std::vector<VertexId> VerticesWithOriginalLabel(Label l) const;
+
+  /// An immutable CSR snapshot of the current state (ids preserved,
+  /// tombstones as isolated kTombstoneLabel vertices). Cached: repeated
+  /// calls at the same version return the same instance, and ApplyBatch
+  /// invalidates the cache, so a static workload pays for at most one
+  /// materialization per version actually queried.
+  std::shared_ptr<const Graph> Materialize() const;
+
+  /// Current edge list with labels ((u, v) with u < v), for tests and
+  /// compaction.
+  std::vector<std::pair<Edge, Label>> CurrentEdges() const;
+
+ private:
+  /// Per-vertex overlay, stored *symmetrically*: an added edge (u, v)
+  /// appears in both endpoints' `added` lists and a removed base edge's
+  /// key in both `removed` sets, so every per-vertex read is local.
+  struct Overlay {
+    /// Edges added since the last compaction: (neighbor, edge label),
+    /// unordered. Small per vertex; linear scans are fine.
+    std::vector<std::pair<VertexId, Label>> added;
+    /// Base edges removed since the last compaction, by edge key.
+    std::unordered_set<uint64_t> removed;
+  };
+
+  bool InBase(VertexId v) const { return v < base_->NumVertices(); }
+  const Overlay* OverlayFor(VertexId v) const {
+    auto it = overlay_.find(v);
+    return it == overlay_.end() ? nullptr : &it->second;
+  }
+  Overlay& MutableOverlay(VertexId v) { return overlay_[v]; }
+
+  /// Dense label of original label `l` in the base snapshot, or
+  /// query_extract's kNoSuchLabel when absent from the base.
+  Label BaseDenseLabel(Label l) const;
+
+  void InstallEdge(VertexId u, VertexId v, Label edge_label);
+  void UninstallEdge(VertexId u, VertexId v);
+  bool EdgeInBase(VertexId u, VertexId v, Label* label_out) const;
+  bool OverlayEdgeLabel(VertexId u, VertexId v, Label* label_out) const;
+  /// Current existence + label of (u, v), overlay-aware.
+  bool EdgeLabelNow(VertexId u, VertexId v, Label* label_out) const;
+
+  Options options_;
+  std::shared_ptr<const Graph> base_;
+  std::vector<Label> labels_;   // original space; kTombstoneLabel when dead
+  std::vector<uint8_t> alive_;
+  std::vector<uint32_t> degree_;
+  std::unordered_map<VertexId, Overlay> overlay_;
+  uint64_t num_edges_ = 0;
+  uint64_t added_count_ = 0;    // overlay insertions
+  uint64_t removed_count_ = 0;  // overlay removals of base edges
+  uint64_t version_ = 0;
+  mutable std::shared_ptr<const Graph> snapshot_;  // cache for Materialize
+  mutable uint64_t snapshot_version_ = 0;
+};
+
+}  // namespace daf::dyn
+
+#endif  // DAF_DYN_DELTA_GRAPH_H_

@@ -10,6 +10,15 @@ Graph Graph::FromEdges(std::vector<Label> labels,
   return FromLabeledEdges(std::move(labels), edges, {});
 }
 
+Label Graph::DenseLabel(Label original) const {
+  auto it = std::lower_bound(original_labels_.begin(),
+                             original_labels_.end(), original);
+  if (it == original_labels_.end() || *it != original) {
+    return static_cast<Label>(-1);
+  }
+  return static_cast<Label>(it - original_labels_.begin());
+}
+
 Graph Graph::FromLabeledEdges(std::vector<Label> labels,
                               const std::vector<Edge>& edges,
                               const std::vector<Label>& edge_labels) {

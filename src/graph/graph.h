@@ -85,6 +85,11 @@ class Graph {
   /// The label value that was supplied to FromEdges for dense label l.
   Label original_label(Label l) const { return original_labels_[l]; }
 
+  /// Inverse of original_label: the dense id for a supplied label, or
+  /// static_cast<Label>(-1) (query_extract's kNoSuchLabel) when no vertex
+  /// carries it. O(log NumLabels()).
+  Label DenseLabel(Label original) const;
+
   /// Degree of vertex v.
   uint32_t degree(VertexId v) const {
     return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);

@@ -110,6 +110,21 @@ void WriteServiceMetrics(JsonWriter& w, const ServiceMetricsSnapshot& m) {
   w.Key("cache_resident_bytes").Uint(m.cache_resident_bytes);
   w.Key("cache_entries").Uint(m.cache_entries);
   w.EndObject();
+  w.Key("dynamic").BeginObject();
+  w.Key("graph_version").Uint(m.graph_version);
+  w.Key("batches_applied").Uint(m.dyn_batches_applied);
+  w.Key("batches_rejected").Uint(m.dyn_batches_rejected);
+  w.Key("cs_incremental").Uint(m.dyn_cs_incremental);
+  w.Key("cs_rebuilds").Uint(m.dyn_cs_rebuilds);
+  w.Key("dirty_pairs").Uint(m.dyn_dirty_pairs);
+  w.Key("peak_dirty_pairs").Uint(m.dyn_peak_dirty_pairs);
+  w.Key("embeddings_created").Uint(m.dyn_embeddings_created);
+  w.Key("embeddings_destroyed").Uint(m.dyn_embeddings_destroyed);
+  w.Key("active_subscriptions").Uint(m.dyn_active_subscriptions);
+  w.Key("resyncs").Uint(m.dyn_resyncs);
+  w.Key("notify_latency");
+  WriteHistogram(w, m.notify);
+  w.EndObject();
   w.Key("wait_latency");
   WriteHistogram(w, m.wait);
   w.Key("run_latency");

@@ -94,9 +94,23 @@ struct ServiceMetricsSnapshot {
   uint64_t cache_uncacheable = 0;
   uint64_t cache_resident_bytes = 0;
   uint64_t cache_entries = 0;
+  // Dynamic-graph subsystem (docs/DYNAMIC.md); all zero until the first
+  // ApplyUpdates or Subscribe.
+  uint64_t graph_version = 0;         // update batches applied (graph is v0)
+  uint64_t dyn_batches_applied = 0;   // successful ApplyUpdates calls
+  uint64_t dyn_batches_rejected = 0;  // invalid batches / injected faults
+  uint64_t dyn_cs_incremental = 0;    // per-subscription incremental passes
+  uint64_t dyn_cs_rebuilds = 0;       // full-rebuild fallbacks
+  uint64_t dyn_dirty_pairs = 0;       // total dirty (u, v) pairs maintained
+  uint64_t dyn_peak_dirty_pairs = 0;  // largest single maintenance pass
+  uint64_t dyn_embeddings_created = 0;    // deltas streamed, positive
+  uint64_t dyn_embeddings_destroyed = 0;  // deltas streamed, negative
+  uint64_t dyn_active_subscriptions = 0;  // standing queries right now
+  uint64_t dyn_resyncs = 0;  // notifications degraded to resync markers
   LatencyHistogram wait;   // submission -> worker pickup
   LatencyHistogram run;    // worker pickup -> terminal state
   LatencyHistogram total;  // submission -> terminal state
+  LatencyHistogram notify;  // per-subscription delta notification latency
 };
 
 /// Emits a snapshot as an object value at the writer's current position.

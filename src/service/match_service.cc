@@ -8,7 +8,9 @@
 #include "daf/cursor.h"
 #include "daf/parallel.h"
 #include "daf/prepared.h"
+#include "graph/properties.h"
 #include "util/fault_inject.h"
+#include "util/timer.h"
 
 namespace daf::service {
 
@@ -17,14 +19,23 @@ namespace {
 ServiceOptions Normalize(ServiceOptions options) {
   options.num_workers = std::max(options.num_workers, 1u);
   options.queue_capacity = std::max<size_t>(options.queue_capacity, 1);
+  options.subscription_queue_batches =
+      std::max<size_t>(options.subscription_queue_batches, 1);
   return options;
+}
+
+dyn::DeltaGraph::Options DeltaOptions(const ServiceOptions& options) {
+  dyn::DeltaGraph::Options d;
+  d.compaction_ratio = options.delta_compaction_ratio;
+  d.compaction_min_edges = options.delta_compaction_min_edges;
+  return d;
 }
 
 }  // namespace
 
 MatchService::MatchService(Graph data, ServiceOptions options)
-    : data_(std::move(data)),
-      options_(Normalize(options)),
+    : options_(Normalize(options)),
+      dgraph_(std::move(data), DeltaOptions(options_)),
       queue_(options_.queue_capacity),
       contexts_(options_.num_workers, options_.context_retained_bytes),
       global_budget_(options_.service_memory_limit_bytes) {
@@ -225,6 +236,13 @@ void MatchService::ProcessJob(const internal::JobStatePtr& job) {
   MemoryBudget budget(job->memory_limit, &global_budget_);
   opts.memory_budget = &budget;
 
+  // The job runs against the snapshot of the graph version current at
+  // dispatch: updates applied mid-run do not tear the search (the CSR is
+  // immutable), and the version keys the cache lookup so a blob built for
+  // an older graph can never serve this job.
+  const auto [snapshot, graph_version] = SnapshotVersion();
+  const Graph& data = *snapshot;
+
   Stopwatch run_timer;
   uint64_t streamed = 0;
   bool ran_parallel = false;
@@ -243,13 +261,13 @@ void MatchService::ProcessJob(const internal::JobStatePtr& job) {
     // the build.
     QueryCache::Lease cached;
     if (cache_ != nullptr && !job->bypass_cache) {
-      cached = cache_->Acquire(job->query, data_, opts);
+      cached = cache_->Acquire(job->query, data, opts, graph_version);
       job->cache_outcome = cached.outcome;
     }
 
     if (cached.prepared != nullptr) {
       if (parallel) {
-        result = ParallelDafMatchPrepared(*cached.prepared, data_, opts,
+        result = ParallelDafMatchPrepared(*cached.prepared, data, opts,
                                           options_.intra_query_threads,
                                           lease.get());
         ran_parallel = true;
@@ -257,7 +275,7 @@ void MatchService::ProcessJob(const internal::JobStatePtr& job) {
         // The producer enumerates the *canonical* query; remap each
         // embedding through the stored permutation before delivery so the
         // consumer sees the submitted vertex numbering.
-        EmbeddingCursor cursor(cached.prepared, data_, opts, lease.get());
+        EmbeddingCursor cursor(cached.prepared, data, opts, lease.get());
         const std::vector<VertexId>& to_canonical = cached.form.to_canonical;
         while (auto embedding = cursor.Next()) {
           std::vector<VertexId> remapped(embedding->size());
@@ -272,20 +290,20 @@ void MatchService::ProcessJob(const internal::JobStatePtr& job) {
         }
         result = cursor.Finish();
       } else {
-        result = DafMatchPrepared(*cached.prepared, data_, opts, lease.get());
+        result = DafMatchPrepared(*cached.prepared, data, opts, lease.get());
       }
     } else if (parallel) {
       // Latency-critical job: spend intra-query threads on it. Limits,
       // deadline, and cancellation keep exact single-thread semantics
       // through the shared counter and the StopCondition each worker polls.
-      result = ParallelDafMatch(job->query, data_, opts,
+      result = ParallelDafMatch(job->query, data, opts,
                                 options_.intra_query_threads, lease.get());
       ran_parallel = true;
     } else if (job->stream) {
       // The cursor runs the search on its producer thread inside the
       // pooled context; this worker pumps embeddings into the handle's
       // buffer under backpressure.
-      EmbeddingCursor cursor(job->query, data_, opts, lease.get());
+      EmbeddingCursor cursor(job->query, data, opts, lease.get());
       while (auto embedding = cursor.Next()) {
         if (!DeliverEmbedding(job, std::move(*embedding))) {
           cursor.Close();
@@ -295,7 +313,7 @@ void MatchService::ProcessJob(const internal::JobStatePtr& job) {
       }
       result = cursor.Finish();
     } else {
-      result = DafMatch(job->query, data_, opts, lease.get());
+      result = DafMatch(job->query, data, opts, lease.get());
     }
   }
   job->run_ms = run_timer.ElapsedMs();
@@ -416,9 +434,214 @@ void MatchService::Shutdown() {
   });
 }
 
+std::pair<std::shared_ptr<const Graph>, uint64_t>
+MatchService::SnapshotVersion() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  return {dgraph_.Materialize(), dgraph_.version()};
+}
+
+std::shared_ptr<const Graph> MatchService::Snapshot() const {
+  return SnapshotVersion().first;
+}
+
+uint64_t MatchService::GraphVersion() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  return dgraph_.version();
+}
+
+size_t MatchService::ActiveSubscriptions() const {
+  std::lock_guard<std::mutex> lock(update_mutex_);
+  size_t active = 0;
+  for (const auto& sub : subscriptions_) {
+    if (!sub->cancelled.load(std::memory_order_acquire)) ++active;
+  }
+  return active;
+}
+
+SubscriptionHandle MatchService::Subscribe(QueryJob job) {
+  auto state = std::make_shared<internal::SubscriptionState>();
+  state->id = next_subscription_id_.fetch_add(1, std::memory_order_relaxed);
+  state->query = std::move(job.query);
+  state->options = std::move(job.options);
+  state->max_pending = options_.subscription_queue_batches;
+
+  auto reject = [&](std::string why) {
+    state->ok = false;
+    state->error = std::move(why);
+    return SubscriptionHandle(state);
+  };
+  if (static_cast<bool>(state->options.callback) ||
+      static_cast<bool>(state->options.progress) ||
+      state->options.profile != nullptr || state->options.cancel != nullptr) {
+    return reject(
+        "QueryJob::options must leave callback/progress/profile/cancel "
+        "unset; deltas are delivered through the SubscriptionHandle");
+  }
+  if (state->query.NumVertices() == 0) {
+    return reject("standing query must be non-empty");
+  }
+  if (!IsConnected(state->query)) {
+    // Delta enumeration grows outward from one pinned edge; a disconnected
+    // pattern would never be covered by one seed.
+    return reject("standing query must be connected");
+  }
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return reject("service is shut down");
+  }
+
+  dyn::DynamicCandidateSpace::Options cs_options;
+  cs_options.refinement_steps = state->options.refinement_steps;
+  cs_options.use_nlf_filter = state->options.use_nlf_filter;
+  cs_options.use_mnd_filter = state->options.use_mnd_filter;
+  cs_options.injective = state->options.injective;
+  cs_options.rebuild_dirty_fraction = options_.dyn_rebuild_dirty_fraction;
+  cs_options.rebuild_min_dirty_pairs = options_.dyn_rebuild_min_dirty_pairs;
+
+  std::lock_guard<std::mutex> ulock(update_mutex_);
+  {
+    // The initial CS build materializes the current version.
+    std::lock_guard<std::mutex> glock(graph_mutex_);
+    state->subscribed_version = dgraph_.version();
+    state->cs = std::make_unique<dyn::DynamicCandidateSpace>(
+        state->query, dgraph_, cs_options);
+  }
+  state->enumerator =
+      std::make_unique<dyn::DeltaEnumerator>(state->query, *state->cs);
+  subscriptions_.push_back(state);
+  return SubscriptionHandle(state);
+}
+
+UpdateOutcome MatchService::ApplyUpdates(const dyn::UpdateBatch& batch) {
+  UpdateOutcome out;
+  std::lock_guard<std::mutex> ulock(update_mutex_);
+  if (shutdown_.load(std::memory_order_acquire)) {
+    out.ok = false;
+    out.error = "service is shut down";
+    return out;
+  }
+
+  // Sweep subscriptions dropped since the last update.
+  subscriptions_.erase(
+      std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                     [](const internal::SubscriptionStatePtr& s) {
+                       return s->cancelled.load(std::memory_order_acquire);
+                     }),
+      subscriptions_.end());
+
+  // Pure pre-pass: the net change set, and per subscription the embeddings
+  // it destroys — both read the pre-batch graph, so they must run before
+  // ApplyBatch. Nothing is delivered yet: if the apply itself fails (an
+  // injected delta_apply fault), the negatives are simply dropped and no
+  // subscriber observes a version that never existed.
+  dyn::NormalizedBatch net;
+  std::string error;
+  if (!dgraph_.Normalize(batch, &net, &error)) {
+    out.ok = false;
+    out.error = std::move(error);
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++dyn_batches_rejected_;
+    return out;
+  }
+  std::vector<dyn::DeltaEnumResult> destroyed(subscriptions_.size());
+  for (size_t i = 0; i < subscriptions_.size(); ++i) {
+    destroyed[i] = subscriptions_[i]->enumerator->Destroyed(dgraph_, net, {});
+  }
+
+  uint64_t cs_incremental = 0, cs_rebuilds = 0;
+  uint64_t dirty_pairs = 0, peak_dirty = 0;
+  std::vector<double> notify_ms;
+  {
+    std::lock_guard<std::mutex> glock(graph_mutex_);
+    dyn::ApplyResult r = dgraph_.ApplyBatch(batch);
+    if (!r.ok) {
+      out.ok = false;
+      out.error = std::move(r.error);
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++dyn_batches_rejected_;
+      return out;
+    }
+    out.version = r.version;
+    out.inserted_edges = r.inserted_edges;
+    out.removed_edges = r.removed_edges;
+    out.added_vertices = r.added_vertices;
+    out.removed_vertices = r.removed_vertices;
+    out.ignored_ops = r.ignored_ops;
+
+    // Post-pass per subscription: maintain the candidates, enumerate the
+    // created embeddings, deliver. Still under graph_mutex_ because the
+    // rebuild fallback (and compaction inside ApplyBatch) materializes.
+    notify_ms.reserve(subscriptions_.size());
+    for (size_t i = 0; i < subscriptions_.size(); ++i) {
+      internal::SubscriptionState& sub = *subscriptions_[i];
+      Stopwatch notify_timer;
+      const auto stats = sub.cs->Apply(dgraph_, net);
+      if (stats.rebuilt) {
+        ++cs_rebuilds;
+      } else {
+        ++cs_incremental;
+      }
+      dirty_pairs += stats.dirty_pairs;
+      peak_dirty = std::max(peak_dirty, stats.dirty_pairs);
+
+      dyn::DeltaEnumResult created =
+          sub.enumerator->Created(dgraph_, net, {});
+
+      DeltaBatch delta;
+      delta.version = r.version;
+      if (FAULT_POINT(subscriber_notify)) {
+        // Injected delivery failure: the deltas are lost, not half-sent.
+        // Degrade honestly to a resync marker so the consumer knows its
+        // fold diverged at this version.
+        delta.resync = true;
+      } else {
+        delta.deltas.reserve(destroyed[i].embeddings.size() +
+                             created.embeddings.size());
+        for (auto& m : destroyed[i].embeddings) {
+          delta.deltas.push_back({/*created=*/false, std::move(m)});
+        }
+        for (auto& m : created.embeddings) {
+          delta.deltas.push_back({/*created=*/true, std::move(m)});
+        }
+        out.embeddings_created += created.embeddings.size();
+        out.embeddings_destroyed += destroyed[i].embeddings.size();
+      }
+      // PushDeltaBatch reports false both for a delivery degraded to a
+      // resync marker here and for a queue overflow that dropped backlog.
+      if (!internal::PushDeltaBatch(sub, std::move(delta))) ++out.resyncs;
+      ++out.subscriptions_notified;
+      notify_ms.push_back(notify_timer.ElapsedMs());
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  ++dyn_batches_applied_;
+  dyn_cs_incremental_ += cs_incremental;
+  dyn_cs_rebuilds_ += cs_rebuilds;
+  dyn_dirty_pairs_ += dirty_pairs;
+  dyn_peak_dirty_pairs_ = std::max(dyn_peak_dirty_pairs_, peak_dirty);
+  dyn_embeddings_created_ += out.embeddings_created;
+  dyn_embeddings_destroyed_ += out.embeddings_destroyed;
+  dyn_resyncs_ += out.resyncs;
+  for (double ms : notify_ms) notify_hist_.Record(ms);
+  return out;
+}
+
 obs::ServiceMetricsSnapshot MatchService::Metrics() const {
   obs::ServiceMetricsSnapshot m;
+  // Locks ordered as everywhere else: update/graph first, metrics last.
+  m.dyn_active_subscriptions = ActiveSubscriptions();
+  m.graph_version = GraphVersion();
   std::lock_guard<std::mutex> lock(metrics_mutex_);
+  m.dyn_batches_applied = dyn_batches_applied_;
+  m.dyn_batches_rejected = dyn_batches_rejected_;
+  m.dyn_cs_incremental = dyn_cs_incremental_;
+  m.dyn_cs_rebuilds = dyn_cs_rebuilds_;
+  m.dyn_dirty_pairs = dyn_dirty_pairs_;
+  m.dyn_peak_dirty_pairs = dyn_peak_dirty_pairs_;
+  m.dyn_embeddings_created = dyn_embeddings_created_;
+  m.dyn_embeddings_destroyed = dyn_embeddings_destroyed_;
+  m.dyn_resyncs = dyn_resyncs_;
+  m.notify = notify_hist_;
   m.counters = counters_;
   m.queue_depth = queue_.depth();
   m.running = running_;

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "dyn/delta_graph.h"
 #include "graph/graph.h"
 #include "obs/service_metrics.h"
 #include "service/admission_queue.h"
@@ -17,6 +18,7 @@
 #include "service/job.h"
 #include "service/job_handle.h"
 #include "service/query_cache.h"
+#include "service/subscription.h"
 
 namespace daf::service {
 
@@ -82,12 +84,29 @@ struct ServiceOptions {
   /// whose canonization overruns it is served cold (uncacheable), never
   /// incorrectly.
   uint64_t cache_canonical_max_leaves = 65536;
+
+  // --- Dynamic graph and standing queries (docs/DYNAMIC.md).
+
+  /// Dirty-pair budget of incremental CandidateSpace maintenance: a batch
+  /// whose flood+recheck work exceeds
+  /// max(min_dirty_pairs, dirty_fraction * total candidates) falls back to
+  /// a full from-scratch rebuild of that subscription's candidates.
+  double dyn_rebuild_dirty_fraction = 0.5;
+  uint64_t dyn_rebuild_min_dirty_pairs = 1024;
+  /// Bound of each subscription's pending DeltaBatch queue; overflowing it
+  /// drops the backlog and leaves a single resync marker (see
+  /// DeltaBatch::resync).
+  size_t subscription_queue_batches = 64;
+  /// Overlay compaction policy of the underlying DeltaGraph.
+  double delta_compaction_ratio = 0.25;
+  uint64_t delta_compaction_min_edges = 4096;
 };
 
 /// A transport-agnostic concurrent subgraph-match service: owns one shared
-/// immutable data Graph, a bounded multi-priority admission queue, and a
-/// worker pool in which every running job executes against a pooled warmed
-/// MatchContext (zero steady-state allocations per query once warm).
+/// data graph (a versioned DeltaGraph — see ApplyUpdates), a bounded
+/// multi-priority admission queue, and a worker pool in which every running
+/// job executes against a pooled warmed MatchContext (zero steady-state
+/// allocations per query once warm).
 ///
 ///   daf::service::MatchService service(std::move(data), {.num_workers = 8});
 ///   daf::service::QueryJob job;
@@ -130,10 +149,45 @@ class MatchService {
   /// running jobs, and joins the workers. Idempotent.
   void Shutdown();
 
+  // --- Dynamic graph and standing queries (docs/DYNAMIC.md).
+
+  /// Applies one update batch atomically: the graph version advances, every
+  /// standing query's candidates are maintained (incrementally when the
+  /// dirty region is small, by rebuild otherwise), and each subscription's
+  /// queue receives the exact embeddings the batch destroyed and created.
+  /// Synchronous — when it returns, the deltas are pollable. Update batches
+  /// are serialized against each other and against Subscribe; match jobs
+  /// keep running concurrently against the snapshot of the version they
+  /// were dispatched at.
+  UpdateOutcome ApplyUpdates(const dyn::UpdateBatch& batch);
+
+  /// Registers a standing query. The job's query graph and the CS-shaping
+  /// options (injective, NLF/refinement) are honored; scheduling fields
+  /// (priority, deadline, limits, streaming) are ignored — deltas are
+  /// exact, not truncated. The query must be connected and non-empty, and
+  /// the engine side channels must be unset, else the returned handle has
+  /// ok() == false. For the initial result set, run the same query as an
+  /// ordinary job right after subscribing: versions make the handoff exact
+  /// (the job sees the snapshot at subscribed_version or later, and every
+  /// batch since is pollable).
+  SubscriptionHandle Subscribe(QueryJob job);
+
+  /// Immutable CSR snapshot of the current graph version. Lazy and cached:
+  /// repeated calls without intervening updates return the same instance,
+  /// and applying a batch only pays for materialization when the next job
+  /// or snapshot call actually needs it.
+  std::shared_ptr<const Graph> Snapshot() const;
+
+  /// Number of update batches applied so far (the initial graph is v0).
+  uint64_t GraphVersion() const;
+
+  /// Standing queries currently registered (unsubscribed ones linger until
+  /// the next update's sweep).
+  size_t ActiveSubscriptions() const;
+
   /// A point-in-time copy of the service metrics.
   obs::ServiceMetricsSnapshot Metrics() const;
 
-  const Graph& data() const { return data_; }
   const ServiceOptions& options() const { return options_; }
 
   /// Jobs admitted but not yet picked up by a worker.
@@ -146,6 +200,8 @@ class MatchService {
   /// them (once each) and bumps watchdog_fires.
   void WatchdogLoop();
   void ProcessJob(const internal::JobStatePtr& job);
+  /// Snapshot + version, read consistently under graph_mutex_.
+  std::pair<std::shared_ptr<const Graph>, uint64_t> SnapshotVersion() const;
   /// Pushes one embedding into the job's stream buffer, blocking on
   /// backpressure; false when the consumer closed or the job was cancelled.
   bool DeliverEmbedding(const internal::JobStatePtr& job,
@@ -154,8 +210,20 @@ class MatchService {
   void FinishJob(const internal::JobStatePtr& job, JobStatus status,
                  bool ran);
 
-  const Graph data_;
   const ServiceOptions options_;
+  /// The data graph. Mutated only under update_mutex_ (ApplyUpdates /
+  /// Subscribe); graph_mutex_ additionally guards every access that can
+  /// touch the lazily cached materialization (Snapshot, the mutation window
+  /// of ApplyBatch, and CS maintenance, whose rebuild path materializes).
+  dyn::DeltaGraph dgraph_;
+  mutable std::mutex graph_mutex_;
+  /// Serializes update batches and subscription registration end to end
+  /// (mutable: metric snapshots count active subscriptions under it).
+  mutable std::mutex update_mutex_;
+  /// Standing queries; swept of unsubscribed entries on each update.
+  /// Guarded by update_mutex_.
+  std::vector<internal::SubscriptionStatePtr> subscriptions_;
+  std::atomic<uint64_t> next_subscription_id_{1};
   AdmissionQueue queue_;
   ContextPool contexts_;
   /// Service-global memory ledger; every job's per-job budget charges
@@ -188,6 +256,17 @@ class MatchService {
   uint64_t watchdog_fires_ = 0;
   uint64_t budget_rejections_ = 0;
   uint64_t peak_job_bytes_ = 0;
+  // Dynamic-graph accounting (guarded by metrics_mutex_).
+  uint64_t dyn_batches_applied_ = 0;
+  uint64_t dyn_batches_rejected_ = 0;
+  uint64_t dyn_cs_incremental_ = 0;
+  uint64_t dyn_cs_rebuilds_ = 0;
+  uint64_t dyn_dirty_pairs_ = 0;
+  uint64_t dyn_peak_dirty_pairs_ = 0;
+  uint64_t dyn_embeddings_created_ = 0;
+  uint64_t dyn_embeddings_destroyed_ = 0;
+  uint64_t dyn_resyncs_ = 0;
+  obs::LatencyHistogram notify_hist_;  // per-subscription notify latency
   // Wakes the watchdog early on shutdown (waits on metrics_mutex_).
   std::condition_variable watchdog_cv_;
 };

@@ -94,7 +94,8 @@ bool QueryCache::Insert(Shard& shard, const Key& key,
 }
 
 QueryCache::Lease QueryCache::Acquire(const Graph& query, const Graph& data,
-                                      const MatchOptions& options) {
+                                      const MatchOptions& options,
+                                      uint64_t graph_id) {
   Lease lease;
   lease.form = CanonicalizeQuery(query, options_.canonical_max_leaves);
   if (!lease.form.complete) {
@@ -105,9 +106,10 @@ QueryCache::Lease QueryCache::Acquire(const Graph& query, const Graph& data,
   }
 
   Key key;
-  key.reserve(lease.form.key.size() + 2);
+  key.reserve(lease.form.key.size() + 3);
   key.push_back(OptionsFingerprint(options));
   key.push_back(options_.graph_id);
+  key.push_back(graph_id);
   key.insert(key.end(), lease.form.key.begin(), lease.form.key.end());
   Shard& shard = ShardFor(key);
   lookups_.fetch_add(1, std::memory_order_relaxed);

@@ -116,9 +116,13 @@ class QueryCache {
   /// `options` supplies both the CS-shaping fingerprint and the build's
   /// stop sources (cancel, time_limit_ms, memory_budget) — a miss builds
   /// under the calling job's own deadline and budget, exactly like a cold
-  /// run. Thread-safe; any number of workers may call concurrently.
+  /// run. `graph_id` is the version of `data` at this call (on top of the
+  /// construction-time QueryCacheOptions::graph_id): it keys the lookup, so
+  /// blobs built against an older version of a mutating graph can never be
+  /// served after an update — they linger unreachable until LRU pressure
+  /// evicts them. Thread-safe; any number of workers may call concurrently.
   Lease Acquire(const Graph& query, const Graph& data,
-                const MatchOptions& options);
+                const MatchOptions& options, uint64_t graph_id = 0);
 
   /// Point-in-time counter snapshot (lock-free).
   QueryCacheStats Stats() const;

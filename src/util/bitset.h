@@ -34,6 +34,15 @@ class Bitset {
     words_.assign((num_bits + 63) / 64, 0);
   }
 
+  /// Grows to `num_bits` bits, *preserving* existing bits (new bits are
+  /// cleared). Shrinking is a no-op. Used by the dynamic-graph layer where
+  /// candidate bitmaps must survive vertex additions.
+  void GrowTo(size_t num_bits) {
+    if (num_bits <= num_bits_) return;
+    num_bits_ = num_bits;
+    words_.resize((num_bits + 63) / 64, 0);
+  }
+
   /// Number of bits this bitset holds.
   size_t size() const { return num_bits_; }
 

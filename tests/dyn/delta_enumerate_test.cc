@@ -1,0 +1,194 @@
+#include "dyn/delta_enumerate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "daf/engine.h"
+#include "tests/test_util.h"
+
+namespace daf::dyn {
+namespace {
+
+using daf::testing::Collector;
+using daf::testing::EmbeddingSet;
+
+EmbeddingSet ToSet(const DeltaEnumResult& r) {
+  EmbeddingSet out;
+  for (const auto& m : r.embeddings) out.insert(m);
+  return out;
+}
+
+EmbeddingSet MatchSet(const Graph& query, const Graph& data,
+                      bool injective = true) {
+  MatchOptions mo;
+  mo.injective = injective;
+  EmbeddingSet out;
+  mo.callback = Collector(&out);
+  MatchResult r = DafMatch(query, data, mo);
+  EXPECT_TRUE(r.ok);
+  return out;
+}
+
+DynamicCandidateSpace::Options IncrementalOptions(bool injective = true) {
+  DynamicCandidateSpace::Options o;
+  o.injective = injective;
+  o.rebuild_min_dirty_pairs = 1u << 30;
+  return o;
+}
+
+TEST(DeltaEnumerateTest, TriangleCreatedAndDestroyed) {
+  Graph query = testing::MakeCycle({1, 1, 1});
+  Graph data = Graph::FromEdges({1, 1, 1, 1}, {{0, 1}, {1, 2}, {2, 3}});
+  DeltaGraph dg(std::move(data));
+  DynamicCandidateSpace cs(query, dg, IncrementalOptions());
+  DeltaEnumerator en(query, cs);
+
+  // Close the triangle 0-1-2.
+  UpdateBatch batch;
+  batch.InsertEdge(0, 2);
+  NormalizedBatch net;
+  ASSERT_TRUE(dg.Normalize(batch, &net, nullptr));
+  EmbeddingSet before = MatchSet(query, *dg.Materialize());
+  DeltaEnumResult destroyed = en.Destroyed(dg, net, {});
+  EXPECT_TRUE(destroyed.embeddings.empty());
+  ASSERT_TRUE(dg.ApplyBatch(batch, &net).ok);
+  cs.Apply(dg, net);
+  DeltaEnumResult created = en.Created(dg, net, {});
+  EXPECT_TRUE(created.complete);
+  // Unlabeled triangle in a triangle: 6 embeddings, all new.
+  EXPECT_EQ(created.embeddings.size(), 6u);
+  EmbeddingSet after = MatchSet(query, *dg.Materialize());
+  EXPECT_EQ(ToSet(created), after);
+  EXPECT_TRUE(before.empty());
+
+  // Now remove one triangle edge: all 6 are destroyed.
+  UpdateBatch removal;
+  removal.RemoveEdge(1, 2);
+  NormalizedBatch net2;
+  ASSERT_TRUE(dg.Normalize(removal, &net2, nullptr));
+  DeltaEnumResult destroyed2 = en.Destroyed(dg, net2, {});
+  EXPECT_EQ(ToSet(destroyed2), after);
+  ASSERT_TRUE(dg.ApplyBatch(removal, &net2).ok);
+  cs.Apply(dg, net2);
+  DeltaEnumResult created2 = en.Created(dg, net2, {});
+  EXPECT_TRUE(created2.embeddings.empty());
+}
+
+TEST(DeltaEnumerateTest, MultiChangedEdgeEmbeddingReportedOnce) {
+  // Both edges of the path query are inserted by one batch.
+  Graph query = testing::MakePath({1, 2, 1});
+  Graph data = Graph::FromEdges({1, 2, 1}, {});
+  // Disconnected data is fine; the query is what must be connected.
+  DeltaGraph dg(std::move(data));
+  DynamicCandidateSpace cs(query, dg, IncrementalOptions());
+  DeltaEnumerator en(query, cs);
+
+  UpdateBatch batch;
+  batch.InsertEdge(0, 1).InsertEdge(1, 2);
+  NormalizedBatch net;
+  ASSERT_TRUE(dg.ApplyBatch(batch, &net).ok);
+  cs.Apply(dg, net);
+  DeltaEnumResult created = en.Created(dg, net, {});
+  // Path 0-1-2 with labels 1-2-1: embeddings {0,1,2} and {2,1,0}; each
+  // uses both inserted edges and must be reported exactly once.
+  EXPECT_EQ(created.embeddings.size(), 2u);
+  EXPECT_EQ(ToSet(created), MatchSet(query, *dg.Materialize()));
+}
+
+TEST(DeltaEnumerateTest, HomomorphismDedup) {
+  // Symmetric path query, homomorphic matching: u0 and u2 may map to the
+  // same data vertex, and both query edges map onto one data edge.
+  Graph query = testing::MakePath({1, 2, 1});
+  Graph data = Graph::FromEdges({1, 2}, {});
+  DeltaGraph dg(std::move(data));
+  DynamicCandidateSpace cs(query, dg, IncrementalOptions(false));
+  DeltaEnumerator en(query, cs);
+
+  UpdateBatch batch;
+  batch.InsertEdge(0, 1);
+  NormalizedBatch net;
+  ASSERT_TRUE(dg.ApplyBatch(batch, &net).ok);
+  cs.Apply(dg, net);
+  DeltaEnumResult created = en.Created(dg, net, {});
+  // Only homomorphism: 0->0, 1->1, 2->0.
+  ASSERT_EQ(created.embeddings.size(), 1u);
+  EXPECT_EQ(created.embeddings[0], (std::vector<VertexId>{0, 1, 0}));
+  EXPECT_EQ(ToSet(created),
+            MatchSet(query, *dg.Materialize(), /*injective=*/false));
+}
+
+TEST(DeltaEnumerateTest, EdgeLabelChangeSwapsEmbeddings) {
+  Graph query = Graph::FromLabeledEdges({1, 1}, {{0, 1}}, {7});
+  Graph data = Graph::FromLabeledEdges({1, 1}, {{0, 1}}, {5});
+  DeltaGraph dg(std::move(data));
+  DynamicCandidateSpace cs(query, dg, IncrementalOptions());
+  DeltaEnumerator en(query, cs);
+  EXPECT_TRUE(MatchSet(query, *dg.Materialize()).empty());
+
+  UpdateBatch batch;
+  batch.InsertEdge(0, 1, 7);  // label change 5 -> 7
+  NormalizedBatch net;
+  ASSERT_TRUE(dg.Normalize(batch, &net, nullptr));
+  DeltaEnumResult destroyed = en.Destroyed(dg, net, {});
+  EXPECT_TRUE(destroyed.embeddings.empty());  // nothing matched label 5
+  ASSERT_TRUE(dg.ApplyBatch(batch, &net).ok);
+  cs.Apply(dg, net);
+  DeltaEnumResult created = en.Created(dg, net, {});
+  EXPECT_EQ(created.embeddings.size(), 2u);  // both orientations
+  EXPECT_EQ(ToSet(created), MatchSet(query, *dg.Materialize()));
+}
+
+TEST(DeltaEnumerateTest, SingleVertexQuery) {
+  Graph query = Graph::FromEdges({42}, {});
+  Graph data = Graph::FromEdges({42, 7}, {{0, 1}});
+  DeltaGraph dg(std::move(data));
+  DynamicCandidateSpace cs(query, dg, IncrementalOptions());
+  DeltaEnumerator en(query, cs);
+
+  UpdateBatch batch;
+  batch.AddVertex(42).AddVertex(7);
+  NormalizedBatch net;
+  ASSERT_TRUE(dg.ApplyBatch(batch, &net).ok);
+  cs.Apply(dg, net);
+  DeltaEnumResult created = en.Created(dg, net, {});
+  ASSERT_EQ(created.embeddings.size(), 1u);
+  EXPECT_EQ(created.embeddings[0], (std::vector<VertexId>{2}));
+
+  UpdateBatch removal;
+  removal.RemoveVertex(2);
+  NormalizedBatch net2;
+  ASSERT_TRUE(dg.Normalize(removal, &net2, nullptr));
+  DeltaEnumResult destroyed = en.Destroyed(dg, net2, {});
+  ASSERT_EQ(destroyed.embeddings.size(), 1u);
+  EXPECT_EQ(destroyed.embeddings[0], (std::vector<VertexId>{2}));
+  ASSERT_TRUE(dg.ApplyBatch(removal, &net2).ok);
+  cs.Apply(dg, net2);
+}
+
+TEST(DeltaEnumerateTest, LimitTruncates) {
+  Graph query = testing::MakePath({1, 1});
+  Graph data = Graph::FromEdges({1, 1, 1, 1}, {});
+  DeltaGraph dg(std::move(data));
+  DynamicCandidateSpace cs(query, dg, IncrementalOptions());
+  DeltaEnumerator en(query, cs);
+
+  UpdateBatch batch;
+  batch.InsertEdge(0, 1).InsertEdge(2, 3).InsertEdge(0, 2);
+  NormalizedBatch net;
+  ASSERT_TRUE(dg.ApplyBatch(batch, &net).ok);
+  cs.Apply(dg, net);
+  DeltaEnumOptions limited;
+  limited.limit = 2;
+  DeltaEnumResult created = en.Created(dg, net, limited);
+  EXPECT_FALSE(created.complete);
+  EXPECT_EQ(created.embeddings.size(), 2u);
+  DeltaEnumResult full = en.Created(dg, net, {});
+  EXPECT_TRUE(full.complete);
+  EXPECT_EQ(full.embeddings.size(), 6u);  // 3 edges x 2 orientations
+}
+
+}  // namespace
+}  // namespace daf::dyn

@@ -1,0 +1,269 @@
+#include "dyn/delta_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "graph/generators.h"
+#include "tests/test_util.h"
+#include "util/fault_inject.h"
+#include "util/rng.h"
+
+namespace daf::dyn {
+namespace {
+
+Graph SmallGraph() {
+  // Labels: 0:A 1:B 2:A 3:B 4:C; path 0-1-2-3 plus edge 1-4.
+  return Graph::FromEdges({10, 20, 10, 20, 30},
+                          {{0, 1}, {1, 2}, {2, 3}, {1, 4}});
+}
+
+/// Reference view: edge map of the current graph per direct reads.
+std::map<std::pair<VertexId, VertexId>, Label> EdgeMap(const DeltaGraph& dg) {
+  std::map<std::pair<VertexId, VertexId>, Label> out;
+  for (const auto& [e, l] : dg.CurrentEdges()) out[e] = l;
+  return out;
+}
+
+TEST(DeltaGraphTest, InitialStateMatchesBase) {
+  DeltaGraph dg(SmallGraph());
+  EXPECT_EQ(dg.version(), 0u);
+  EXPECT_EQ(dg.NumVertices(), 5u);
+  EXPECT_EQ(dg.NumEdges(), 4u);
+  EXPECT_TRUE(dg.HasEdge(0, 1));
+  EXPECT_TRUE(dg.HasEdge(1, 0));
+  EXPECT_FALSE(dg.HasEdge(0, 2));
+  EXPECT_EQ(dg.OriginalLabel(0), 10u);
+  EXPECT_EQ(dg.OriginalLabel(4), 30u);
+  EXPECT_EQ(dg.Degree(1), 3u);
+  EXPECT_EQ(dg.NeighborOriginalLabelCount(1, 10), 2u);
+  EXPECT_EQ(dg.NeighborOriginalLabelCount(1, 30), 1u);
+  EXPECT_EQ(dg.VerticesWithOriginalLabel(10),
+            (std::vector<VertexId>{0, 2}));
+}
+
+TEST(DeltaGraphTest, InsertAndRemoveEdges) {
+  DeltaGraph dg(SmallGraph());
+  UpdateBatch batch;
+  batch.InsertEdge(0, 3).RemoveEdge(1, 2);
+  NormalizedBatch net;
+  ApplyResult r = dg.ApplyBatch(batch, &net);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.version, 1u);
+  EXPECT_EQ(r.inserted_edges, 1u);
+  EXPECT_EQ(r.removed_edges, 1u);
+  EXPECT_TRUE(dg.HasEdge(0, 3));
+  EXPECT_FALSE(dg.HasEdge(1, 2));
+  EXPECT_EQ(dg.NumEdges(), 4u);
+  EXPECT_EQ(dg.Degree(2), 1u);
+  EXPECT_EQ(dg.Degree(1), 2u);
+  ASSERT_EQ(net.inserts.size(), 1u);
+  EXPECT_EQ(net.removes.size(), 1u);
+  // NLF view follows.
+  EXPECT_EQ(dg.NeighborOriginalLabelCount(1, 10), 1u);
+  EXPECT_EQ(dg.NeighborOriginalLabelCount(0, 20), 2u);
+}
+
+TEST(DeltaGraphTest, NetCancellationWithinBatch) {
+  DeltaGraph dg(SmallGraph());
+  // Removals run after insertions and take precedence: inserting and
+  // removing a brand-new edge in one batch is a net no-op, and removing a
+  // pre-existing edge wins over a same-batch duplicate insert.
+  UpdateBatch batch;
+  batch.InsertEdge(0, 3).RemoveEdge(0, 3).InsertEdge(0, 1).RemoveEdge(0, 1);
+  NormalizedBatch net;
+  ApplyResult r = dg.ApplyBatch(batch, &net);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(net.inserts.empty());
+  ASSERT_EQ(net.removes.size(), 1u);
+  EXPECT_FALSE(dg.HasEdge(0, 1));
+  EXPECT_FALSE(dg.HasEdge(0, 3));
+  EXPECT_EQ(dg.NumEdges(), 3u);
+  // Version advances: the batch was applied.
+  EXPECT_EQ(dg.version(), 1u);
+}
+
+TEST(DeltaGraphTest, EdgeLabelChangeAppearsInBothLists) {
+  Graph base = Graph::FromLabeledEdges({1, 1, 1}, {{0, 1}, {1, 2}}, {5, 5});
+  DeltaGraph dg(std::move(base));
+  UpdateBatch batch;
+  batch.InsertEdge(0, 1, 7);  // same edge, new label
+  NormalizedBatch net;
+  ASSERT_TRUE(dg.ApplyBatch(batch, &net).ok);
+  ASSERT_EQ(net.removes.size(), 1u);
+  ASSERT_EQ(net.inserts.size(), 1u);
+  EXPECT_EQ(net.removes[0].edge_label, 5u);
+  EXPECT_EQ(net.inserts[0].edge_label, 7u);
+  EXPECT_TRUE(dg.HasEdgeWithLabel(0, 1, 7));
+  EXPECT_FALSE(dg.HasEdgeWithLabel(0, 1, 5));
+  EXPECT_EQ(dg.NumEdges(), 2u);
+}
+
+TEST(DeltaGraphTest, VertexAddConnectRemove) {
+  DeltaGraph dg(SmallGraph());
+  UpdateBatch batch;
+  batch.AddVertex(30).InsertEdge(5, 0).InsertEdge(5, 2);
+  NormalizedBatch net;
+  ASSERT_TRUE(dg.ApplyBatch(batch, &net).ok);
+  EXPECT_EQ(dg.NumVertices(), 6u);
+  EXPECT_TRUE(dg.Alive(5));
+  EXPECT_EQ(dg.OriginalLabel(5), 30u);
+  EXPECT_EQ(dg.Degree(5), 2u);
+  EXPECT_TRUE(dg.HasEdge(5, 0));
+  EXPECT_EQ(net.new_vertices, (std::vector<VertexId>{5}));
+
+  UpdateBatch removal;
+  removal.RemoveVertex(5);
+  NormalizedBatch net2;
+  ASSERT_TRUE(dg.ApplyBatch(removal, &net2).ok);
+  EXPECT_FALSE(dg.Alive(5));
+  EXPECT_EQ(dg.OriginalLabel(5), DeltaGraph::kTombstoneLabel);
+  EXPECT_EQ(dg.Degree(5), 0u);
+  EXPECT_FALSE(dg.HasEdge(5, 0));
+  EXPECT_EQ(net2.removes.size(), 2u);  // incident edges expanded
+  EXPECT_EQ(dg.NumVertices(), 6u);     // id space never shrinks
+
+  // Operations on the tombstone are rejected (atomically).
+  UpdateBatch bad;
+  bad.InsertEdge(5, 1);
+  ApplyResult r = dg.ApplyBatch(bad);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(dg.version(), 2u);
+}
+
+TEST(DeltaGraphTest, InvalidBatchIsAtomic) {
+  DeltaGraph dg(SmallGraph());
+  UpdateBatch batch;
+  batch.InsertEdge(0, 3).InsertEdge(0, 99);  // second op invalid
+  NormalizedBatch net;
+  ApplyResult r = dg.ApplyBatch(batch, &net);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(dg.version(), 0u);
+  EXPECT_FALSE(dg.HasEdge(0, 3));
+  EXPECT_TRUE(net.Empty());
+}
+
+TEST(DeltaGraphTest, IgnoredOps) {
+  DeltaGraph dg(SmallGraph());
+  UpdateBatch batch;
+  batch.InsertEdge(0, 1);   // duplicate of existing edge (same label)
+  batch.InsertEdge(2, 2);   // self loop
+  batch.RemoveEdge(0, 3);   // absent edge
+  NormalizedBatch net;
+  ApplyResult r = dg.ApplyBatch(batch, &net);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.ignored_ops, 3u);
+  EXPECT_TRUE(net.inserts.empty());
+  EXPECT_TRUE(net.removes.empty());
+}
+
+TEST(DeltaGraphTest, DeltaApplyFaultLeavesGraphUntouched) {
+  DeltaGraph dg(SmallGraph());
+  FaultInjector::FireNth("delta_apply", 1);
+  UpdateBatch batch;
+  batch.InsertEdge(0, 3);
+  ApplyResult r = dg.ApplyBatch(batch);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(dg.version(), 0u);
+  EXPECT_FALSE(dg.HasEdge(0, 3));
+  // Second attempt (one-shot fault consumed) succeeds.
+  ApplyResult r2 = dg.ApplyBatch(batch);
+  EXPECT_TRUE(r2.ok);
+  EXPECT_TRUE(dg.HasEdge(0, 3));
+  FaultInjector::Disarm();
+}
+
+TEST(DeltaGraphTest, MaterializePreservesIdsAndLabels) {
+  DeltaGraph dg(SmallGraph());
+  UpdateBatch batch;
+  batch.AddVertex(40).InsertEdge(5, 4).RemoveEdge(0, 1).RemoveVertex(3);
+  ASSERT_TRUE(dg.ApplyBatch(batch).ok);
+  std::shared_ptr<const Graph> snap = dg.Materialize();
+  ASSERT_EQ(snap->NumVertices(), dg.NumVertices());
+  EXPECT_EQ(snap.get(), dg.Materialize().get());  // cached per version
+  for (VertexId v = 0; v < dg.NumVertices(); ++v) {
+    EXPECT_EQ(snap->original_label(snap->label(v)), dg.OriginalLabel(v))
+        << "vertex " << v;
+    EXPECT_EQ(snap->degree(v), dg.Degree(v)) << "vertex " << v;
+  }
+  EXPECT_EQ(snap->NumEdges(), dg.NumEdges());
+  for (const auto& [e, l] : dg.CurrentEdges()) {
+    EXPECT_TRUE(snap->HasEdgeWithLabel(e.first, e.second, l));
+  }
+}
+
+TEST(DeltaGraphTest, RandomizedDifferentialAgainstMaterialized) {
+  Rng rng(20260808);
+  Graph base = testing::RandomDataGraph(40, 90, 3, rng);
+  DeltaGraph::Options options;
+  options.compaction_min_edges = 32;  // force frequent compaction
+  options.compaction_ratio = 0.15;
+  DeltaGraph dg(std::move(base), options);
+
+  for (int round = 0; round < 60; ++round) {
+    UpdateBatch batch;
+    const int ops = 1 + static_cast<int>(rng.NextU64() % 6);
+    for (int i = 0; i < ops; ++i) {
+      const uint32_t n = dg.NumVertices();
+      switch (rng.NextU64() % 10) {
+        case 0:
+          batch.AddVertex(static_cast<Label>(rng.NextU64() % 4));
+          break;
+        case 1:
+        case 2: {
+          // Remove a random existing edge.
+          auto edges = dg.CurrentEdges();
+          if (!edges.empty()) {
+            const auto& [e, l] = edges[rng.NextU64() % edges.size()];
+            (void)l;
+            batch.RemoveEdge(e.first, e.second);
+          }
+          break;
+        }
+        case 3: {
+          VertexId v = static_cast<VertexId>(rng.NextU64() % n);
+          if (dg.Alive(v)) batch.RemoveVertex(v);
+          break;
+        }
+        default: {
+          VertexId u = static_cast<VertexId>(rng.NextU64() % n);
+          VertexId v = static_cast<VertexId>(rng.NextU64() % n);
+          if (u != v && dg.Alive(u) && dg.Alive(v)) {
+            batch.InsertEdge(u, v, static_cast<Label>(rng.NextU64() % 3));
+          }
+          break;
+        }
+      }
+    }
+    ApplyResult r = dg.ApplyBatch(batch);
+    ASSERT_TRUE(r.ok) << r.error;
+
+    // Materialized CSR and overlay reads must agree on everything.
+    std::shared_ptr<const Graph> snap = dg.Materialize();
+    ASSERT_EQ(snap->NumVertices(), dg.NumVertices());
+    ASSERT_EQ(snap->NumEdges(), dg.NumEdges());
+    auto edge_map = EdgeMap(dg);
+    uint64_t count = 0;
+    for (VertexId v = 0; v < snap->NumVertices(); ++v) {
+      EXPECT_EQ(snap->original_label(snap->label(v)), dg.OriginalLabel(v));
+      EXPECT_EQ(snap->degree(v), dg.Degree(v));
+      auto neighbors = snap->Neighbors(v);
+      auto elabels = snap->NeighborEdgeLabels(v);
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        EXPECT_TRUE(dg.HasEdgeWithLabel(v, neighbors[i], elabels[i]));
+        if (v < neighbors[i]) {
+          auto it = edge_map.find({v, neighbors[i]});
+          ASSERT_NE(it, edge_map.end());
+          EXPECT_EQ(it->second, elabels[i]);
+          ++count;
+        }
+      }
+    }
+    EXPECT_EQ(count, edge_map.size());
+  }
+}
+
+}  // namespace
+}  // namespace daf::dyn

@@ -210,6 +210,137 @@ TEST_F(ChaosTest, CacheChurnSeed4) { RunCacheChurnRound(4, 0.05); }
 
 TEST_F(ChaosTest, CacheChurnSeed5) { RunCacheChurnRound(5, 0.15); }
 
+// Update-churn round: standing queries subscribe, update batches apply,
+// and subscriptions cancel, all while every fault point (including
+// delta_apply and subscriber_notify) is armed and ordinary query jobs run
+// on the workers. Contract: no crash, the graph version counts exactly the
+// successful applies (a failed apply is atomic), every delivered batch
+// folds cleanly or is an honest resync marker, and once the faults stop
+// the subsystem still streams exact deltas.
+void RunUpdateChurnRound(uint64_t chaos_seed, double fault_rate) {
+  SCOPED_TRACE("chaos_seed=" + std::to_string(chaos_seed));
+  using daf::testing::MakePath;
+  Rng rng(chaos_seed);
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.watchdog_interval_ms = 10;
+  options.watchdog_grace_ms = 200;
+  options.subscription_queue_batches = 4;  // overflow resyncs are in play
+  MatchService service(daf::testing::RandomDataGraph(20, 40, 3, rng),
+                       options);
+  const uint32_t n = service.Snapshot()->NumVertices();
+
+  auto standing_query = [&] {
+    QueryJob job;
+    job.query = MakePath({static_cast<Label>(rng.UniformInt(3)),
+                          static_cast<Label>(rng.UniformInt(3)),
+                          static_cast<Label>(rng.UniformInt(3))});
+    return job;
+  };
+  auto random_batch = [&] {
+    dyn::UpdateBatch batch;
+    const int ops = 1 + static_cast<int>(rng.UniformInt(3));
+    for (int i = 0; i < ops; ++i) {
+      const VertexId u = static_cast<VertexId>(rng.UniformInt(n));
+      const VertexId v = static_cast<VertexId>(rng.UniformInt(n));
+      if (u == v) continue;
+      if (rng.Bernoulli(0.5)) {
+        batch.InsertEdge(u, v);
+      } else {
+        batch.RemoveEdge(u, v);
+      }
+    }
+    return batch;
+  };
+
+  std::vector<SubscriptionHandle> subs;
+  std::vector<JobHandle> handles;
+  uint64_t applied = 0;
+  {
+    ScopedFaultInjection faults(chaos_seed, fault_rate);
+    for (int round = 0; round < 60; ++round) {
+      switch (rng.UniformInt(5)) {
+        case 0: {
+          SubscriptionHandle sub = service.Subscribe(standing_query());
+          if (sub.ok()) subs.push_back(std::move(sub));
+          break;
+        }
+        case 1:
+        case 2: {
+          UpdateOutcome out = service.ApplyUpdates(random_batch());
+          if (out.ok) {
+            ++applied;
+          } else {
+            EXPECT_FALSE(out.error.empty());
+          }
+          break;
+        }
+        case 3: {
+          QueryJob job;
+          job.query = MakePath({0, 1});
+          job.limit = 1000;
+          handles.push_back(service.Submit(std::move(job)));
+          break;
+        }
+        default: {
+          if (!subs.empty()) {
+            const size_t i = rng.UniformInt(subs.size());
+            if (rng.Bernoulli(0.5)) {
+              subs[i].Unsubscribe();
+            } else {
+              subs[i].Drain();  // consumers racing delivery
+            }
+          }
+          break;
+        }
+      }
+    }
+    service.Drain();
+  }
+
+  // Failed applies were atomic: the version counts successes exactly.
+  EXPECT_EQ(service.GraphVersion(), applied);
+  for (JobHandle& h : handles) {
+    EXPECT_TRUE(IsTerminal(h.Status())) << ToString(h.Status());
+  }
+
+  // Post-fault correctness probe: a fresh subscription streams exact
+  // deltas for one more batch (oracle-style fold against DafMatch).
+  QueryJob probe_job = standing_query();
+  const Graph probe_query = probe_job.query;
+  SubscriptionHandle probe = service.Subscribe(std::move(probe_job));
+  ASSERT_TRUE(probe.ok()) << probe.error();
+  daf::testing::EmbeddingSet live;
+  {
+    MatchOptions mo;
+    mo.callback = daf::testing::Collector(&live);
+    ASSERT_TRUE(DafMatch(probe_query, *service.Snapshot(), mo).ok);
+  }
+  UpdateOutcome out = service.ApplyUpdates(random_batch());
+  ASSERT_TRUE(out.ok) << out.error;
+  for (DeltaBatch& db : probe.Drain()) {
+    ASSERT_FALSE(db.resync);
+    for (EmbeddingDelta& d : db.deltas) {
+      if (d.created) {
+        EXPECT_TRUE(live.insert(std::move(d.embedding)).second);
+      } else {
+        EXPECT_EQ(live.erase(d.embedding), 1u);
+      }
+    }
+  }
+  daf::testing::EmbeddingSet fresh;
+  {
+    MatchOptions mo;
+    mo.callback = daf::testing::Collector(&fresh);
+    ASSERT_TRUE(DafMatch(probe_query, *service.Snapshot(), mo).ok);
+  }
+  EXPECT_EQ(live, fresh);
+}
+
+TEST_F(ChaosTest, UpdateChurnSeed6) { RunUpdateChurnRound(6, 0.05); }
+
+TEST_F(ChaosTest, UpdateChurnSeed7) { RunUpdateChurnRound(7, 0.2); }
+
 TEST_F(ChaosTest, ServiceSurvivesShutdownUnderFaults) {
   // Shutdown mid-burst with faults armed: every admitted job must still
   // resolve to a terminal state before the destructor returns.
