@@ -30,7 +30,8 @@ Backtracker::Backtracker(const Graph& query, const QueryDag& dag,
       fs_empty_(s_->fs_empty),
       fs_union_(s_->fs_union),
       failed_classes_(s_->failed_classes),
-      scratch_(s_->intersection_scratch),
+      intersect_inputs_(s_->intersect_inputs),
+      intersect_scratch_(s_->intersect_scratch),
       embedding_buffer_(s_->embedding_buffer),
       map_stack_(s_->map_stack),
       frames_(s_->frames) {
@@ -50,6 +51,7 @@ void Backtracker::InitRun(const BacktrackOptions& options) {
                 (options.shared_count != nullptr && options.limit != 0);
   deadline_check_countdown_ = 0;
   profile_ = options.profile;
+  intersect_stats_ = IntersectStats{};
   if (profile_ != nullptr) {
     profile_->Reset();
     // Depths 0..n_ inclusive: depth n_ holds the embedding-class leaves.
@@ -95,6 +97,7 @@ BacktrackStats Backtracker::Run(const BacktrackOptions& options) {
   InitRun(options);
   SeedRoots();
   Recurse(0);
+  FlushIntersectStats();
   return stats_;
 }
 
@@ -111,7 +114,16 @@ BacktrackStats Backtracker::RunWorker(const BacktrackOptions& options) {
   // Wake the other workers promptly when this one hit the limit, the
   // deadline, a cancel request, or a consumer stop.
   if (stop_) scheduler_->RequestStop();
+  FlushIntersectStats();
   return stats_;
+}
+
+void Backtracker::FlushIntersectStats() {
+  if (profile_ == nullptr) return;
+  profile_->intersect_merge += intersect_stats_.merge;
+  profile_->intersect_gallop += intersect_stats_.gallop;
+  profile_->intersect_simd += intersect_stats_.simd;
+  profile_->intersect_bitmap += intersect_stats_.bitmap;
 }
 
 void Backtracker::ExecuteTask(const SubtreeTask& task) {
@@ -295,19 +307,24 @@ void Backtracker::ComputeExtendableCandidates(VertexId u) {
   const std::vector<uint32_t>& edge_ids = dag_.ParentEdgeIds(u);
   auto& out = extendable_cands_[u];
   // Intersect the parents' CS adjacency lists (Definition 5.2). Lists are
-  // sorted candidate indices into C(u); IntersectSorted gallops when one
-  // side dwarfs the other (hub parents) and merges otherwise.
-  {
+  // sorted candidate indices into C(u); IntersectKWay orders them by size
+  // and picks a kernel per pair — gallop when one side dwarfs the other
+  // (hub parents), SIMD/merge at comparable sizes, or one blocked-bitmap
+  // pass over [0, |C(u)|) when the smallest list is dense in it.
+  if (parents.size() == 1) {
     std::span<const uint32_t> first =
         cs_.EdgeNeighbors(edge_ids[0], mapped_cand_idx_[parents[0]]);
     out.assign(first.begin(), first.end());
-  }
-  for (size_t pi = 1; pi < parents.size() && !out.empty(); ++pi) {
-    std::span<const uint32_t> next =
-        cs_.EdgeNeighbors(edge_ids[pi], mapped_cand_idx_[parents[pi]]);
-    IntersectSorted(out.data(), out.size(), next.data(), next.size(),
-                    &scratch_);
-    out.swap(scratch_);
+  } else {
+    intersect_inputs_.resize(parents.size());
+    for (size_t pi = 0; pi < parents.size(); ++pi) {
+      std::span<const uint32_t> list =
+          cs_.EdgeNeighbors(edge_ids[pi], mapped_cand_idx_[parents[pi]]);
+      intersect_inputs_[pi] = KWayList{list.data(), list.size()};
+    }
+    IntersectKWay(intersect_inputs_.data(), intersect_inputs_.size(),
+                  cs_.NumCandidates(u), &intersect_scratch_, &out,
+                  profile_ != nullptr ? &intersect_stats_ : nullptr);
   }
   if (options_.order == MatchOrder::kPathSize) {
     uint64_t w = 0;

@@ -171,6 +171,8 @@ class Backtracker {
   bool ShouldStop();
   void ReportEmbedding();
   void ReportProgress();
+  /// Adds this run's kernel-selection counters to profile_ (when set).
+  void FlushIntersectStats();
   /// Records one examined search-tree node at `depth` (profiling only).
   void CountNode(uint32_t depth) {
     ++profile_->depth_histogram[depth];
@@ -211,9 +213,13 @@ class Backtracker {
   std::vector<Bitset>& fs_union_;
   // DAF-Boost: per-depth record of candidate classes that failed.
   std::vector<std::vector<FailedClass>>& failed_classes_;
-  // Scratch for candidate-set intersections.
-  std::vector<uint32_t>& scratch_;
+  // Scratch of the k-way candidate-set intersection (input views + kernel
+  // buffers; see util/intersect.h).
+  std::vector<KWayList>& intersect_inputs_;
+  KWayScratch& intersect_scratch_;
   std::vector<VertexId>& embedding_buffer_;
+  // Kernel-selection counters of this run; flushed into profile_ when set.
+  IntersectStats intersect_stats_;
   // Work-stealing bookkeeping (only touched when scheduler_ is set).
   std::vector<VertexId>& map_stack_;
   std::vector<SearchFrame>& frames_;

@@ -8,6 +8,7 @@
 #include "graph/graph.h"
 #include "util/arena.h"
 #include "util/bitset.h"
+#include "util/intersect.h"
 
 namespace daf {
 
@@ -77,7 +78,12 @@ struct BacktrackScratch {
   std::vector<bool> fs_empty;
   std::vector<Bitset> fs_union;
   std::vector<std::vector<FailedClass>> failed_classes;
-  std::vector<uint32_t> intersection_scratch;
+  // Buffers of the k-way candidate intersection (ComputeExtendableCandidates
+  // hands every parent adjacency list to IntersectKWay at once): the input
+  // views plus the kernels' ping-pong/bitmap scratch. Both retain capacity
+  // across runs.
+  std::vector<KWayList> intersect_inputs;
+  KWayScratch intersect_scratch;
   std::vector<VertexId> embedding_buffer;
   // Work-stealing state (unused by single-threaded / root-cursor runs):
   // the vertices currently mapped in mapping order (map_stack[d] is the

@@ -12,6 +12,7 @@
 #include "daf/steal.h"
 #include "daf/weights.h"
 #include "util/timer.h"
+#include "util/topo.h"
 
 namespace daf {
 
@@ -147,10 +148,17 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
   const bool stealing =
       options.parallel_strategy == ParallelStrategy::kWorkStealing &&
       num_threads > 1;
+  // Worker placement: pin_workers assigns each worker a cpu in PinOrder
+  // (socket-major, physical cores first) and feeds the per-worker home
+  // sockets to the scheduler so its steal sweep visits same-socket victims
+  // before remote ones. Inactive (and free) on single-cpu hosts.
+  const PinPlan pin_plan =
+      MakePinPlan(HwTopology::Get(), num_threads, options.pin_workers);
+  result.pinned = pin_plan.active;
   std::unique_ptr<StealScheduler> scheduler;
   if (stealing) {
-    scheduler =
-        std::make_unique<StealScheduler>(num_threads, options.split_threshold);
+    scheduler = std::make_unique<StealScheduler>(
+        num_threads, options.split_threshold, pin_plan.socket);
     // The seed task (no prefix, no pinned range) makes whichever worker
     // grabs it first start a full search; everyone else feeds on donations.
     scheduler->Seed(SubtreeTask{});
@@ -184,6 +192,7 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
   context->EnsureThreads(num_threads);
   for (uint32_t t = 0; t < num_threads; ++t) {
     workers.emplace_back([&, t]() {
+      if (pin_plan.active) PinCurrentThreadToCpu(pin_plan.cpu[t]);
       Backtracker backtracker(query, dag, cs, path_order ? &weights : nullptr,
                               data.NumVertices(),
                               &context->backtrack_scratch(t));
@@ -245,6 +254,8 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
       const StealWorkerStats& ws = scheduler->worker_stats(t);
       result.tasks_executed += ws.tasks_executed;
       result.steals += ws.steals;
+      result.local_steals += ws.local_steals;
+      result.remote_steals += ws.remote_steals;
       result.donations += ws.donations;
       result.idle_ms += ws.idle_ms;
       per_thread_steals[t] = ws.steals;
@@ -258,9 +269,12 @@ ParallelMatchResult ParallelDafMatch(const Graph& query, const Graph& data,
     profile->thread_profiles = std::move(thread_profiles);
     profile->parallel.tasks_executed = result.tasks_executed;
     profile->parallel.steals = result.steals;
+    profile->parallel.local_steals = result.local_steals;
+    profile->parallel.remote_steals = result.remote_steals;
     profile->parallel.donations = result.donations;
     profile->parallel.idle_ms = result.idle_ms;
     profile->parallel.call_imbalance = result.call_imbalance;
+    profile->parallel.pinned = result.pinned;
     profile->parallel.per_thread_calls = result.per_thread_calls;
     profile->parallel.per_thread_steals = std::move(per_thread_steals);
   }

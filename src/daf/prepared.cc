@@ -10,6 +10,7 @@
 
 #include "daf/steal.h"
 #include "util/timer.h"
+#include "util/topo.h"
 
 namespace daf {
 
@@ -219,10 +220,13 @@ ParallelMatchResult ParallelDafMatchPrepared(const PreparedQuery& prepared,
   const bool stealing =
       options.parallel_strategy == ParallelStrategy::kWorkStealing &&
       num_threads > 1;
+  const PinPlan pin_plan =
+      MakePinPlan(HwTopology::Get(), num_threads, options.pin_workers);
+  result.pinned = pin_plan.active;
   std::unique_ptr<StealScheduler> scheduler;
   if (stealing) {
-    scheduler =
-        std::make_unique<StealScheduler>(num_threads, options.split_threshold);
+    scheduler = std::make_unique<StealScheduler>(
+        num_threads, options.split_threshold, pin_plan.socket);
     scheduler->Seed(SubtreeTask{});
   }
   std::mutex callback_mutex;
@@ -250,6 +254,7 @@ ParallelMatchResult ParallelDafMatchPrepared(const PreparedQuery& prepared,
   context->EnsureThreads(num_threads);
   for (uint32_t t = 0; t < num_threads; ++t) {
     workers.emplace_back([&, t]() {
+      if (pin_plan.active) PinCurrentThreadToCpu(pin_plan.cpu[t]);
       Backtracker backtracker(prepared.query, prepared.dag, prepared.cs,
                               path_order ? &prepared.weights : nullptr,
                               data.NumVertices(),
@@ -310,6 +315,8 @@ ParallelMatchResult ParallelDafMatchPrepared(const PreparedQuery& prepared,
       const StealWorkerStats& ws = scheduler->worker_stats(t);
       result.tasks_executed += ws.tasks_executed;
       result.steals += ws.steals;
+      result.local_steals += ws.local_steals;
+      result.remote_steals += ws.remote_steals;
       result.donations += ws.donations;
       result.idle_ms += ws.idle_ms;
       per_thread_steals[t] = ws.steals;
@@ -323,9 +330,12 @@ ParallelMatchResult ParallelDafMatchPrepared(const PreparedQuery& prepared,
     profile->thread_profiles = std::move(thread_profiles);
     profile->parallel.tasks_executed = result.tasks_executed;
     profile->parallel.steals = result.steals;
+    profile->parallel.local_steals = result.local_steals;
+    profile->parallel.remote_steals = result.remote_steals;
     profile->parallel.donations = result.donations;
     profile->parallel.idle_ms = result.idle_ms;
     profile->parallel.call_imbalance = result.call_imbalance;
+    profile->parallel.pinned = result.pinned;
     profile->parallel.per_thread_calls = result.per_thread_calls;
     profile->parallel.per_thread_steals = std::move(per_thread_steals);
   }

@@ -153,6 +153,10 @@ void WriteBacktrackProfile(JsonWriter& w, const BacktrackProfile& bt) {
   w.Key("conflict_prunes").Uint(bt.conflict_prunes);
   w.Key("failing_set_skips").Uint(bt.failing_set_skips);
   w.Key("boost_skips").Uint(bt.boost_skips);
+  w.Key("intersect_merge").Uint(bt.intersect_merge);
+  w.Key("intersect_gallop").Uint(bt.intersect_gallop);
+  w.Key("intersect_simd").Uint(bt.intersect_simd);
+  w.Key("intersect_bitmap").Uint(bt.intersect_bitmap);
   w.Key("peak_depth").Uint(bt.peak_depth);
   w.Key("depth_histogram").BeginArray();
   for (uint64_t c : bt.depth_histogram) w.Uint(c);
@@ -216,9 +220,12 @@ void WriteProfile(JsonWriter& w, const SearchProfile& profile) {
     w.Key("parallel").BeginObject();
     w.Key("tasks_executed").Uint(par.tasks_executed);
     w.Key("steals").Uint(par.steals);
+    w.Key("local_steals").Uint(par.local_steals);
+    w.Key("remote_steals").Uint(par.remote_steals);
     w.Key("donations").Uint(par.donations);
     w.Key("idle_ms").Double(par.idle_ms);
     w.Key("call_imbalance").Double(par.call_imbalance);
+    w.Key("pinned").Bool(par.pinned);
     w.Key("per_thread_calls").BeginArray();
     for (uint64_t c : par.per_thread_calls) w.Uint(c);
     w.EndArray();

@@ -68,6 +68,17 @@ struct BacktrackProfile {
   /// equivalent to an exhausted, embedding-free sibling).
   uint64_t boost_skips = 0;
 
+  /// Kernel-selection counters of the extendable-candidate intersections
+  /// (util/intersect.h dispatch): how many intersections ran the scalar
+  /// merge, the galloping probe, an SSE/AVX2 shuffle kernel, or the
+  /// blocked-bitmap k-way pass. Their sum is the number of kernel
+  /// invocations, not of ComputeExtendableCandidates calls (a k-way fold
+  /// counts one kernel per pair).
+  uint64_t intersect_merge = 0;
+  uint64_t intersect_gallop = 0;
+  uint64_t intersect_simd = 0;
+  uint64_t intersect_bitmap = 0;
+
   /// Deepest search-tree node examined (0 = only the root call ran).
   uint64_t peak_depth = 0;
   /// depth_histogram[d] = search-tree nodes examined at depth d. Conflict
@@ -115,9 +126,12 @@ struct MemoryProfile {
 struct ParallelProfile {
   uint64_t tasks_executed = 0;  // subtree tasks run (seed + donations)
   uint64_t steals = 0;          // tasks taken from another worker's deque
+  uint64_t local_steals = 0;    // ... from a same-socket victim
+  uint64_t remote_steals = 0;   // ... from a victim on another socket
   uint64_t donations = 0;       // ranges split off for hungry workers
   double idle_ms = 0;           // summed worker time spent waiting for work
   double call_imbalance = 0;    // max/mean per-thread recursive calls
+  bool pinned = false;          // workers were pinned to cpus (PinPlan)
   std::vector<uint64_t> per_thread_calls;
   std::vector<uint64_t> per_thread_steals;
 

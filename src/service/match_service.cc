@@ -654,6 +654,9 @@ obs::ServiceMetricsSnapshot MatchService::Metrics() const {
   m.global_memory_limit = global_budget_.limit();
   m.pool_peak_in_use = contexts_.peak_in_use();
   m.pool_capacity = contexts_.capacity();
+  m.pool_sockets = contexts_.num_sockets();
+  m.pool_local_leases = contexts_.local_leases();
+  m.pool_remote_leases = contexts_.remote_leases();
   m.wait = wait_hist_;
   m.run = run_hist_;
   m.total = total_hist_;

@@ -1,0 +1,223 @@
+// Vector intersection kernels and the process-wide SIMD dispatch level.
+//
+// Both kernels implement the shuffle method: load one block from each input,
+// compare all-against-all via register rotations, compact the matched lanes
+// of the A block to the front of the output with a precomputed permutation,
+// and advance whichever block's maximum is smaller (both when equal). Sorted
+// unique inputs make the block-max advance rule exact: a value can only
+// match inside the current window, so nothing is missed or duplicated.
+//
+// The functions carry per-function target attributes instead of building the
+// whole library with -mssse3/-mavx2, so the binary stays runnable on any
+// x86-64 and the dispatcher picks a tier from cpuid at startup.
+
+#include "util/intersect.h"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define DAF_INTERSECT_X86 1
+#include <immintrin.h>
+#endif
+
+namespace daf {
+namespace intersect_internal {
+namespace {
+
+#ifdef DAF_INTERSECT_X86
+
+// kSseShuffle[mask] compacts the 32-bit lanes of an SSE register selected by
+// the 4-bit `mask` to the front (byte-level indices for _mm_shuffle_epi8;
+// 0x80 zeroes the unused tail).
+struct SseTable {
+  uint8_t b[16][16];
+};
+
+constexpr SseTable MakeSseTable() {
+  SseTable t{};
+  for (int mask = 0; mask < 16; ++mask) {
+    int out = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((mask & (1 << lane)) != 0) {
+        for (int byte = 0; byte < 4; ++byte) {
+          t.b[mask][out * 4 + byte] = static_cast<uint8_t>(lane * 4 + byte);
+        }
+        ++out;
+      }
+    }
+    for (int rest = out * 4; rest < 16; ++rest) t.b[mask][rest] = 0x80;
+  }
+  return t;
+}
+
+alignas(16) constexpr SseTable kSseShuffle = MakeSseTable();
+
+// kAvxCompact[mask] holds lane indices for _mm256_permutevar8x32_epi32 that
+// move the selected lanes of the 8-bit `mask` to the front. Lanes past the
+// popcount are zero; their stored values are dead (the caller only keeps
+// `count` elements).
+struct AvxTable {
+  uint32_t idx[256][8];
+};
+
+constexpr AvxTable MakeAvxTable() {
+  AvxTable t{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int out = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      if ((mask & (1 << lane)) != 0) {
+        t.idx[mask][out++] = static_cast<uint32_t>(lane);
+      }
+    }
+  }
+  return t;
+}
+
+alignas(32) constexpr AvxTable kAvxCompact = MakeAvxTable();
+
+#endif  // DAF_INTERSECT_X86
+
+// Scalar merge tail shared by both kernels once a block no longer fits.
+inline size_t MergeTail(const uint32_t* a, size_t i, size_t na,
+                        const uint32_t* b, size_t j, size_t nb, uint32_t* out,
+                        size_t count) {
+  while (i < na && j < nb) {
+    const uint32_t x = a[i], y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      out[count++] = x;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+#ifdef DAF_INTERSECT_X86
+
+bool CpuSupportsSse() { return __builtin_cpu_supports("ssse3") != 0; }
+bool CpuSupportsAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+__attribute__((target("ssse3"))) size_t IntersectSseKernel(
+    const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+    uint32_t* out) {
+  size_t i = 0, j = 0, count = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    // Compare the A block against all four rotations of the B block.
+    const __m128i r1 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1));
+    const __m128i r2 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2));
+    const __m128i r3 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3));
+    __m128i cmp = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi32(va, vb), _mm_cmpeq_epi32(va, r1)),
+        _mm_or_si128(_mm_cmpeq_epi32(va, r2), _mm_cmpeq_epi32(va, r3)));
+    const int mask = _mm_movemask_ps(_mm_castsi128_ps(cmp));
+    const __m128i shuf = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(kSseShuffle.b[mask]));
+    // Full-width store; only popcount(mask) lanes are live. The output
+    // contract (capacity >= min + kIntersectOutPad, no aliasing) makes the
+    // overshoot safe.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + count),
+                     _mm_shuffle_epi8(va, shuf));
+    count += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(mask)));
+    const uint32_t amax = a[i + 3], bmax = b[j + 3];
+    i += (amax <= bmax) ? 4 : 0;
+    j += (bmax <= amax) ? 4 : 0;
+  }
+  return MergeTail(a, i, na, b, j, nb, out, count);
+}
+
+__attribute__((target("avx2"))) size_t IntersectAvx2Kernel(
+    const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+    uint32_t* out) {
+  size_t i = 0, j = 0, count = 0;
+  if (i + 8 <= na && j + 8 <= nb) {
+    // Seven independent rotations of the B block (lane k of rotation r holds
+    // b[(k + r) mod 8]), so every A lane meets every B lane once.
+    const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    const __m256i rot2 = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+    const __m256i rot3 = _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2);
+    const __m256i rot4 = _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3);
+    const __m256i rot5 = _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4);
+    const __m256i rot6 = _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5);
+    const __m256i rot7 = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+    while (i + 8 <= na && j + 8 <= nb) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      __m256i cmp = _mm256_cmpeq_epi32(va, vb);
+      cmp = _mm256_or_si256(
+          cmp, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot1)));
+      cmp = _mm256_or_si256(
+          cmp, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot2)));
+      cmp = _mm256_or_si256(
+          cmp, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot3)));
+      cmp = _mm256_or_si256(
+          cmp, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot4)));
+      cmp = _mm256_or_si256(
+          cmp, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot5)));
+      cmp = _mm256_or_si256(
+          cmp, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot6)));
+      cmp = _mm256_or_si256(
+          cmp, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot7)));
+      const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(cmp));
+      const __m256i perm = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kAvxCompact.idx[mask]));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + count),
+                          _mm256_permutevar8x32_epi32(va, perm));
+      count += static_cast<size_t>(
+          __builtin_popcount(static_cast<unsigned>(mask)));
+      const uint32_t amax = a[i + 7], bmax = b[j + 7];
+      i += (amax <= bmax) ? 8 : 0;
+      j += (bmax <= amax) ? 8 : 0;
+    }
+  }
+  return MergeTail(a, i, na, b, j, nb, out, count);
+}
+
+#else  // !DAF_INTERSECT_X86
+
+bool CpuSupportsSse() { return false; }
+bool CpuSupportsAvx2() { return false; }
+
+size_t IntersectSseKernel(const uint32_t* a, size_t na, const uint32_t* b,
+                          size_t nb, uint32_t* out) {
+  return IntersectMergeKernel(a, na, b, nb, out);
+}
+
+size_t IntersectAvx2Kernel(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb, uint32_t* out) {
+  return IntersectMergeKernel(a, na, b, nb, out);
+}
+
+#endif  // DAF_INTERSECT_X86
+
+}  // namespace intersect_internal
+
+SimdLevel ComputeSimdLevel() {
+  // Any non-empty value other than "0" disables the vector kernels — the
+  // differential-testing and bisection switch.
+  const char* env = std::getenv("DAF_DISABLE_SIMD");
+  if (env != nullptr && env[0] != '\0' &&
+      !(env[0] == '0' && env[1] == '\0')) {
+    return SimdLevel::kNone;
+  }
+  if (intersect_internal::CpuSupportsAvx2()) return SimdLevel::kAvx2;
+  if (intersect_internal::CpuSupportsSse()) return SimdLevel::kSse;
+  return SimdLevel::kNone;
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel level = ComputeSimdLevel();
+  return level;
+}
+
+}  // namespace daf
