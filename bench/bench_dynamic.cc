@@ -17,13 +17,27 @@
 // nonzero exit. The report (BENCH_dynamic.json) records exact p50/p95/p99
 // per side and the p50 speedup.
 //
+// With --persist the benchmark instead measures the durability tax: the
+// same batch stream is applied to four otherwise identical services — no
+// store, and a DurableStore under each fsync policy (off / interval /
+// every) — and the report records per-batch apply latency for each plus
+// the overhead ratio vs the in-memory baseline. The smoke gate for this
+// mode requires the fsync-off WAL overhead to stay under 10%.
+//
 //   $ ./bench/bench_dynamic                  # 50 batches, 100k edges
 //   $ ./bench/bench_dynamic --smoke          # CI gate: p50 speedup >= 5x
 //   $ ./bench/bench_dynamic --batch_edges 1000 --batches 200
+//   $ ./bench/bench_dynamic --persist --smoke   # WAL overhead gate < 10%
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "persist/store.h"
 
 #include "daf/engine.h"
 #include "dyn/update_batch.h"
@@ -101,6 +115,147 @@ dyn::UpdateBatch MakeBatch(const Graph& snapshot, uint64_t size, Rng& rng) {
   return batch;
 }
 
+/// A mkdtemp store directory removed when the phase ends.
+struct TempStoreDir {
+  TempStoreDir() {
+    char tmpl[] = "/tmp/daf_bench_persist_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    path = made != nullptr ? made : "";
+  }
+  ~TempStoreDir() {
+    if (path.empty()) return;
+    std::string cmd = "rm -rf '" + path + "'";
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+  }
+  std::string path;
+};
+
+struct PersistMode {
+  const char* name;          // "none" or the fsync policy name
+  bool durable = false;
+  persist::FsyncPolicy policy = persist::FsyncPolicy::kOff;
+};
+
+/// Applies the deterministic batch stream to a service configured per
+/// `mode`, returning per-batch ApplyUpdates latencies. Every mode sees the
+/// identical stream (same seed, same initial graph), so the latency delta
+/// is purely the durability tax.
+std::vector<double> RunPersistMode(const Graph& data, const PersistMode& mode,
+                                   int64_t batches, int64_t batch_edges,
+                                   uint64_t seed, uint64_t* wal_bytes) {
+  TempStoreDir dir;
+  service::ServiceOptions options;
+  options.num_workers = 1;
+  if (mode.durable) {
+    persist::DurableStore::Options store_options;
+    store_options.fsync_policy = mode.policy;
+    std::string error;
+    auto store = persist::DurableStore::Open(dir.path, store_options, &error);
+    if (store == nullptr) {
+      std::fprintf(stderr, "persist bench: cannot open store: %s\n",
+                   error.c_str());
+      return {};
+    }
+    options.data_store = std::move(store);
+  }
+  Graph copy = data;
+  service::MatchService service(std::move(copy), options);
+
+  Rng rng(seed);
+  std::vector<double> samples;
+  std::shared_ptr<const Graph> snapshot = service.Snapshot();
+  for (int64_t round = 0; round < batches; ++round) {
+    dyn::UpdateBatch batch =
+        MakeBatch(*snapshot, static_cast<uint64_t>(batch_edges), rng);
+    Stopwatch timer;
+    service::UpdateOutcome out = service.ApplyUpdates(batch);
+    samples.push_back(timer.ElapsedMs());
+    if (!out.ok) {
+      std::fprintf(stderr, "persist bench (%s): batch %lld rejected: %s\n",
+                   mode.name, static_cast<long long>(round),
+                   out.error.c_str());
+      return {};
+    }
+    snapshot = service.Snapshot();
+  }
+  *wal_bytes = service.Metrics().persist_wal_bytes;
+  service.GracefulShutdown(/*grace_ms=*/2000);
+  return samples;
+}
+
+/// The --persist benchmark: durability tax per fsync policy.
+int RunPersistBench(const Graph& data, int64_t batches, int64_t batch_edges,
+                    uint64_t seed, const std::string& report, bool smoke) {
+  const PersistMode modes[] = {
+      {"none", false, persist::FsyncPolicy::kOff},
+      {"off", true, persist::FsyncPolicy::kOff},
+      {"interval", true, persist::FsyncPolicy::kInterval},
+      {"every", true, persist::FsyncPolicy::kEveryBatch},
+  };
+  LatencySummary summaries[4];
+  uint64_t wal_bytes[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    std::fprintf(stderr, "persist mode %s...\n", modes[i].name);
+    std::vector<double> samples = RunPersistMode(
+        data, modes[i], batches, batch_edges, seed, &wal_bytes[i]);
+    if (samples.empty()) return 1;
+    summaries[i] = Summarize(std::move(samples));
+  }
+  const double base_p50 = summaries[0].p50;
+  auto overhead = [&](int i) {
+    return base_p50 > 0 ? summaries[i].p50 / base_p50 - 1.0 : 0.0;
+  };
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("dynamic_persist");
+  w.Key("config").BeginObject()
+      .Key("batches").Int(batches)
+      .Key("batch_edges").Int(batch_edges)
+      .Key("seed").Int(static_cast<int64_t>(seed))
+      .Key("smoke").Bool(smoke)
+      .EndObject();
+  w.Key("modes").BeginObject();
+  for (int i = 0; i < 4; ++i) {
+    w.Key(modes[i].name).BeginObject();
+    w.Key("latency");
+    WriteLatency(w, summaries[i]);
+    w.Key("wal_bytes").Uint(wal_bytes[i]);
+    if (i > 0) w.Key("p50_overhead").Double(overhead(i));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  std::FILE* f = std::fopen(report.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", report.c_str());
+    return 1;
+  }
+  std::fprintf(f, "%s\n", w.str().c_str());
+  std::fclose(f);
+
+  std::printf(
+      "bench_dynamic --persist: %lld batches of %lld ops\n"
+      "  none      p50 %.3f ms (in-memory baseline)\n"
+      "  off       p50 %.3f ms  (+%5.1f%%)\n"
+      "  interval  p50 %.3f ms  (+%5.1f%%)\n"
+      "  every     p50 %.3f ms  (+%5.1f%%)\n"
+      "  report    %s\n",
+      static_cast<long long>(batches), static_cast<long long>(batch_edges),
+      summaries[0].p50, summaries[1].p50, 100 * overhead(1),
+      summaries[2].p50, 100 * overhead(2), summaries[3].p50,
+      100 * overhead(3), report.c_str());
+
+  if (smoke && overhead(1) >= 0.10) {
+    std::fprintf(stderr,
+                 "persist GATE: fsync-off WAL overhead %.1f%% >= 10%% "
+                 "(none %.3f ms, off %.3f ms)\n",
+                 100 * overhead(1), summaries[0].p50, summaries[1].p50);
+    return 1;
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   FlagSet flags;
   int64_t& rmat_scale =
@@ -117,6 +272,11 @@ int Run(int argc, char** argv) {
       "smoke", false,
       "CI mode: fewer batches; exit nonzero unless delta beats rescratch "
       "by >= 5x p50 and every oracle check passes");
+  bool& persist = flags.Bool(
+      "persist", false,
+      "measure the durability tax instead: per-batch apply latency with no "
+      "store vs a WAL under each fsync policy (smoke gate: fsync-off "
+      "overhead < 10%)");
   if (!flags.Parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     flags.PrintUsage(argv[0]);
@@ -138,6 +298,12 @@ int Run(int argc, char** argv) {
       data_edges);
   std::fprintf(stderr, "data: %u vertices, %llu edges\n", data.NumVertices(),
                static_cast<unsigned long long>(data.NumEdges()));
+
+  if (persist) {
+    if (report == "BENCH_dynamic.json") report = "BENCH_dynamic_persist.json";
+    return RunPersistBench(data, batches, batch_edges,
+                           static_cast<uint64_t>(seed), report, smoke);
+  }
 
   service::ServiceOptions options;
   options.num_workers = 1;  // updates and matching are measured inline

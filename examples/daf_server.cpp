@@ -4,6 +4,18 @@
 //   $ ./examples/daf_server                       # serve stdin/stdout
 //   $ ./examples/daf_server --port 7878           # serve one TCP client
 //   $ ./examples/daf_server --data g.txt --workers 8
+//   $ ./examples/daf_server --data g.dafs --data-dir /var/lib/daf
+//
+// --data accepts any supported graph format (text, legacy DAFG binary, or
+// a DAFS snapshot — see graph_convert). With --data-dir the service is
+// durable (docs/PERSISTENCE.md): every update batch is WAL-appended before
+// it applies, compaction rolls the log into a binary snapshot, and a
+// restart recovers the newest snapshot plus the WAL tail — the preloaded
+// graph only seeds the very first run. --fsync picks the durability/
+// latency trade-off (every|interval|off). SIGTERM/SIGINT trigger a
+// graceful shutdown: admission stops, in-flight jobs get --grace ms to
+// drain, subscribers receive a final resync marker, and the WAL is
+// fsynced before exit.
 //
 // Protocol (one command per line; every response is one or more lines, the
 // last always starting with "ok" or "err"):
@@ -43,6 +55,7 @@
 // deadline, and cancellation behavior lives in MatchService (see
 // docs/SERVICE.md).
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -54,7 +67,6 @@
 
 #ifdef __unix__
 #include <cerrno>
-#include <csignal>
 
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -66,6 +78,8 @@
 #include "dyn/update_batch.h"
 #include "graph/io.h"
 #include "obs/service_metrics.h"
+#include "persist/snapshot.h"
+#include "persist/store.h"
 #include "service/match_service.h"
 #include "util/fault_inject.h"
 #include "util/flags.h"
@@ -82,6 +96,18 @@ using daf::service::Priority;
 using daf::service::QueryJob;
 using daf::service::ServiceOptions;
 
+// Set by the SIGTERM/SIGINT handler (installed without SA_RESTART, so a
+// blocking accept/read returns EINTR and the loops notice the flag).
+volatile std::sig_atomic_t g_stop = 0;
+
+// Server-level settings that are not per-service knobs.
+struct ServerConfig {
+  std::string data_dir;  // empty = memory-only
+  daf::persist::FsyncPolicy fsync_policy =
+      daf::persist::FsyncPolicy::kEveryBatch;
+  uint64_t grace_ms = 2000;  // graceful-shutdown drain bound
+};
+
 std::optional<daf::workload::DatasetId> DatasetByName(const std::string& s) {
   auto lower = [](std::string t) {
     for (char& c : t) c = static_cast<char>(std::tolower(c));
@@ -97,24 +123,58 @@ std::optional<daf::workload::DatasetId> DatasetByName(const std::string& s) {
 // One protocol session: reads commands from `in`, answers on `out`.
 class Session {
  public:
-  Session(std::istream& in, std::ostream& out, ServiceOptions defaults)
-      : in_(in), out_(out), defaults_(defaults) {}
+  Session(std::istream& in, std::ostream& out, ServiceOptions defaults,
+          ServerConfig config)
+      : in_(in), out_(out), defaults_(defaults), config_(std::move(config)) {}
 
   void SetData(Graph data) { data_ = std::move(data); has_data_ = true; }
   void StartService() {
+    if (!config_.data_dir.empty()) {
+      // Durable mode: recover (or seed) the data dir. The store is opened
+      // per session — the control channel serves one client at a time, so
+      // each service instance picks up exactly where the last left off.
+      daf::persist::DurableStore::Options po;
+      po.fsync_policy = config_.fsync_policy;
+      po.delta_options.compaction_ratio = defaults_.delta_compaction_ratio;
+      po.delta_options.compaction_min_edges =
+          defaults_.delta_compaction_min_edges;
+      std::string error;
+      std::unique_ptr<daf::persist::DurableStore> store =
+          daf::persist::DurableStore::Open(config_.data_dir, po, &error);
+      if (store == nullptr) {
+        Err(error);
+        return;
+      }
+      if (!has_data_ && !store->has_state()) {
+        Err("data dir " + config_.data_dir +
+            " holds no recoverable state and no data graph was loaded "
+            "(use load/dataset first)");
+        return;
+      }
+      defaults_.data_store = std::move(store);
+    }
     service_ = std::make_unique<MatchService>(data_, defaults_);
     out_ << "ok service started workers=" << defaults_.num_workers
-         << " queue=" << defaults_.queue_capacity << "\n";
+         << " queue=" << defaults_.queue_capacity;
+    if (defaults_.data_store != nullptr) {
+      const daf::persist::RecoveryInfo& rec = defaults_.data_store->recovery();
+      out_ << " data_dir=" << config_.data_dir
+           << " recovered=" << (rec.recovered ? 1 : 0)
+           << " version=" << service_->GraphVersion();
+    }
+    out_ << "\n";
   }
 
   void Run() {
     std::string line;
-    while (std::getline(in_, line)) {
+    while (g_stop == 0 && std::getline(in_, line)) {
       if (!Dispatch(line)) break;
       out_.flush();
     }
     for (auto& [id, sub] : subs_) sub.Unsubscribe();
-    if (service_ != nullptr) service_->Shutdown();
+    // Graceful even on an ordinary disconnect: drains in-flight jobs
+    // (bounded) and fsyncs whatever the WAL policy deferred.
+    if (service_ != nullptr) service_->GracefulShutdown(config_.grace_ms);
   }
 
  private:
@@ -146,7 +206,7 @@ class Session {
     std::string path;
     if (!(ss >> path)) return Err("load needs a path");
     std::string error;
-    std::optional<Graph> g = daf::LoadGraph(path, &error);
+    std::optional<Graph> g = daf::persist::LoadGraphAnyFormat(path, &error);
     if (!g.has_value()) return Err(error);
     out_ << "ok graph vertices=" << g->NumVertices()
          << " edges=" << g->NumEdges() << "\n";
@@ -170,7 +230,11 @@ class Session {
   }
 
   bool CmdStart(std::istringstream& ss) {
-    if (!has_data_) return Err("no data graph (use load/dataset first)");
+    // In durable mode the data dir can supply the graph (recovery); a seed
+    // graph is only mandatory memory-only or on the very first run.
+    if (!has_data_ && config_.data_dir.empty()) {
+      return Err("no data graph (use load/dataset first)");
+    }
     if (service_ != nullptr) return Err("service already started");
     int64_t workers = 0, queue = 0;
     if (ss >> workers) defaults_.num_workers = static_cast<uint32_t>(workers);
@@ -366,6 +430,7 @@ class Session {
   std::istream& in_;
   std::ostream& out_;
   ServiceOptions defaults_;
+  ServerConfig config_;
   Graph data_;
   bool has_data_ = false;
   std::unique_ptr<MatchService> service_;
@@ -429,6 +494,7 @@ class FdOutBuf : public std::streambuf {
 // Per-connection failures (protocol errors, write failures, exceptions) are
 // contained: the session ends, the listener keeps accepting.
 int ServeTcp(uint16_t port, const ServiceOptions& defaults,
+             const ServerConfig& config,
              const std::optional<Graph>& preloaded) {
   // A client closing mid-response must surface as a write error on that
   // connection, not a process-killing signal.
@@ -452,10 +518,16 @@ int ServeTcp(uint16_t port, const ServiceOptions& defaults,
     return 1;
   }
   std::fprintf(stderr, "daf_server listening on 127.0.0.1:%u\n", port);
-  for (;;) {
+  while (g_stop == 0) {
     int client = ::accept(listener, nullptr, nullptr);
     if (client < 0) {
-      if (errno == EINTR) continue;  // signal during accept: keep serving
+      if (errno == EINTR) {
+        // SIGTERM/SIGINT land here (no SA_RESTART): stop accepting and
+        // exit; any in-session service already shut down gracefully when
+        // its Run() loop saw the flag.
+        if (g_stop != 0) break;
+        continue;  // other signal during accept: keep serving
+      }
       std::perror("accept");
       break;
     }
@@ -464,7 +536,7 @@ int ServeTcp(uint16_t port, const ServiceOptions& defaults,
       FdOutBuf outbuf(::dup(client));
       std::istream in(&inbuf);
       std::ostream out(&outbuf);
-      Session session(in, out, defaults);
+      Session session(in, out, defaults, config);
       if (preloaded.has_value()) session.SetData(*preloaded);
       session.Run();
     } catch (const std::exception& e) {
@@ -472,8 +544,20 @@ int ServeTcp(uint16_t port, const ServiceOptions& defaults,
     }
     ::close(client);
   }
+  if (g_stop != 0) std::fprintf(stderr, "daf_server: shutting down\n");
   ::close(listener);
   return 0;
+}
+
+// Installs the stop flag on SIGTERM/SIGINT without SA_RESTART, so blocking
+// reads and accepts return EINTR and the serving loops wind down.
+void InstallStopHandlers() {
+  struct sigaction sa{};
+  sa.sa_handler = [](int) { g_stop = 1; };
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
 }
 #endif
 
@@ -490,6 +574,13 @@ int main(int argc, char** argv) {
   int64_t& queue = flags.Int64("queue", 256, "admission queue capacity");
   int64_t& port =
       flags.Int64("port", 0, "serve TCP on 127.0.0.1:PORT (0 = stdin)");
+  std::string& data_dir = flags.String(
+      "data-dir", "", "durable-state directory (WAL + snapshots; empty = "
+                      "memory-only)");
+  std::string& fsync =
+      flags.String("fsync", "every", "WAL fsync policy: every|interval|off");
+  int64_t& grace =
+      flags.Int64("grace", 2000, "graceful-shutdown drain bound (ms)");
   if (!flags.Parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     flags.PrintUsage(argv[0]);
@@ -500,10 +591,19 @@ int main(int argc, char** argv) {
   defaults.num_workers = static_cast<uint32_t>(workers);
   defaults.queue_capacity = static_cast<size_t>(queue);
 
+  ServerConfig config;
+  config.data_dir = data_dir;
+  config.grace_ms = grace < 0 ? 0 : static_cast<uint64_t>(grace);
+  if (!daf::persist::ParseFsyncPolicy(fsync, &config.fsync_policy)) {
+    std::fprintf(stderr, "unknown --fsync policy %s (every|interval|off)\n",
+                 fsync.c_str());
+    return 1;
+  }
+
   std::optional<Graph> preloaded;
   if (!data_path.empty()) {
     std::string error;
-    preloaded = daf::LoadGraph(data_path, &error);
+    preloaded = daf::persist::LoadGraphAnyFormat(data_path, &error);
     if (!preloaded.has_value()) {
       std::fprintf(stderr, "cannot load %s: %s\n", data_path.c_str(),
                    error.c_str());
@@ -518,16 +618,20 @@ int main(int argc, char** argv) {
     preloaded = daf::workload::MakeDataset(*id, scale, 1);
   }
 
+#ifdef __unix__
+  InstallStopHandlers();
+#endif
+
   if (port != 0) {
 #ifdef __unix__
-    return ServeTcp(static_cast<uint16_t>(port), defaults, preloaded);
+    return ServeTcp(static_cast<uint16_t>(port), defaults, config, preloaded);
 #else
     std::fprintf(stderr, "--port requires a unix platform\n");
     return 1;
 #endif
   }
 
-  Session session(std::cin, std::cout, defaults);
+  Session session(std::cin, std::cout, defaults, config);
   if (preloaded.has_value()) session.SetData(std::move(*preloaded));
   session.Run();
   return 0;

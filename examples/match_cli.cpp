@@ -29,6 +29,7 @@
 #include "daf/parallel.h"
 #include "graph/io.h"
 #include "obs/json.h"
+#include "persist/snapshot.h"
 #include "util/flags.h"
 #include "util/memory_budget.h"
 
@@ -92,7 +93,9 @@ int main(int argc, char** argv) {
   }
   g_print_limit = print_limit;
   std::string error;
-  auto data = daf::LoadGraph(data_path, &error);
+  // Any supported format: text, legacy DAFG binary, or a DAFS snapshot
+  // (see examples/graph_convert).
+  auto data = daf::persist::LoadGraphAnyFormat(data_path, &error);
   if (!data) {
     std::fprintf(stderr, "cannot load data graph: %s\n", error.c_str());
     return 1;

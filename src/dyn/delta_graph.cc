@@ -11,7 +11,8 @@
 
 namespace daf::dyn {
 
-DeltaGraph::DeltaGraph(Graph base, Options options)
+DeltaGraph::DeltaGraph(Graph base, Options options, uint64_t initial_version,
+                       bool restore)
     : options_(options),
       base_(std::make_shared<const Graph>(std::move(base))) {
   const uint32_t n = base_->NumVertices();
@@ -21,10 +22,18 @@ DeltaGraph::DeltaGraph(Graph base, Options options)
   for (VertexId v = 0; v < n; ++v) {
     labels_[v] = base_->original_label(base_->label(v));
     degree_[v] = base_->degree(v);
+    if (restore && labels_[v] == kTombstoneLabel) {
+      // The snapshot serialized a tombstone as an isolated labeled vertex
+      // (Materialize does); restoring marks it dead again so its id stays
+      // burned and no future query can match it.
+      assert(degree_[v] == 0);
+      alive_[v] = 0;
+    }
   }
   num_edges_ = base_->NumEdges();
+  version_ = initial_version;
   snapshot_ = base_;
-  snapshot_version_ = 0;
+  snapshot_version_ = initial_version;
 }
 
 Label DeltaGraph::BaseDenseLabel(Label l) const {
@@ -338,15 +347,20 @@ ApplyResult DeltaGraph::ApplyBatch(const UpdateBatch& batch,
     return result;
   }
 
-  for (uint32_t i = 0; i < net->new_vertices.size(); ++i) {
-    assert(net->new_vertices[i] == labels_.size());
-    labels_.push_back(batch.add_vertices[i]);
+  return Install(*net, batch.add_vertices);
+}
+
+ApplyResult DeltaGraph::Install(const NormalizedBatch& net,
+                                const std::vector<Label>& new_vertex_labels) {
+  for (uint32_t i = 0; i < net.new_vertices.size(); ++i) {
+    assert(net.new_vertices[i] == labels_.size());
+    labels_.push_back(new_vertex_labels[i]);
     alive_.push_back(1);
     degree_.push_back(0);
   }
-  for (const EdgeUpdate& e : net->removes) UninstallEdge(e.u, e.v);
-  for (const EdgeUpdate& e : net->inserts) InstallEdge(e.u, e.v, e.edge_label);
-  for (VertexId v : net->removed_vertices) {
+  for (const EdgeUpdate& e : net.removes) UninstallEdge(e.u, e.v);
+  for (const EdgeUpdate& e : net.inserts) InstallEdge(e.u, e.v, e.edge_label);
+  for (VertexId v : net.removed_vertices) {
     assert(degree_[v] == 0);
     alive_[v] = 0;
     labels_[v] = kTombstoneLabel;
@@ -354,21 +368,68 @@ ApplyResult DeltaGraph::ApplyBatch(const UpdateBatch& batch,
   ++version_;
   snapshot_.reset();  // invalidate the Materialize cache
 
+  ApplyResult result;
   result.ok = true;
   result.version = version_;
-  result.inserted_edges = net->inserts.size();
-  result.removed_edges = net->removes.size();
-  result.added_vertices = net->new_vertices.size();
-  result.removed_vertices = net->removed_vertices.size();
-  result.ignored_ops = net->ignored_ops;
+  result.inserted_edges = net.inserts.size();
+  result.removed_edges = net.removes.size();
+  result.added_vertices = net.new_vertices.size();
+  result.removed_vertices = net.removed_vertices.size();
+  result.ignored_ops = net.ignored_ops;
 
   const uint64_t base_edges = base_->NumEdges();
   if (base_edges >= options_.compaction_min_edges &&
       static_cast<double>(OverlayEdges()) >
           options_.compaction_ratio * static_cast<double>(base_edges)) {
     Compact();
+    result.compacted = true;
   }
   return result;
+}
+
+ApplyResult DeltaGraph::ApplyNormalized(
+    const NormalizedBatch& net, const std::vector<Label>& new_vertex_labels) {
+  ApplyResult result;
+  result.version = version_;
+  auto fail = [&](const char* msg) {
+    result.ok = false;
+    result.error = msg;
+    return result;
+  };
+  // Structural validation only: the record was produced by Normalize at
+  // this exact version, so semantic checks (edge existed, labels differ,
+  // ...) would be redundant — but a corrupt-yet-CRC-valid or out-of-place
+  // record must never write out of bounds.
+  if (net.new_vertices.size() != new_vertex_labels.size()) {
+    return fail("replay: new-vertex labels misaligned");
+  }
+  const uint32_t new_n =
+      NumVertices() + static_cast<uint32_t>(net.new_vertices.size());
+  for (uint32_t i = 0; i < net.new_vertices.size(); ++i) {
+    if (net.new_vertices[i] != NumVertices() + i) {
+      return fail("replay: non-dense new-vertex ids");
+    }
+    if (new_vertex_labels[i] == kTombstoneLabel ||
+        new_vertex_labels[i] == kNoSuchLabel) {
+      return fail("replay: reserved label on new vertex");
+    }
+  }
+  for (const EdgeUpdate& e : net.inserts) {
+    if (e.u >= new_n || e.v >= new_n || e.u == e.v) {
+      return fail("replay: insert endpoint out of range");
+    }
+  }
+  for (const EdgeUpdate& e : net.removes) {
+    if (e.u >= new_n || e.v >= new_n || e.u == e.v) {
+      return fail("replay: remove endpoint out of range");
+    }
+  }
+  for (VertexId v : net.removed_vertices) {
+    if (v >= NumVertices()) {
+      return fail("replay: removed vertex out of range");
+    }
+  }
+  return Install(net, new_vertex_labels);
 }
 
 std::vector<std::pair<Edge, Label>> DeltaGraph::CurrentEdges() const {

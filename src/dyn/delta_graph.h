@@ -50,7 +50,20 @@ class DeltaGraph {
   };
 
   explicit DeltaGraph(Graph base) : DeltaGraph(std::move(base), Options()) {}
-  DeltaGraph(Graph base, Options options);
+  DeltaGraph(Graph base, Options options)
+      : DeltaGraph(std::move(base), options, 0, /*restore=*/false) {}
+
+  /// Restoring constructor (crash recovery): `base` is a materialized
+  /// snapshot taken at `initial_version` — versioning resumes there
+  /// instead of 0, so query-cache keys and subscriber resync markers stay
+  /// monotone across a restart. Unlike the plain constructors, vertices
+  /// carrying kTombstoneLabel in `base` are restored as *dead* tombstones
+  /// (a materialized snapshot keeps them as isolated labeled vertices).
+  static DeltaGraph Restore(Graph base, Options options,
+                            uint64_t initial_version) {
+    return DeltaGraph(std::move(base), options, initial_version,
+                      /*restore=*/true);
+  }
 
   DeltaGraph(const DeltaGraph&) = delete;
   DeltaGraph& operator=(const DeltaGraph&) = delete;
@@ -80,6 +93,18 @@ class DeltaGraph {
   /// enumeration). May trigger compaction afterwards.
   ApplyResult ApplyBatch(const UpdateBatch& batch,
                          NormalizedBatch* normalized = nullptr);
+
+  /// Installs an already-normalized net change verbatim: the WAL replay
+  /// path. `net` must be exactly what Normalize produced against this
+  /// version of the graph (persist::WalRecord stores it), and
+  /// `new_vertex_labels` the labels of `net.new_vertices` in order. No
+  /// re-normalization happens — re-deriving the net change from a raw
+  /// batch would let removals shadow a label-change's reinsertion — and no
+  /// fault point is polled, so replay is deterministic. Only structural
+  /// preconditions are validated (id ranges, label/vertex alignment);
+  /// returns false with the graph untouched when they fail.
+  ApplyResult ApplyNormalized(const NormalizedBatch& net,
+                              const std::vector<Label>& new_vertex_labels);
 
   /// Rebuilds the base CSR from the current state and clears the overlay.
   /// Ids are preserved; tombstones stay as isolated kTombstoneLabel
@@ -153,6 +178,16 @@ class DeltaGraph {
   std::vector<std::pair<Edge, Label>> CurrentEdges() const;
 
  private:
+  DeltaGraph(Graph base, Options options, uint64_t initial_version,
+             bool restore);
+
+  /// The shared install path of ApplyBatch and ApplyNormalized: pushes new
+  /// vertices, uninstalls removes, installs inserts, tombstones removed
+  /// vertices, bumps the version, and maybe compacts. Preconditions were
+  /// validated by the caller.
+  ApplyResult Install(const NormalizedBatch& net,
+                      const std::vector<Label>& new_vertex_labels);
+
   /// Per-vertex overlay, stored *symmetrically*: an added edge (u, v)
   /// appears in both endpoints' `added` lists and a removed base edge's
   /// key in both `removed` sets, so every per-vertex read is local.

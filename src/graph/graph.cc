@@ -40,8 +40,6 @@ Graph Graph::FromLabeledEdges(std::vector<Label> labels,
                          labels[v]) -
         sorted_labels.begin());
   }
-  const uint32_t num_labels = static_cast<uint32_t>(sorted_labels.size());
-
   // Deduplicate edges, dropping self-loops; normalize to u < v. A stable
   // sort + unique keeps the *first* occurrence of a duplicated edge, so its
   // edge label wins.
@@ -107,37 +105,161 @@ Graph Graph::FromLabeledEdges(std::vector<Label> labels,
       }
     }
   }
-  for (Label l : g.edge_labels_) {
+  g.BuildDerivedIndexes();
+  return g;
+}
+
+void Graph::BuildDerivedIndexes() {
+  const uint32_t n = NumVertices();
+  const uint32_t num_labels = static_cast<uint32_t>(original_labels_.size());
+
+  nontrivial_edge_labels_ = false;
+  for (Label l : edge_labels_) {
     if (l != 0) {
-      g.nontrivial_edge_labels_ = true;
+      nontrivial_edge_labels_ = true;
       break;
     }
   }
 
   // Max neighbor degree.
-  g.max_neighbor_degree_.assign(n, 0);
+  max_neighbor_degree_.assign(n, 0);
   for (uint32_t v = 0; v < n; ++v) {
-    for (VertexId u : g.Neighbors(v)) {
-      g.max_neighbor_degree_[v] =
-          std::max(g.max_neighbor_degree_[v], g.degree(u));
+    for (VertexId u : Neighbors(v)) {
+      max_neighbor_degree_[v] = std::max(max_neighbor_degree_[v], degree(u));
     }
   }
 
   // Label index.
-  g.label_frequency_.assign(num_labels, 0);
-  for (uint32_t v = 0; v < n; ++v) ++g.label_frequency_[g.labels_[v]];
-  g.label_offsets_.assign(num_labels + 1, 0);
+  label_frequency_.assign(num_labels, 0);
+  for (uint32_t v = 0; v < n; ++v) ++label_frequency_[labels_[v]];
+  label_offsets_.assign(num_labels + 1, 0);
   for (uint32_t l = 0; l < num_labels; ++l) {
-    g.label_offsets_[l + 1] = g.label_offsets_[l] + g.label_frequency_[l];
+    label_offsets_[l + 1] = label_offsets_[l] + label_frequency_[l];
   }
-  g.vertices_by_label_.resize(n);
+  vertices_by_label_.resize(n);
   {
-    std::vector<uint64_t> cursor(g.label_offsets_.begin(),
-                                 g.label_offsets_.end() - 1);
+    std::vector<uint64_t> cursor(label_offsets_.begin(),
+                                 label_offsets_.end() - 1);
     for (uint32_t v = 0; v < n; ++v) {
-      g.vertices_by_label_[cursor[g.labels_[v]]++] = v;
+      vertices_by_label_[cursor[labels_[v]]++] = v;
     }
   }
+}
+
+Graph::CsrParts Graph::ToCsrParts() const {
+  CsrParts parts;
+  const uint32_t n = NumVertices();
+  parts.labels.resize(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    parts.labels[v] = original_labels_[labels_[v]];
+  }
+  parts.offsets = offsets_;
+  parts.adjacency = adjacency_;
+  if (nontrivial_edge_labels_) parts.edge_labels = edge_labels_;
+  return parts;
+}
+
+std::optional<Graph> Graph::FromCsrParts(CsrParts parts, std::string* error) {
+  auto fail = [&](const char* msg) -> std::optional<Graph> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  const size_t n = parts.labels.size();
+  if (parts.offsets.size() != n + 1) return fail("offsets size != |V|+1");
+  if (parts.offsets.front() != 0) return fail("offsets[0] != 0");
+  for (size_t v = 0; v < n; ++v) {
+    if (parts.offsets[v] > parts.offsets[v + 1]) {
+      return fail("offsets not monotonically non-decreasing");
+    }
+  }
+  if (parts.offsets.back() != parts.adjacency.size()) {
+    return fail("offsets[|V|] != adjacency size");
+  }
+  if (parts.adjacency.size() % 2 != 0) return fail("adjacency size is odd");
+  if (!parts.edge_labels.empty() &&
+      parts.edge_labels.size() != parts.adjacency.size()) {
+    return fail("edge_labels size != adjacency size");
+  }
+
+  Graph g;
+  g.labels_.resize(n);
+  {
+    std::vector<Label> sorted_labels = parts.labels;
+    std::sort(sorted_labels.begin(), sorted_labels.end());
+    sorted_labels.erase(
+        std::unique(sorted_labels.begin(), sorted_labels.end()),
+        sorted_labels.end());
+    g.original_labels_ = std::move(sorted_labels);
+    for (size_t v = 0; v < n; ++v) {
+      g.labels_[v] = static_cast<Label>(
+          std::lower_bound(g.original_labels_.begin(),
+                           g.original_labels_.end(), parts.labels[v]) -
+          g.original_labels_.begin());
+    }
+  }
+  g.offsets_ = std::move(parts.offsets);
+  g.adjacency_ = std::move(parts.adjacency);
+  if (parts.edge_labels.empty()) {
+    g.edge_labels_.assign(g.adjacency_.size(), 0);
+  } else {
+    g.edge_labels_ = std::move(parts.edge_labels);
+  }
+
+  // Per-vertex invariants: ids in range, no self-loops, strictly
+  // increasing (dense label, id) order (strictness rules out duplicates).
+  for (size_t v = 0; v < n; ++v) {
+    const uint64_t begin = g.offsets_[v];
+    const uint64_t end = g.offsets_[v + 1];
+    for (uint64_t i = begin; i < end; ++i) {
+      const VertexId w = g.adjacency_[i];
+      if (w >= n) return fail("adjacency references an out-of-range vertex");
+      if (w == v) return fail("adjacency contains a self-loop");
+      if (i > begin) {
+        const VertexId p = g.adjacency_[i - 1];
+        if (std::make_pair(g.labels_[p], p) >=
+            std::make_pair(g.labels_[w], w)) {
+          return fail("adjacency not strictly (label, id)-sorted");
+        }
+      }
+    }
+  }
+  // Symmetry: every directed entry must have its mirror, with an equal
+  // edge label. O(V + E) by sequence regeneration instead of a binary
+  // search per edge: scanning sources in (dense label, id) order and
+  // appending to each target's cursor reproduces exactly the (label,
+  // id)-sorted slice the target must already hold — any deviation (id or
+  // edge label) is an asymmetry. Binary-search probes cost E log(deg)
+  // cache-hostile lookups, which dominated snapshot cold-start.
+  {
+    std::vector<uint32_t> order(n);  // vertex ids in (label, id) order
+    {
+      std::vector<uint64_t> cursor(g.original_labels_.size() + 1, 0);
+      for (size_t v = 0; v < n; ++v) ++cursor[g.labels_[v] + 1u];
+      for (size_t l = 1; l < cursor.size(); ++l) cursor[l] += cursor[l - 1];
+      for (size_t v = 0; v < n; ++v) {
+        order[cursor[g.labels_[v]]++] = static_cast<uint32_t>(v);
+      }
+    }
+    std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (const uint32_t v : order) {
+      const uint64_t begin = g.offsets_[v];
+      const uint64_t end = g.offsets_[v + 1];
+      for (uint64_t i = begin; i < end; ++i) {
+        const VertexId w = g.adjacency_[i];
+        uint64_t& c = cursor[w];
+        if (c >= g.offsets_[w + 1] || g.adjacency_[c] != v) {
+          return fail("adjacency is not symmetric");
+        }
+        if (g.edge_labels_[c] != g.edge_labels_[i]) {
+          return fail("edge labels are not symmetric");
+        }
+        ++c;
+      }
+    }
+  }
+
+  g.BuildDerivedIndexes();
+  if (error != nullptr) error->clear();
   return g;
 }
 

@@ -128,6 +128,23 @@ void WriteServiceMetrics(JsonWriter& w, const ServiceMetricsSnapshot& m) {
   w.Key("notify_latency");
   WriteHistogram(w, m.notify);
   w.EndObject();
+  w.Key("persist").BeginObject();
+  w.Key("enabled").Bool(m.persist_enabled);
+  w.Key("wal_bytes").Uint(m.persist_wal_bytes);
+  w.Key("wal_appended_batches").Uint(m.persist_wal_appended_batches);
+  w.Key("wal_fsyncs").Uint(m.persist_wal_fsyncs);
+  w.Key("snapshots_written").Uint(m.persist_snapshots_written);
+  w.Key("persist_errors").Uint(m.persist_errors);
+  w.Key("failed").Bool(m.persist_failed);
+  w.Key("last_snapshot_ms").Double(m.persist_last_snapshot_ms);
+  w.Key("recovery").BeginObject();
+  w.Key("recovered").Bool(m.persist_recovered);
+  w.Key("snapshot_version").Uint(m.persist_recovery_snapshot_version);
+  w.Key("wal_records_replayed").Uint(m.persist_recovery_wal_replayed);
+  w.Key("wal_truncated_bytes").Uint(m.persist_recovery_wal_truncated_bytes);
+  w.Key("recovery_ms").Double(m.persist_recovery_ms);
+  w.EndObject();
+  w.EndObject();
   w.Key("wait_latency");
   WriteHistogram(w, m.wait);
   w.Key("run_latency");

@@ -110,6 +110,21 @@ struct ServiceMetricsSnapshot {
   uint64_t dyn_embeddings_destroyed = 0;  // deltas streamed, negative
   uint64_t dyn_active_subscriptions = 0;  // standing queries right now
   uint64_t dyn_resyncs = 0;  // notifications degraded to resync markers
+  // Durable state (docs/PERSISTENCE.md); all zero when persist_enabled is
+  // false (memory-only service).
+  bool persist_enabled = false;
+  uint64_t persist_wal_bytes = 0;  // bytes in the active WAL segment
+  uint64_t persist_wal_appended_batches = 0;  // batches logged since open
+  uint64_t persist_wal_fsyncs = 0;
+  uint64_t persist_snapshots_written = 0;  // checkpoints (incl. the seed)
+  uint64_t persist_errors = 0;             // non-fatal IO errors
+  bool persist_failed = false;             // fail-stop latch tripped
+  double persist_last_snapshot_ms = 0;     // wall time of the last checkpoint
+  bool persist_recovered = false;          // prior state restored at open
+  uint64_t persist_recovery_snapshot_version = 0;
+  uint64_t persist_recovery_wal_replayed = 0;
+  uint64_t persist_recovery_wal_truncated_bytes = 0;
+  double persist_recovery_ms = 0;
   LatencyHistogram wait;   // submission -> worker pickup
   LatencyHistogram run;    // worker pickup -> terminal state
   LatencyHistogram total;  // submission -> terminal state

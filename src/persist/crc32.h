@@ -1,0 +1,48 @@
+#ifndef DAF_PERSIST_CRC32_H_
+#define DAF_PERSIST_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace daf::persist {
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial 0xEDB88320), table-driven.
+/// Every checksum in the persistence layer — snapshot header, section
+/// table, per-section payloads, WAL records — uses this one function so a
+/// file written on one build always verifies on another.
+namespace internal {
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+}  // namespace internal
+
+/// Extends a running CRC over `len` more bytes. Start (and finish) with
+/// `crc = 0` for a standalone checksum; to checksum several buffers as one
+/// stream, feed the previous return value back in.
+inline uint32_t Crc32(uint32_t crc, const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = internal::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// One-shot convenience.
+inline uint32_t Crc32(const void* data, size_t len) {
+  return Crc32(0, data, len);
+}
+
+}  // namespace daf::persist
+
+#endif  // DAF_PERSIST_CRC32_H_

@@ -1,6 +1,7 @@
 #include "service/match_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include <chrono>
@@ -35,7 +36,8 @@ dyn::DeltaGraph::Options DeltaOptions(const ServiceOptions& options) {
 
 MatchService::MatchService(Graph data, ServiceOptions options)
     : options_(Normalize(options)),
-      dgraph_(std::move(data), DeltaOptions(options_)),
+      store_(options_.data_store),
+      dgraph_(InitGraph(std::move(data))),
       queue_(options_.queue_capacity),
       contexts_(options_.num_workers, options_.context_retained_bytes),
       global_budget_(options_.service_memory_limit_bytes) {
@@ -58,6 +60,25 @@ MatchService::MatchService(Graph data, ServiceOptions options)
 }
 
 MatchService::~MatchService() { Shutdown(); }
+
+dyn::DeltaGraph MatchService::InitGraph(Graph data) {
+  if (store_ != nullptr && store_->has_state()) {
+    // Recovery already replayed the WAL onto the newest valid snapshot;
+    // the constructor's seed graph is superseded by the durable truth.
+    return store_->TakeRecoveredGraph();
+  }
+  if (store_ != nullptr) {
+    std::string error;
+    if (!store_->InitializeFresh(data, /*version=*/0, &error)) {
+      // A service that cannot write its seed snapshot would reject every
+      // update (append-before-apply); degrade to memory-only instead and
+      // say so — the operator chose durability and is not getting it.
+      std::fprintf(stderr, "daf: persistence disabled: %s\n", error.c_str());
+      store_.reset();
+    }
+  }
+  return dyn::DeltaGraph(std::move(data), DeltaOptions(options_));
+}
 
 JobHandle MatchService::Submit(QueryJob job) {
   auto state = std::make_shared<internal::JobState>();
@@ -113,6 +134,11 @@ JobHandle MatchService::Submit(QueryJob job) {
   if (shutdown_.load(std::memory_order_acquire)) {
     state->result.ok = false;
     state->result.error = "service is shut down";
+    return resolve_now(JobStatus::kRejected, &counters_.rejected);
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    state->result.ok = false;
+    state->result.error = "service is draining";
     return resolve_now(JobStatus::kRejected, &counters_.rejected);
   }
 
@@ -434,6 +460,47 @@ void MatchService::Shutdown() {
   });
 }
 
+void MatchService::GracefulShutdown(uint64_t grace_ms) {
+  draining_.store(true, std::memory_order_release);
+  {
+    // Admission is closed, so inflight_ can only fall; wait for the
+    // admitted jobs to finish, bounded by the grace deadline.
+    std::unique_lock<std::mutex> lock(metrics_mutex_);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(grace_ms);
+    idle_cv_.wait_until(lock, deadline,
+                        [&] { return inflight_ == 0 && running_ == 0; });
+  }
+  {
+    // Final resync marker: delivery stops at this version, and a consumer
+    // reconnecting after the restart must re-run its standing query (its
+    // subscription object does not survive the process).
+    std::lock_guard<std::mutex> ulock(update_mutex_);
+    uint64_t version;
+    {
+      std::lock_guard<std::mutex> glock(graph_mutex_);
+      version = dgraph_.version();
+    }
+    for (const internal::SubscriptionStatePtr& sub : subscriptions_) {
+      if (sub->cancelled.load(std::memory_order_acquire)) continue;
+      DeltaBatch marker;
+      marker.version = version;
+      marker.resync = true;
+      internal::PushDeltaBatch(*sub, std::move(marker));
+    }
+  }
+  if (store_ != nullptr) {
+    // Whatever the fsync policy deferred is made durable now: a graceful
+    // exit must never lose batches the service reported committed.
+    std::string sync_error;
+    if (!store_->Sync(&sync_error)) {
+      std::fprintf(stderr, "daf: wal sync on shutdown failed: %s\n",
+                   sync_error.c_str());
+    }
+  }
+  Shutdown();
+}
+
 std::pair<std::shared_ptr<const Graph>, uint64_t>
 MatchService::SnapshotVersion() const {
   std::lock_guard<std::mutex> lock(graph_mutex_);
@@ -519,6 +586,13 @@ UpdateOutcome MatchService::ApplyUpdates(const dyn::UpdateBatch& batch) {
     out.error = "service is shut down";
     return out;
   }
+  if (draining_.load(std::memory_order_acquire)) {
+    // GracefulShutdown has synced (or is about to sync) the WAL; a batch
+    // admitted now could commit in memory and miss durability.
+    out.ok = false;
+    out.error = "service is draining";
+    return out;
+  }
 
   // Sweep subscriptions dropped since the last update.
   subscriptions_.erase(
@@ -547,18 +621,57 @@ UpdateOutcome MatchService::ApplyUpdates(const dyn::UpdateBatch& batch) {
     destroyed[i] = subscriptions_[i]->enumerator->Destroyed(dgraph_, net, {});
   }
 
+  // Append-before-apply (docs/PERSISTENCE.md): the normalized batch is
+  // durable before any in-memory state changes. An append failure rejects
+  // the batch — an unlogged batch must never be applied; the converse (an
+  // apply failure after the append) rolls the log back below.
+  const bool logged = store_ != nullptr;
+  if (logged) {
+    uint64_t next_version;
+    {
+      std::lock_guard<std::mutex> glock(graph_mutex_);
+      next_version = dgraph_.version() + 1;
+    }
+    std::string persist_error;
+    if (!store_->AppendBatch(net, batch.add_vertices, next_version,
+                             &persist_error)) {
+      out.ok = false;
+      out.error = std::move(persist_error);
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++dyn_batches_rejected_;
+      return out;
+    }
+  }
+
   uint64_t cs_incremental = 0, cs_rebuilds = 0;
   uint64_t dirty_pairs = 0, peak_dirty = 0;
   std::vector<double> notify_ms;
+  std::shared_ptr<const Graph> checkpoint_graph;
+  uint64_t checkpoint_version = 0;
   {
     std::lock_guard<std::mutex> glock(graph_mutex_);
     dyn::ApplyResult r = dgraph_.ApplyBatch(batch);
     if (!r.ok) {
+      if (logged) {
+        // The WAL holds a batch the graph refused; truncate it back out.
+        // If even that fails the store latches fail-stop and every later
+        // append is refused (the log must stay a prefix of the truth).
+        std::string rollback_error;
+        store_->RollbackLastAppend(&rollback_error);
+      }
       out.ok = false;
       out.error = std::move(r.error);
       std::lock_guard<std::mutex> lock(metrics_mutex_);
       ++dyn_batches_rejected_;
       return out;
+    }
+    if (r.compacted && logged) {
+      // Compaction folded the overlay into a fresh base — the natural
+      // moment to roll the WAL into a snapshot. Materialize under the
+      // graph lock (compaction just did, so this is a cache hit); the
+      // checkpoint write itself happens after the lock is dropped.
+      checkpoint_graph = dgraph_.Materialize();
+      checkpoint_version = r.version;
     }
     out.version = r.version;
     out.inserted_edges = r.inserted_edges;
@@ -613,6 +726,16 @@ UpdateOutcome MatchService::ApplyUpdates(const dyn::UpdateBatch& batch) {
     }
   }
 
+  if (checkpoint_graph != nullptr) {
+    // Still under update_mutex_ (checkpoints serialize with appends) but
+    // outside graph_mutex_, so snapshots and match jobs proceed during the
+    // write. Failure is non-fatal: the WAL still holds everything since
+    // the last good snapshot, and the store counted the error.
+    std::string checkpoint_error;
+    store_->Checkpoint(*checkpoint_graph, checkpoint_version,
+                       &checkpoint_error);
+  }
+
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   ++dyn_batches_applied_;
   dyn_cs_incremental_ += cs_incremental;
@@ -626,11 +749,45 @@ UpdateOutcome MatchService::ApplyUpdates(const dyn::UpdateBatch& batch) {
   return out;
 }
 
+bool MatchService::Checkpoint(std::string* error) {
+  if (store_ == nullptr) {
+    if (error != nullptr) *error = "persistence not configured";
+    return false;
+  }
+  std::lock_guard<std::mutex> ulock(update_mutex_);
+  std::shared_ptr<const Graph> g;
+  uint64_t version;
+  {
+    std::lock_guard<std::mutex> glock(graph_mutex_);
+    g = dgraph_.Materialize();
+    version = dgraph_.version();
+  }
+  return store_->Checkpoint(*g, version, error);
+}
+
 obs::ServiceMetricsSnapshot MatchService::Metrics() const {
   obs::ServiceMetricsSnapshot m;
-  // Locks ordered as everywhere else: update/graph first, metrics last.
+  // Locks ordered as everywhere else: update/graph first, metrics last
+  // (the store's internal mutex is a leaf — Stats never blocks a writer
+  // for long).
   m.dyn_active_subscriptions = ActiveSubscriptions();
   m.graph_version = GraphVersion();
+  if (store_ != nullptr) {
+    const persist::PersistStats ps = store_->Stats();
+    m.persist_enabled = true;
+    m.persist_wal_bytes = ps.wal_bytes;
+    m.persist_wal_appended_batches = ps.wal_appended_batches;
+    m.persist_wal_fsyncs = ps.wal_fsyncs;
+    m.persist_snapshots_written = ps.snapshots_written;
+    m.persist_errors = ps.persist_errors;
+    m.persist_failed = ps.failed;
+    m.persist_last_snapshot_ms = ps.last_snapshot_ms;
+    m.persist_recovered = ps.recovery.recovered;
+    m.persist_recovery_snapshot_version = ps.recovery.snapshot_version;
+    m.persist_recovery_wal_replayed = ps.recovery.wal_records_replayed;
+    m.persist_recovery_wal_truncated_bytes = ps.recovery.wal_truncated_bytes;
+    m.persist_recovery_ms = ps.recovery.recovery_ms;
+  }
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   m.dyn_batches_applied = dyn_batches_applied_;
   m.dyn_batches_rejected = dyn_batches_rejected_;

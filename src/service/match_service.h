@@ -12,6 +12,7 @@
 #include "dyn/delta_graph.h"
 #include "graph/graph.h"
 #include "obs/service_metrics.h"
+#include "persist/store.h"
 #include "service/admission_queue.h"
 #include "util/memory_budget.h"
 #include "service/context_pool.h"
@@ -100,6 +101,19 @@ struct ServiceOptions {
   /// Overlay compaction policy of the underlying DeltaGraph.
   double delta_compaction_ratio = 0.25;
   uint64_t delta_compaction_min_edges = 4096;
+
+  // --- Durable state (docs/PERSISTENCE.md).
+
+  /// Durable store backing this service (null = memory-only). When the
+  /// store recovered prior state, the constructor's `data` argument is
+  /// ignored in favor of the recovered graph; a fresh store is seeded with
+  /// `data` as the version-0 snapshot (if that seed write fails the
+  /// service degrades to memory-only with a warning on stderr). Configure
+  /// the store's delta_options to match delta_compaction_* so a recovered
+  /// graph compacts on the same cadence. Once attached, every committed
+  /// batch is WAL-appended before it is applied, and overlay compaction
+  /// additionally rolls the WAL into a fresh snapshot.
+  std::shared_ptr<persist::DurableStore> data_store;
 };
 
 /// A transport-agnostic concurrent subgraph-match service: owns one shared
@@ -149,6 +163,14 @@ class MatchService {
   /// running jobs, and joins the workers. Idempotent.
   void Shutdown();
 
+  /// Graceful shutdown for servers (SIGTERM/SIGINT): stops admission,
+  /// waits up to `grace_ms` for admitted jobs to drain (stragglers still
+  /// running at the deadline are cancelled by the Shutdown that follows),
+  /// pushes a final resync marker to every active subscription so
+  /// consumers know delivery ends at this version, fsyncs the WAL, then
+  /// shuts down. Safe to call more than once.
+  void GracefulShutdown(uint64_t grace_ms);
+
   // --- Dynamic graph and standing queries (docs/DYNAMIC.md).
 
   /// Applies one update batch atomically: the graph version advances, every
@@ -171,6 +193,13 @@ class MatchService {
   /// (the job sees the snapshot at subscribed_version or later, and every
   /// batch since is pollable).
   SubscriptionHandle Subscribe(QueryJob job);
+
+  /// Forces a checkpoint of the current version to the durable store
+  /// (snapshot + WAL rotation + retention). False with *error when
+  /// persistence is not configured or the write failed. Ordinary operation
+  /// does not need it — compaction-triggered checkpoints happen inside
+  /// ApplyUpdates — but operators may want one before a planned restart.
+  bool Checkpoint(std::string* error = nullptr);
 
   /// Immutable CSR snapshot of the current graph version. Lazy and cached:
   /// repeated calls without intervening updates return the same instance,
@@ -209,8 +238,16 @@ class MatchService {
   /// Publishes the terminal state and records the job's metrics.
   void FinishJob(const internal::JobStatePtr& job, JobStatus status,
                  bool ran);
+  /// Resolves the initial graph: the store's recovered state when it has
+  /// one, else `data` (seeding a fresh store with it as version 0). May
+  /// reset store_ (degrade to memory-only) when the seed write fails.
+  dyn::DeltaGraph InitGraph(Graph data);
 
   const ServiceOptions options_;
+  /// Durable store (null = memory-only); shared with options_.data_store.
+  /// Declared before dgraph_: InitGraph consults it. Writer calls are
+  /// serialized by update_mutex_; Stats() may race them.
+  std::shared_ptr<persist::DurableStore> store_;
   /// The data graph. Mutated only under update_mutex_ (ApplyUpdates /
   /// Subscribe); graph_mutex_ additionally guards every access that can
   /// touch the lazily cached materialization (Snapshot, the mutation window
@@ -237,6 +274,9 @@ class MatchService {
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> next_start_seq_{1};
   std::atomic<bool> shutdown_{false};
+  /// Set by GracefulShutdown before the drain wait: Submit and
+  /// ApplyUpdates reject, so inflight_ can only fall.
+  std::atomic<bool> draining_{false};
   std::once_flag shutdown_once_;
 
   // Metrics and drain bookkeeping (one lock; all updates are O(1)).

@@ -1,6 +1,8 @@
 #include "util/fault_inject.h"
 
 #include <algorithm>
+#include <csignal>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 
@@ -32,6 +34,8 @@ struct Schedule {
   uint64_t threshold = 0;
   // One-shot mode: fire exactly on poll `nth` (1-based); 0 = probabilistic.
   uint64_t nth = 0;
+  // Crash mode: a fire raises SIGKILL instead of returning true.
+  bool kill = false;
 };
 
 struct Point {
@@ -95,6 +99,20 @@ void FaultInjector::FireNth(const std::string& name, uint64_t nth) {
   p.schedule.seed = 0;
   p.schedule.threshold = 0;
   p.schedule.nth = p.polls + std::max<uint64_t>(nth, 1);
+  p.schedule.kill = false;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::KillNth(const std::string& name, uint64_t nth) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  Point& p = r.points[name];
+  p.has_override = true;
+  p.schedule.active = true;
+  p.schedule.seed = 0;
+  p.schedule.threshold = 0;
+  p.schedule.nth = p.polls + std::max<uint64_t>(nth, 1);
+  p.schedule.kill = true;
   armed_.store(true, std::memory_order_release);
 }
 
@@ -125,6 +143,13 @@ bool FaultInjector::Fire(const char* name) {
   if (fire) {
     ++p.fires;
     ++r.total_fires;
+    if (s.kill) {
+#ifdef __unix__
+      ::raise(SIGKILL);  // dies holding the registry mutex — by design
+#else
+      std::abort();
+#endif
+    }
   }
   return fire;
 }

@@ -54,6 +54,14 @@ class FaultInjector {
   /// (1-based) after this call, then disarms itself.
   static void FireNth(const std::string& name, uint64_t nth);
 
+  /// Arms a one-shot *crash* trigger: on the `nth` poll of `name` after
+  /// this call the process raises SIGKILL from inside the poll — no
+  /// destructors, no flushes — exactly as if the machine had died at that
+  /// instruction. The crash-recovery oracle forks a child, arms a kill on
+  /// a persistence fault point (`wal_append`, `snapshot_write`, ...), and
+  /// checks what recovery makes of the half-written files left behind.
+  static void KillNth(const std::string& name, uint64_t nth);
+
   /// Disarms everything and clears all counters and schedules.
   static void Disarm();
 

@@ -1,0 +1,41 @@
+#include "persist/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace daf::persist {
+namespace {
+
+TEST(Crc32Test, KnownAnswer) {
+  // The IEEE CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32(check, std::strlen(check)), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32("", 0), 0u); }
+
+TEST(Crc32Test, ChainingMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t one_shot = Crc32(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32(0, data.data(), split);
+    crc = Crc32(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, one_shot) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, SensitiveToEveryBit) {
+  std::vector<uint8_t> data(64, 0xA5);
+  const uint32_t base = Crc32(data.data(), data.size());
+  for (size_t bit = 0; bit < data.size() * 8; ++bit) {
+    data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_NE(Crc32(data.data(), data.size()), base) << "bit " << bit;
+    data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
+}  // namespace
+}  // namespace daf::persist

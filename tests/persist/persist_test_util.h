@@ -1,0 +1,60 @@
+#ifndef DAF_TESTS_PERSIST_PERSIST_TEST_UTIL_H_
+#define DAF_TESTS_PERSIST_PERSIST_TEST_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace daf::testing {
+
+/// A mkdtemp directory removed (recursively, one level deep — the persist
+/// layout is flat) when the test ends.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    char tmpl[] = "/tmp/daf_persist_test_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    path_ = made != nullptr ? made : "";
+  }
+  ~ScopedTempDir() {
+    if (path_.empty()) return;
+    // Flat directory: unlink the entries, then the dir.
+    std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+inline std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+inline bool WriteFileBytes(const std::string& path,
+                           const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+inline void FlipBit(std::vector<uint8_t>& bytes, size_t bit) {
+  bytes[(bit / 8) % bytes.size()] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+}  // namespace daf::testing
+
+#endif  // DAF_TESTS_PERSIST_PERSIST_TEST_UTIL_H_

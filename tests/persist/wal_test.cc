@@ -1,0 +1,316 @@
+#include "persist/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tests/persist/persist_test_util.h"
+#include "util/fault_inject.h"
+
+namespace daf::persist {
+namespace {
+
+using daf::testing::ReadFileBytes;
+using daf::testing::ScopedTempDir;
+using daf::testing::WriteFileBytes;
+
+WalRecord SampleRecord(uint64_t version) {
+  WalRecord r;
+  r.version = version;
+  r.new_vertex_labels = {static_cast<Label>(version), 7};
+  r.inserts = {{0, 1, 0}, {1, 2, 5}};
+  r.removes = {{2, 3, 0}};
+  r.removed_vertices = {4};
+  return r;
+}
+
+void ExpectSameRecord(const WalRecord& a, const WalRecord& b) {
+  EXPECT_EQ(a.version, b.version);
+  EXPECT_EQ(a.new_vertex_labels, b.new_vertex_labels);
+  ASSERT_EQ(a.inserts.size(), b.inserts.size());
+  for (size_t i = 0; i < a.inserts.size(); ++i) {
+    EXPECT_EQ(a.inserts[i].u, b.inserts[i].u);
+    EXPECT_EQ(a.inserts[i].v, b.inserts[i].v);
+    EXPECT_EQ(a.inserts[i].edge_label, b.inserts[i].edge_label);
+  }
+  ASSERT_EQ(a.removes.size(), b.removes.size());
+  for (size_t i = 0; i < a.removes.size(); ++i) {
+    EXPECT_EQ(a.removes[i].u, b.removes[i].u);
+    EXPECT_EQ(a.removes[i].v, b.removes[i].v);
+  }
+  EXPECT_EQ(a.removed_vertices, b.removed_vertices);
+}
+
+std::vector<WalRecord> ScanAll(const std::string& path, WalScanResult* out) {
+  std::vector<WalRecord> records;
+  *out = ScanWal(path, [&](WalRecord&& r, std::string*) {
+    records.push_back(std::move(r));
+    return true;
+  });
+  return records;
+}
+
+TEST(WalTest, CreateAppendScanRoundTrip) {
+  ScopedTempDir dir;
+  const std::string path = dir.File("log.dafw");
+  std::string error;
+  auto wal = WalWriter::Create(path, /*start_version=*/5, FsyncPolicy::kOff,
+                               0, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  for (uint64_t v = 6; v <= 8; ++v) {
+    ASSERT_TRUE(wal->Append(SampleRecord(v), &error)) << error;
+  }
+  EXPECT_EQ(wal->stats().appended_records, 3u);
+
+  WalScanResult scan;
+  std::vector<WalRecord> records = ScanAll(path, &scan);
+  ASSERT_TRUE(scan.ok) << scan.error;
+  EXPECT_EQ(scan.start_version, 5u);
+  EXPECT_EQ(scan.records, 3u);
+  EXPECT_EQ(scan.torn_bytes, 0u);
+  ASSERT_EQ(records.size(), 3u);
+  for (uint64_t v = 6; v <= 8; ++v) {
+    ExpectSameRecord(SampleRecord(v), records[v - 6]);
+  }
+}
+
+TEST(WalTest, RecordBatchConversionRoundTrips) {
+  dyn::NormalizedBatch net;
+  net.inserts = {{0, 5, 2}};
+  net.removes = {{1, 2, 0}};
+  net.new_vertices = {5, 6};  // assigned at NumVertices()=5
+  net.removed_vertices = {3};
+  const std::vector<Label> labels = {10, 11};
+  const WalRecord record = MakeWalRecord(net, labels, 9);
+  EXPECT_EQ(record.version, 9u);
+  EXPECT_EQ(record.new_vertex_labels, labels);
+
+  const dyn::NormalizedBatch back = ToNormalizedBatch(record, 5);
+  EXPECT_EQ(back.new_vertices, net.new_vertices);
+  EXPECT_EQ(back.removed_vertices, net.removed_vertices);
+  ASSERT_EQ(back.inserts.size(), 1u);
+  EXPECT_EQ(back.inserts[0].v, 5u);
+  EXPECT_EQ(back.inserts[0].edge_label, 2);
+}
+
+TEST(WalTest, TornTailIsTruncatable) {
+  ScopedTempDir dir;
+  const std::string path = dir.File("log.dafw");
+  std::string error;
+  {
+    auto wal = WalWriter::Create(path, 0, FsyncPolicy::kOff, 0, &error);
+    ASSERT_NE(wal, nullptr) << error;
+    for (uint64_t v = 1; v <= 3; ++v) {
+      ASSERT_TRUE(wal->Append(SampleRecord(v), &error)) << error;
+    }
+  }
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  // Chop into the last record: a crash mid-append.
+  bytes.resize(bytes.size() - 5);
+  ASSERT_TRUE(WriteFileBytes(path, bytes));
+
+  WalScanResult scan;
+  std::vector<WalRecord> records = ScanAll(path, &scan);
+  ASSERT_TRUE(scan.ok) << scan.error;
+  EXPECT_EQ(scan.records, 2u);
+  EXPECT_GT(scan.torn_bytes, 0u);
+  EXPECT_EQ(scan.valid_bytes + scan.torn_bytes, bytes.size());
+
+  ASSERT_TRUE(RepairTornTail(path, scan.valid_bytes, &error)) << error;
+  records = ScanAll(path, &scan);
+  ASSERT_TRUE(scan.ok) << scan.error;
+  EXPECT_EQ(scan.records, 2u);
+  EXPECT_EQ(scan.torn_bytes, 0u);
+
+  // The repaired log accepts appends again.
+  auto wal = WalWriter::OpenForAppend(path, FsyncPolicy::kOff, 0, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  ASSERT_TRUE(wal->Append(SampleRecord(3), &error)) << error;
+  ScanAll(path, &scan);
+  EXPECT_EQ(scan.records, 3u);
+}
+
+TEST(WalTest, CrcFailAtEofIsTornTail) {
+  ScopedTempDir dir;
+  const std::string path = dir.File("log.dafw");
+  std::string error;
+  {
+    auto wal = WalWriter::Create(path, 0, FsyncPolicy::kOff, 0, &error);
+    ASSERT_NE(wal, nullptr) << error;
+    ASSERT_TRUE(wal->Append(SampleRecord(1), &error)) << error;
+    ASSERT_TRUE(wal->Append(SampleRecord(2), &error)) << error;
+  }
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  // Flip a byte inside the *last* record's payload: the record ends
+  // exactly at EOF, so this reads as a torn tail, not corruption.
+  bytes[bytes.size() - 3] ^= 0xFF;
+  ASSERT_TRUE(WriteFileBytes(path, bytes));
+
+  WalScanResult scan;
+  ScanAll(path, &scan);
+  ASSERT_TRUE(scan.ok) << scan.error;
+  EXPECT_EQ(scan.records, 1u);
+  EXPECT_GT(scan.torn_bytes, 0u);
+}
+
+TEST(WalTest, MidFileCorruptionIsTypedError) {
+  ScopedTempDir dir;
+  const std::string path = dir.File("log.dafw");
+  std::string error;
+  uint64_t first_record_size = 0;
+  {
+    auto wal = WalWriter::Create(path, 0, FsyncPolicy::kOff, 0, &error);
+    ASSERT_NE(wal, nullptr) << error;
+    ASSERT_TRUE(wal->Append(SampleRecord(1), &error)) << error;
+    first_record_size = wal->stats().bytes;
+    ASSERT_TRUE(wal->Append(SampleRecord(2), &error)) << error;
+  }
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  // Flip a byte inside the FIRST record (bytes follow it): committed
+  // history was altered — recovery must refuse, not resync past it.
+  bytes[first_record_size - 3] ^= 0xFF;
+  ASSERT_TRUE(WriteFileBytes(path, bytes));
+
+  WalScanResult scan;
+  ScanAll(path, &scan);
+  EXPECT_FALSE(scan.ok);
+  EXPECT_FALSE(scan.error.empty());
+}
+
+TEST(WalTest, TornHeaderIsEmptyTornFile) {
+  ScopedTempDir dir;
+  const std::string path = dir.File("log.dafw");
+  std::string error;
+  {
+    auto wal = WalWriter::Create(path, 0, FsyncPolicy::kOff, 0, &error);
+    ASSERT_NE(wal, nullptr) << error;
+  }
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  bytes.resize(bytes.size() / 2);  // crash during segment creation
+  ASSERT_TRUE(WriteFileBytes(path, bytes));
+
+  WalScanResult scan;
+  ScanAll(path, &scan);
+  ASSERT_TRUE(scan.ok) << scan.error;
+  EXPECT_EQ(scan.records, 0u);
+  EXPECT_EQ(scan.valid_bytes, 0u);
+  EXPECT_GT(scan.torn_bytes, 0u);
+}
+
+TEST(WalTest, GarbageMagicIsError) {
+  ScopedTempDir dir;
+  const std::string path = dir.File("log.dafw");
+  ASSERT_TRUE(WriteFileBytes(
+      path, std::vector<uint8_t>{'n', 'o', 't', 'a', 'l', 'o', 'g', '!', 0,
+                                 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}));
+  WalScanResult scan;
+  ScanAll(path, &scan);
+  EXPECT_FALSE(scan.ok);
+}
+
+TEST(WalTest, RollbackLastAppendRemovesRecord) {
+  ScopedTempDir dir;
+  const std::string path = dir.File("log.dafw");
+  std::string error;
+  auto wal = WalWriter::Create(path, 0, FsyncPolicy::kOff, 0, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  ASSERT_TRUE(wal->Append(SampleRecord(1), &error)) << error;
+  const uint64_t size_after_one = wal->stats().bytes;
+  ASSERT_TRUE(wal->Append(SampleRecord(2), &error)) << error;
+  ASSERT_TRUE(wal->RollbackLastAppend(&error)) << error;
+  EXPECT_EQ(wal->stats().bytes, size_after_one);
+
+  WalScanResult scan;
+  std::vector<WalRecord> records = ScanAll(path, &scan);
+  ASSERT_TRUE(scan.ok) << scan.error;
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].version, 1u);
+
+  // The rolled-back slot is reusable.
+  ASSERT_TRUE(wal->Append(SampleRecord(2), &error)) << error;
+  ScanAll(path, &scan);
+  EXPECT_EQ(scan.records, 2u);
+}
+
+TEST(WalTest, InjectedAppendFaultLeavesFileUntouched) {
+  ScopedTempDir dir;
+  const std::string path = dir.File("log.dafw");
+  std::string error;
+  auto wal = WalWriter::Create(path, 0, FsyncPolicy::kOff, 0, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  ASSERT_TRUE(wal->Append(SampleRecord(1), &error)) << error;
+  const std::vector<uint8_t> before = ReadFileBytes(path);
+
+  // First poll (before any byte) and second poll (mid-record) both roll
+  // back to exactly the pre-append file.
+  for (uint64_t nth = 1; nth <= 2; ++nth) {
+    FaultInjector::FireNth("wal_append", nth);
+    EXPECT_FALSE(wal->Append(SampleRecord(2), &error));
+    FaultInjector::Disarm();
+    EXPECT_EQ(ReadFileBytes(path), before) << "poll " << nth;
+  }
+
+  ASSERT_TRUE(wal->Append(SampleRecord(2), &error)) << error;
+  WalScanResult scan;
+  ScanAll(path, &scan);
+  ASSERT_TRUE(scan.ok) << scan.error;
+  EXPECT_EQ(scan.records, 2u);
+}
+
+TEST(WalTest, FsyncPolicyParsingAndCounting) {
+  FsyncPolicy policy;
+  EXPECT_TRUE(ParseFsyncPolicy("every", &policy));
+  EXPECT_EQ(policy, FsyncPolicy::kEveryBatch);
+  EXPECT_TRUE(ParseFsyncPolicy("interval", &policy));
+  EXPECT_EQ(policy, FsyncPolicy::kInterval);
+  EXPECT_TRUE(ParseFsyncPolicy("off", &policy));
+  EXPECT_EQ(policy, FsyncPolicy::kOff);
+  EXPECT_FALSE(ParseFsyncPolicy("sometimes", &policy));
+  EXPECT_STREQ(FsyncPolicyName(FsyncPolicy::kEveryBatch), "every");
+
+  ScopedTempDir dir;
+  std::string error;
+  auto every = WalWriter::Create(dir.File("every.dafw"), 0,
+                                 FsyncPolicy::kEveryBatch, 0, &error);
+  ASSERT_NE(every, nullptr) << error;
+  const uint64_t header_fsyncs = every->stats().fsyncs;
+  ASSERT_TRUE(every->Append(SampleRecord(1), &error)) << error;
+  ASSERT_TRUE(every->Append(SampleRecord(2), &error)) << error;
+  EXPECT_EQ(every->stats().fsyncs, header_fsyncs + 2);
+
+  auto off =
+      WalWriter::Create(dir.File("off.dafw"), 0, FsyncPolicy::kOff, 0, &error);
+  ASSERT_NE(off, nullptr) << error;
+  const uint64_t off_header_fsyncs = off->stats().fsyncs;
+  ASSERT_TRUE(off->Append(SampleRecord(1), &error)) << error;
+  EXPECT_EQ(off->stats().fsyncs, off_header_fsyncs);
+  ASSERT_TRUE(off->Sync(&error)) << error;
+  EXPECT_EQ(off->stats().fsyncs, off_header_fsyncs + 1);
+}
+
+TEST(WalTest, OpenForAppendResumes) {
+  ScopedTempDir dir;
+  const std::string path = dir.File("log.dafw");
+  std::string error;
+  {
+    auto wal = WalWriter::Create(path, 3, FsyncPolicy::kOff, 0, &error);
+    ASSERT_NE(wal, nullptr) << error;
+    ASSERT_TRUE(wal->Append(SampleRecord(4), &error)) << error;
+  }
+  auto wal = WalWriter::OpenForAppend(path, FsyncPolicy::kOff, 0, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  ASSERT_TRUE(wal->Append(SampleRecord(5), &error)) << error;
+
+  WalScanResult scan;
+  std::vector<WalRecord> records = ScanAll(path, &scan);
+  ASSERT_TRUE(scan.ok) << scan.error;
+  EXPECT_EQ(scan.start_version, 3u);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].version, 4u);
+  EXPECT_EQ(records[1].version, 5u);
+}
+
+}  // namespace
+}  // namespace daf::persist
